@@ -1,0 +1,48 @@
+//! Criterion bench: Dijkstra's algorithm (the VRA's routing kernel) on
+//! the GRNET backbone and on growing random topologies, alongside the
+//! Bellman–Ford reference (E5 scalability).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vod_net::dijkstra::{bellman_ford, dijkstra, dijkstra_with_trace};
+use vod_net::lvn::LinkWeights;
+use vod_net::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};
+use vod_net::topologies::random::connected_gnp;
+use vod_net::NodeId;
+
+fn bench_grnet(c: &mut Criterion) {
+    let grnet = Grnet::new();
+    let weights = grnet.paper_table3_weights(TimeOfDay::T1000);
+    let home = grnet.node(GrnetNode::Patra);
+
+    c.bench_function("dijkstra/grnet", |b| {
+        b.iter(|| dijkstra(black_box(grnet.topology()), black_box(&weights), home).unwrap())
+    });
+    c.bench_function("dijkstra/grnet_with_trace", |b| {
+        b.iter(|| {
+            dijkstra_with_trace(black_box(grnet.topology()), black_box(&weights), home).unwrap()
+        })
+    });
+    c.bench_function("bellman_ford/grnet", |b| {
+        b.iter(|| bellman_ford(black_box(grnet.topology()), black_box(&weights), home).unwrap())
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra/random_gnp");
+    for &n in &[25usize, 50, 100, 200, 400] {
+        let topo = connected_gnp(n, 0.05, 42);
+        let weights: LinkWeights = topo
+            .link_ids()
+            .map(|l| 0.1 + (l.index() % 13) as f64 * 0.07)
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| dijkstra(black_box(&topo), black_box(&weights), NodeId::new(0)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grnet, bench_scaling);
+criterion_main!(benches);

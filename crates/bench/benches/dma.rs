@@ -1,0 +1,63 @@
+//! Criterion bench: the Disk Manipulation Algorithm's request path
+//! (Figure 2), including admissions and evictions under a Zipf stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vod_storage::cluster::ClusterSize;
+use vod_storage::dma::{DmaCache, DmaConfig, EvictionMode};
+use vod_storage::video::{Megabytes, VideoId, VideoLibrary, VideoMeta};
+use vod_workload::zipf::Zipf;
+
+fn library(titles: u32) -> VideoLibrary {
+    (0..titles)
+        .map(|i| {
+            VideoMeta::new(
+                VideoId::new(i),
+                format!("t{i}"),
+                Megabytes::new(500.0),
+                1.5,
+            )
+        })
+        .collect()
+}
+
+fn cache(eviction: EvictionMode) -> DmaCache {
+    DmaCache::new(DmaConfig {
+        disk_count: 4,
+        disk_capacity: Megabytes::new(2_500.0), // ~20 titles
+        cluster_size: ClusterSize::new(Megabytes::new(100.0)),
+        admit_threshold: 0,
+        eviction,
+    })
+    .expect("valid config")
+}
+
+fn bench_request_path(c: &mut Criterion) {
+    let lib = library(200);
+    let zipf = Zipf::new(200, 0.9);
+    let ids: Vec<VideoId> = lib.ids().collect();
+
+    for mode in [EvictionMode::SingleAttempt, EvictionMode::UntilFit] {
+        c.bench_function(&format!("dma/on_request_{mode:?}"), |b| {
+            let mut dma = cache(mode);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let video = lib.get(ids[zipf.sample(&mut rng)]).unwrap();
+                black_box(dma.on_request(black_box(video)))
+            })
+        });
+    }
+
+    c.bench_function("dma/hit_path", |b| {
+        let mut dma = cache(EvictionMode::SingleAttempt);
+        let hot = lib.get(VideoId::new(0)).unwrap();
+        dma.on_request(hot);
+        b.iter(|| black_box(dma.on_request(black_box(hot))))
+    });
+}
+
+criterion_group!(benches, bench_request_path);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: computing Link Validation Numbers (equations (1)–(4))
+//! for a whole topology — the per-request cost the VRA pays before
+//! routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vod_net::lvn::{LvnComputer, LvnParams};
+use vod_net::topologies::grnet::{Grnet, TimeOfDay};
+use vod_net::topologies::random::connected_gnp;
+use vod_net::{Mbps, TrafficSnapshot};
+
+fn bench_grnet(c: &mut Criterion) {
+    let grnet = Grnet::new();
+    let snapshot = grnet.snapshot(TimeOfDay::T1600);
+    c.bench_function("lvn/grnet_weights", |b| {
+        b.iter(|| {
+            LvnComputer::new(
+                black_box(grnet.topology()),
+                black_box(&snapshot),
+                LvnParams::default(),
+            )
+            .weights()
+        })
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lvn/random_gnp");
+    for &n in &[25usize, 100, 400] {
+        let topo = connected_gnp(n, 0.05, 7);
+        let mut snapshot = TrafficSnapshot::zero(&topo);
+        for link in topo.link_ids() {
+            let cap = topo.link(link).capacity();
+            snapshot.set_used(link, Mbps::new(cap.as_f64() * 0.4));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                LvnComputer::new(black_box(&topo), black_box(&snapshot), LvnParams::default())
+                    .weights()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grnet, bench_scaling);
+criterion_main!(benches);

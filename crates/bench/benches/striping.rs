@@ -1,0 +1,41 @@
+//! Criterion bench: stripe-layout computation and striped storage
+//! (Figure 3's mechanics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vod_storage::cluster::ClusterSize;
+use vod_storage::disk_array::DiskArray;
+use vod_storage::striping::StripeLayout;
+use vod_storage::video::{Megabytes, VideoId, VideoMeta};
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("striping/layout");
+    for &(parts, disks) in &[(7usize, 3usize), (70, 8), (700, 16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p{parts}_n{disks}")),
+            &(parts, disks),
+            |b, &(p, n)| b.iter(|| black_box(StripeLayout::cyclic(p, n))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_store_remove(c: &mut Criterion) {
+    c.bench_function("striping/store_remove_700mb", |b| {
+        let mut array = DiskArray::uniform(
+            8,
+            Megabytes::new(100_000.0),
+            ClusterSize::new(Megabytes::new(100.0)),
+        )
+        .expect("valid");
+        let video = VideoMeta::new(VideoId::new(0), "v", Megabytes::new(700.0), 1.5);
+        b.iter(|| {
+            array.store(black_box(&video)).unwrap();
+            array.remove(video.id()).unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_layout, bench_store_remove);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: one full Virtual Routing Algorithm decision (LVN
+//! computation + Dijkstra + candidate choice) — the work done per cluster
+//! under dynamic re-routing — on GRNET and on larger random networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vod_core::selection::{SelectionContext, ServerSelector};
+use vod_core::vra::Vra;
+use vod_net::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};
+use vod_net::topologies::random::connected_gnp;
+use vod_net::{Mbps, NodeId, TrafficSnapshot};
+
+fn bench_grnet(c: &mut Criterion) {
+    let grnet = Grnet::new();
+    let snapshot = grnet.snapshot(TimeOfDay::T1000);
+    let candidates = [
+        grnet.node(GrnetNode::Thessaloniki),
+        grnet.node(GrnetNode::Xanthi),
+    ];
+    let ctx = SelectionContext {
+        topology: grnet.topology(),
+        snapshot: &snapshot,
+        home: grnet.node(GrnetNode::Patra),
+        candidates: &candidates,
+    };
+    c.bench_function("vra/select_grnet", |b| {
+        let mut vra = Vra::default();
+        b.iter(|| vra.select(black_box(&ctx)).unwrap())
+    });
+    c.bench_function("vra/select_with_report_grnet", |b| {
+        let vra = Vra::default();
+        b.iter(|| vra.select_with_report(black_box(&ctx)).unwrap())
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vra/select_random_gnp");
+    for &n in &[25usize, 100, 400] {
+        let topo = connected_gnp(n, 0.05, 3);
+        let mut snapshot = TrafficSnapshot::zero(&topo);
+        for link in topo.link_ids() {
+            let cap = topo.link(link).capacity();
+            snapshot.set_used(link, Mbps::new(cap.as_f64() * 0.3));
+        }
+        let candidates: Vec<NodeId> = (1..n.min(8)).map(|i| NodeId::new(i as u32)).collect();
+        let ctx = SelectionContext {
+            topology: &topo,
+            snapshot: &snapshot,
+            home: NodeId::new(0),
+            candidates: &candidates,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut vra = Vra::default();
+            b.iter(|| vra.select(black_box(&ctx)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grnet, bench_scaling);
+criterion_main!(benches);

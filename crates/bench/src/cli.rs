@@ -1,0 +1,91 @@
+//! Minimal command-line handling shared by the experiment binaries.
+//!
+//! Every binary accepts `--seed <u64>` (default 42) and prints the seed it
+//! used, so results are reproducible without extra tooling.
+
+/// Options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Deterministic seed for workload generation.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { seed: 42 }
+    }
+}
+
+impl Options {
+    /// Parses options from an argument iterator (excluding `argv[0]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags or malformed
+    /// values.
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = Options::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_ref() {
+                "--seed" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| "--seed requires a value".to_string())?;
+                    opts.seed = value
+                        .as_ref()
+                        .parse()
+                        .map_err(|e| format!("invalid --seed value: {e}"))?;
+                }
+                "--help" | "-h" => {
+                    return Err("usage: <binary> [--seed <u64>]".to_string());
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parses the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => {
+                println!("(seed: {})\n", opts.seed);
+                opts
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_seed() {
+        let o = Options::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn parses_seed() {
+        let o = Options::parse(["--seed", "7"]).unwrap();
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Options::parse(["--seed"]).is_err());
+        assert!(Options::parse(["--seed", "x"]).is_err());
+        assert!(Options::parse(["--frob"]).is_err());
+        assert!(Options::parse(["--help"]).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! The paper's published results, as machine-checkable constants.
+//!
+//! Everything the evaluation section reports is captured here so the
+//! regeneration binaries (and the integration tests) can print
+//! paper-vs-measured columns and flag deviations. Table 2 and Table 3 live
+//! with the GRNET data in `vod-net` ([`vod_net::topologies::grnet`]);
+//! this module covers the experiment outcomes.
+
+use vod_net::topologies::grnet::{GrnetNode, TimeOfDay};
+
+/// One of the paper's four routing experiments (A–D).
+#[derive(Debug, Clone)]
+pub struct ExpectedExperiment {
+    /// Experiment letter.
+    pub id: char,
+    /// Sampled time of day the experiment uses.
+    pub time: TimeOfDay,
+    /// The client's home server.
+    pub home: GrnetNode,
+    /// The servers holding the requested title.
+    pub candidates: &'static [GrnetNode],
+    /// Per-candidate best costs as published.
+    pub published_costs: &'static [(GrnetNode, f64)],
+    /// The server the paper says the VRA picks.
+    pub published_choice: GrnetNode,
+    /// The route the paper prints for the choice (home first).
+    pub published_route: &'static [&'static str],
+    /// The published total cost of the chosen route.
+    pub published_cost: f64,
+    /// Whether faithful Dijkstra reproduces the published outcome
+    /// (`false` only for Experiment A — see DESIGN.md §5).
+    pub reproducible: bool,
+    /// Corrected choice under faithful Dijkstra (differs only for A).
+    pub corrected_choice: GrnetNode,
+    /// Corrected route (home first).
+    pub corrected_route: &'static [&'static str],
+    /// Corrected cost using the paper's own Table 3 weights.
+    pub corrected_cost: f64,
+}
+
+/// Experiments A–D as published, with the Experiment A erratum annotated.
+pub fn experiments() -> Vec<ExpectedExperiment> {
+    use GrnetNode::*;
+    vec![
+        ExpectedExperiment {
+            id: 'A',
+            time: TimeOfDay::T0800,
+            home: Patra,
+            candidates: &[Thessaloniki, Xanthi],
+            published_costs: &[(Thessaloniki, 0.365), (Xanthi, 0.315)],
+            published_choice: Xanthi,
+            published_route: &["U2", "U1", "U6", "U5"],
+            published_cost: 0.315,
+            // The paper's Table 4 misses the U3→U4 relaxation: with its own
+            // Table 3 weights, D4 = 0.07501 + 0.1427 = 0.21771 via U2,U3,U4,
+            // which beats Xanthi's 0.315.
+            reproducible: false,
+            corrected_choice: Thessaloniki,
+            corrected_route: &["U2", "U3", "U4"],
+            corrected_cost: 0.21771,
+        },
+        ExpectedExperiment {
+            id: 'B',
+            time: TimeOfDay::T1000,
+            home: Patra,
+            candidates: &[Thessaloniki, Xanthi],
+            published_costs: &[(Thessaloniki, 1.007), (Xanthi, 1.308)],
+            published_choice: Thessaloniki,
+            published_route: &["U2", "U3", "U4"],
+            published_cost: 1.007,
+            reproducible: true,
+            corrected_choice: Thessaloniki,
+            corrected_route: &["U2", "U3", "U4"],
+            corrected_cost: 1.007117,
+        },
+        ExpectedExperiment {
+            id: 'C',
+            time: TimeOfDay::T1600,
+            home: Athens,
+            candidates: &[Thessaloniki, Xanthi, Ioannina],
+            published_costs: &[
+                (Thessaloniki, 1.5433),
+                (Xanthi, 1.274),
+                (Ioannina, 1.222),
+            ],
+            published_choice: Ioannina,
+            published_route: &["U1", "U2", "U3"],
+            published_cost: 1.222,
+            reproducible: true,
+            corrected_choice: Ioannina,
+            corrected_route: &["U1", "U2", "U3"],
+            corrected_cost: 1.222,
+        },
+        ExpectedExperiment {
+            id: 'D',
+            time: TimeOfDay::T1800,
+            home: Athens,
+            candidates: &[Thessaloniki, Xanthi, Ioannina],
+            published_costs: &[
+                (Thessaloniki, 1.4824),
+                (Xanthi, 1.3574),
+                (Ioannina, 1.236),
+            ],
+            published_choice: Ioannina,
+            published_route: &["U1", "U2", "U3"],
+            published_cost: 1.236,
+            reproducible: true,
+            corrected_choice: Ioannina,
+            corrected_route: &["U1", "U2", "U3"],
+            corrected_cost: 1.236,
+        },
+    ]
+}
+
+/// Tolerance for comparing computed LVNs against the paper's Table 3
+/// (the paper rounded intermediate node validations inconsistently).
+pub const TABLE3_TOLERANCE: f64 = 0.006;
+
+/// Tolerance for route costs computed from the paper's own Table 3
+/// weights (pure re-addition of published numbers).
+pub const PAPER_WEIGHT_COST_TOLERANCE: f64 = 1e-6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_experiments_in_order() {
+        let e = experiments();
+        assert_eq!(e.len(), 4);
+        assert_eq!(
+            e.iter().map(|x| x.id).collect::<Vec<_>>(),
+            vec!['A', 'B', 'C', 'D']
+        );
+        // Only A is flagged as an erratum.
+        assert!(!e[0].reproducible);
+        assert!(e.iter().skip(1).all(|x| x.reproducible));
+    }
+
+    #[test]
+    fn corrected_costs_follow_from_table3() {
+        use vod_net::topologies::grnet::{Grnet, GrnetLink};
+        let g = Grnet::new();
+        // A: U2,U3 + U3,U4 at 8am.
+        let a = g.paper_table3_lvn(GrnetLink::PatraIoannina, TimeOfDay::T0800)
+            + g.paper_table3_lvn(GrnetLink::ThessalonikiIoannina, TimeOfDay::T0800);
+        assert!((a - experiments()[0].corrected_cost).abs() < 1e-9);
+        // B: U2,U3 + U3,U4 at 10am.
+        let b = g.paper_table3_lvn(GrnetLink::PatraIoannina, TimeOfDay::T1000)
+            + g.paper_table3_lvn(GrnetLink::ThessalonikiIoannina, TimeOfDay::T1000);
+        assert!((b - experiments()[1].corrected_cost).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1175 @@
+//! The end-to-end VoD service simulation.
+//!
+//! [`VodService`] wires every substrate together the way the paper's
+//! architecture diagram does:
+//!
+//! * a [`FlowNetwork`] carries video transfers and diurnal background
+//!   traffic over the topology;
+//! * an [`SnmpSystem`] periodically averages link counters into the
+//!   limited-access [`Database`] (so the routing application always works
+//!   from *slightly stale* state, as in the real service);
+//! * one [`DmaCache`] per video server runs the Disk Manipulation
+//!   Algorithm on every incoming request;
+//! * a pluggable [`ServerSelector`] (the VRA or a baseline) picks the
+//!   source server — re-evaluated before *every cluster* when dynamic
+//!   re-routing is on, which is the paper's headline feature;
+//! * [`Session`]s track playout, stalls and switches, producing
+//!   [`QosRecord`]s aggregated into a [`ServiceReport`].
+//!
+//! The simulation is a deterministic discrete-event program: same
+//! scenario + same selector + same config → identical report.
+
+use std::collections::BTreeMap;
+
+use vod_db::{AdminCredential, Database};
+use vod_net::{Mbps, NodeId, Route, Topology};
+use vod_sim::engine::{Model, Simulation};
+use vod_sim::flow::{FlowId, FlowNetwork};
+use vod_sim::metrics::{Summary, TimeSeries};
+use vod_sim::scheduler::Scheduler;
+use vod_sim::traffic::BackgroundModel;
+use vod_sim::{SimDuration, SimTime};
+use vod_snmp::SnmpSystem;
+use vod_storage::cluster::ClusterSize;
+use vod_storage::dma::{DmaCache, DmaConfig, DmaDecision, DmaStats, EvictionMode};
+use vod_storage::video::{Megabytes, VideoMeta};
+use vod_workload::scenario::Scenario;
+use vod_workload::trace::RequestTrace;
+
+use crate::qos::{QosRecord, ServiceReport};
+use crate::selection::{SelectionContext, ServerSelector};
+use crate::session::{Session, SessionId};
+
+/// Tunables of a service run.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The common cluster size `c` (also the DMA stripe cluster).
+    pub cluster: ClusterSize,
+    /// Re-run the selector before every cluster (the paper's dynamic
+    /// mid-stream switching); `false` = select once per session.
+    pub dynamic_rerouting: bool,
+    /// SNMP polling interval (the paper suggests 1–2 minutes).
+    pub snmp_interval: SimDuration,
+    /// How often diurnal background traffic is re-applied to the network.
+    pub background_interval: SimDuration,
+    /// Ceiling on the rate at which a home server streams from its own
+    /// disks (bus/NIC bound); the actual local rate is the smaller of
+    /// this and the striped disk throughput of the title's layout.
+    pub local_rate: Mbps,
+    /// Per-disk seek/transfer model used to derive local serve rates
+    /// from each title's stripe layout (Figure 3's parallelism).
+    pub disk_io: vod_storage::io_model::DiskIoModel,
+    /// Disks per video server.
+    pub disk_count: usize,
+    /// VoD space per disk.
+    pub disk_capacity: Megabytes,
+    /// DMA admission threshold (0 = Figure 2 verbatim).
+    pub dma_admit_threshold: u64,
+    /// DMA eviction mode.
+    pub dma_eviction: EvictionMode,
+    /// Initial copies of each title, placed round-robin across servers.
+    pub initial_replicas: usize,
+    /// Optional admission control enforcing the paper's "minimum QoS"
+    /// floor: a request is only admitted when the selected route has
+    /// bitrate headroom (`None` = admit everything, as the paper's
+    /// routing-only design does).
+    pub admission: Option<crate::admission::AdmissionPolicy>,
+    /// Optional EWMA smoothing of the SNMP view the selector sees
+    /// (`Some(alpha)`, `alpha ∈ (0, 1]`): routing decisions use the
+    /// moving average of each link's reading history instead of the
+    /// latest poll — an anti-thrash ablation for the staleness problem.
+    pub snmp_smoothing: Option<f64>,
+    /// Scheduled server outages, `(down_at, up_at, node)`. While down, a
+    /// server provides no titles (its catalog entries are withdrawn, its
+    /// cache is cold on recovery) and in-flight transfers from it are
+    /// re-routed — the "dynamic adjustment to server configuration
+    /// changes" the paper advertises.
+    pub failures: Vec<(SimTime, SimTime, NodeId)>,
+    /// Hard stop for recurring events after the last arrival (stalled
+    /// zero-rate sessions past this point are reported as unfinished).
+    pub drain_grace: SimDuration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cluster: ClusterSize::default(),
+            dynamic_rerouting: true,
+            snmp_interval: SimDuration::from_mins(2),
+            background_interval: SimDuration::from_mins(1),
+            local_rate: Mbps::new(100.0),
+            disk_io: vod_storage::io_model::DiskIoModel::default(),
+            disk_count: 4,
+            disk_capacity: Megabytes::new(20_000.0),
+            dma_admit_threshold: 0,
+            dma_eviction: EvictionMode::SingleAttempt,
+            initial_replicas: 1,
+            admission: None,
+            snmp_smoothing: None,
+            failures: Vec::new(),
+            drain_grace: SimDuration::from_secs(24 * 3600),
+        }
+    }
+}
+
+/// Events driving the service simulation.
+#[derive(Debug)]
+enum Event {
+    /// The `idx`-th request of the trace arrives.
+    Arrival(usize),
+    /// Re-check flow completions (valid only for the current version).
+    FlowCheck(u64),
+    /// A session finished playing its current cluster.
+    PlayoutTick(SessionId),
+    /// Periodic SNMP poll.
+    SnmpPoll,
+    /// Periodic background-traffic refresh.
+    BackgroundUpdate,
+    /// A video server goes down.
+    ServerDown(NodeId),
+    /// A failed video server comes back (with a cold cache).
+    ServerUp(NodeId),
+}
+
+/// The simulation model (internal state of a [`VodService`] run).
+struct ServiceModel {
+    topology: Topology,
+    config: ServiceConfig,
+    flows: FlowNetwork,
+    snmp: SnmpSystem,
+    db: Database,
+    admin: AdminCredential,
+    caches: BTreeMap<NodeId, DmaCache>,
+    selector: Box<dyn ServerSelector>,
+    background: BackgroundModel,
+    trace: RequestTrace,
+    sessions: BTreeMap<SessionId, Session>,
+    session_routes: BTreeMap<SessionId, Route>,
+    flow_sessions: BTreeMap<FlowId, SessionId>,
+    cache_on_complete: BTreeMap<SessionId, bool>,
+    down: std::collections::BTreeSet<NodeId>,
+    retired_dma: DmaStats,
+    records: Vec<QosRecord>,
+    failed_requests: u64,
+    rejected_requests: u64,
+    aborted_sessions: u64,
+    arrivals_remaining: usize,
+    next_session: u64,
+    last_sync: SimTime,
+    flow_version: u64,
+    recurring_deadline: SimTime,
+    max_util_series: TimeSeries,
+    mean_util_series: TimeSeries,
+    seed: u64,
+}
+
+impl ServiceModel {
+    /// Advances the fluid network and SNMP counters to `now`, processing
+    /// any flow completions that occurred in between.
+    fn advance_to(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        let dt = now.duration_since(self.last_sync);
+        if dt.is_zero() {
+            return;
+        }
+        self.snmp.accumulate(&self.flows, dt);
+        let done = self.flows.advance(dt);
+        self.last_sync = now;
+        for flow in done {
+            self.on_flow_complete(now, flow, sched);
+        }
+    }
+
+    /// Invalidates stale flow-completion checks and schedules a fresh one
+    /// just after the next predicted completion.
+    fn schedule_flow_check(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.flow_version += 1;
+        if let Some((_, dt)) = self.flows.next_completion() {
+            // +1 µs absorbs the rounding of the prediction, guaranteeing
+            // the completion has happened by the time the check fires.
+            let at = now + dt + SimDuration::from_micros(1);
+            sched.schedule(at, Event::FlowCheck(self.flow_version));
+        }
+    }
+
+    fn has_pending_work(&self) -> bool {
+        self.arrivals_remaining > 0 || !self.sessions.is_empty()
+    }
+
+    fn reschedule_recurring(
+        &self,
+        now: SimTime,
+        interval: SimDuration,
+        make: impl FnOnce() -> Event,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let at = now + interval;
+        if at <= self.recurring_deadline && self.has_pending_work() {
+            sched.schedule(at, make());
+        }
+    }
+
+    /// The database's current (stale, SNMP-fed) view of the network,
+    /// optionally EWMA-smoothed.
+    fn db_snapshot(&mut self) -> vod_net::TrafficSnapshot {
+        let la = self
+            .db
+            .limited_access(&self.admin)
+            .expect("service admin is registered");
+        match self.config.snmp_smoothing {
+            Some(alpha) => la.smoothed_snapshot(&self.topology, alpha),
+            None => la.snapshot(&self.topology),
+        }
+    }
+
+    /// Runs the selector for `video` on behalf of a client homed at
+    /// `home`.
+    fn select_source(
+        &mut self,
+        home: NodeId,
+        video: vod_storage::video::VideoId,
+    ) -> Option<crate::selection::Selection> {
+        let candidates = self.db.full_access().servers_with_title(video);
+        if candidates.is_empty() {
+            return None;
+        }
+        let snapshot = self.db_snapshot();
+        let ctx = SelectionContext {
+            topology: &self.topology,
+            snapshot: &snapshot,
+            home,
+            candidates: &candidates,
+        };
+        self.selector.select(&ctx).ok()
+    }
+
+    /// Starts fetching the next cluster of `sid`, re-running the selector
+    /// when dynamic re-routing is enabled.
+    fn start_cluster_fetch(&mut self, sid: SessionId) {
+        let (home, video, idx) = {
+            let sess = match self.sessions.get(&sid) {
+                Some(s) => s,
+                None => return,
+            };
+            match sess.next_cluster() {
+                Some(idx) => (sess.home(), sess.video(), idx),
+                None => return,
+            }
+        };
+
+        let route = if self.config.dynamic_rerouting || !self.session_routes.contains_key(&sid) {
+            match self.select_source(home, video) {
+                Some(sel) => sel.route,
+                None => {
+                    // Mid-stream loss of every replica: abort the session.
+                    self.sessions.remove(&sid);
+                    self.session_routes.remove(&sid);
+                    self.aborted_sessions += 1;
+                    return;
+                }
+            }
+        } else {
+            self.session_routes[&sid].clone()
+        };
+
+        let volume = {
+            let sess = self.sessions.get_mut(&sid).expect("session exists");
+            sess.assign_server(route.target(), route.hops() == 0);
+            sess.cluster_volume_mbit(idx)
+        };
+        let flow = self.launch_flow(home, video, &route, volume);
+        self.flow_sessions.insert(flow, sid);
+        self.session_routes.insert(sid, route);
+    }
+
+    /// Starts the transfer of one cluster: a network flow along `route`,
+    /// or a disk-limited local flow when the home serves itself.
+    fn launch_flow(
+        &mut self,
+        home: NodeId,
+        video: vod_storage::video::VideoId,
+        route: &Route,
+        volume_mbit: f64,
+    ) -> FlowId {
+        if route.hops() == 0 {
+            let rate = self.local_serve_rate(home, video);
+            self.flows
+                .add_local_flow(volume_mbit, rate)
+                .expect("clusters are non-empty")
+        } else {
+            self.flows
+                .add_flow(route.links().to_vec(), volume_mbit)
+                .expect("route links belong to the topology and clusters are non-empty")
+        }
+    }
+
+    /// Local serve rate: striped disk throughput of the title's layout
+    /// (converted MB/s → Mbps), capped by the configured ceiling. Falls
+    /// back to the ceiling when the layout is unknown (title still being
+    /// assembled).
+    fn local_serve_rate(&self, home: NodeId, video: vod_storage::video::VideoId) -> Mbps {
+        let ceiling = self.config.local_rate.as_f64();
+        let disk_mbps = self
+            .caches
+            .get(&home)
+            .and_then(|c| c.array().layout(video).cloned())
+            .and_then(|layout| {
+                self.db.library().get(video).map(|meta| {
+                    self.config
+                        .disk_io
+                        .striped_throughput_mb_per_s(&layout, meta.size())
+                        * 8.0
+                })
+            })
+            .unwrap_or(ceiling);
+        Mbps::new(disk_mbps.min(ceiling).max(0.0))
+    }
+
+    /// One cluster finished transferring.
+    fn on_flow_complete(&mut self, now: SimTime, flow: FlowId, sched: &mut Scheduler<Event>) {
+        let sid = match self.flow_sessions.remove(&flow) {
+            Some(s) => s,
+            None => return,
+        };
+        let (first, stalled, played, fetch_complete) = {
+            let sess = match self.sessions.get_mut(&sid) {
+                Some(s) => s,
+                None => return,
+            };
+            let first = sess.on_cluster_fetched(now);
+            (
+                first,
+                sess.is_stalled(),
+                sess.clusters_played(),
+                sess.fetch_complete(),
+            )
+        };
+
+        if first {
+            let sess = self.sessions.get_mut(&sid).expect("session exists");
+            sess.start_playing();
+            let dt = sess.cluster_play_time(0);
+            sched.schedule(now + dt, Event::PlayoutTick(sid));
+        } else if stalled {
+            let sess = self.sessions.get_mut(&sid).expect("session exists");
+            sess.resume(now);
+            let dt = sess.cluster_play_time(played);
+            sched.schedule(now + dt, Event::PlayoutTick(sid));
+        }
+
+        if fetch_complete {
+            // The home server finished assembling the title; if the DMA
+            // admitted it at request time, it is now advertised.
+            if self.cache_on_complete.remove(&sid).unwrap_or(false) {
+                let (home, video) = {
+                    let sess = self.sessions.get(&sid).expect("session exists");
+                    (sess.home(), sess.video())
+                };
+                if self
+                    .caches
+                    .get(&home)
+                    .map(|c| c.contains(video))
+                    .unwrap_or(false)
+                {
+                    let _ = self
+                        .db
+                        .limited_access(&self.admin)
+                        .expect("service admin is registered")
+                        .add_title(home, video);
+                }
+            }
+        } else {
+            self.start_cluster_fetch(sid);
+        }
+    }
+
+    fn on_arrival(&mut self, now: SimTime, idx: usize) {
+        self.arrivals_remaining = self.arrivals_remaining.saturating_sub(1);
+        let request = self.trace.requests()[idx];
+        // A client whose home server is down cannot reach the service.
+        if self.down.contains(&request.client) {
+            self.failed_requests += 1;
+            return;
+        }
+        let meta: VideoMeta = match self.db.library().get(request.video) {
+            Some(m) => m.clone(),
+            None => {
+                self.failed_requests += 1;
+                return;
+            }
+        };
+
+        // The Disk Manipulation Algorithm runs at the home server on
+        // every request.
+        let mut cache_later = false;
+        if let Some(cache) = self.caches.get_mut(&request.client) {
+            let was_resident = cache.contains(meta.id());
+            match cache.on_request(&meta) {
+                DmaDecision::Hit => {}
+                DmaDecision::Admitted { .. } => {
+                    cache_later = true;
+                }
+                DmaDecision::AdmittedAfterEviction { evicted, .. } => {
+                    cache_later = true;
+                    let mut admin = self
+                        .db
+                        .limited_access(&self.admin)
+                        .expect("service admin is registered");
+                    for victim in evicted {
+                        let _ = admin.remove_title(request.client, victim);
+                    }
+                }
+                DmaDecision::NotAdmitted { reason } => {
+                    if let vod_storage::dma::RejectReason::DoesNotFit { evicted } = reason {
+                        let mut admin = self
+                            .db
+                            .limited_access(&self.admin)
+                            .expect("service admin is registered");
+                        for victim in evicted {
+                            let _ = admin.remove_title(request.client, victim);
+                        }
+                    }
+                }
+                // DmaDecision is #[non_exhaustive]; future variants are
+                // treated as "no catalog change".
+                _ => {}
+            }
+            let _ = was_resident;
+        }
+
+        let Some(selection) = self.select_source(request.client, meta.id()) else {
+            self.failed_requests += 1;
+            return;
+        };
+
+        // "Minimum QoS" admission: reject rather than degrade everyone.
+        if let Some(policy) = self.config.admission {
+            let snapshot = self.db_snapshot();
+            if !policy
+                .check(
+                    &self.topology,
+                    &snapshot,
+                    &selection.route,
+                    meta.bitrate_mbps(),
+                )
+                .is_admit()
+            {
+                self.rejected_requests += 1;
+                return;
+            }
+        }
+
+        let sid = SessionId(self.next_session);
+        self.next_session += 1;
+        let session = Session::new(sid, &meta, request.client, self.config.cluster, now);
+        self.sessions.insert(sid, session);
+        self.cache_on_complete.insert(sid, cache_later);
+        self.session_routes.insert(sid, selection.route);
+        // Fetch cluster 0 along the stored route (also under dynamic
+        // re-routing: the arrival-time selection is the freshest there is).
+        let (route, volume) = {
+            let sess = self.sessions.get_mut(&sid).expect("just inserted");
+            let route = self.session_routes[&sid].clone();
+            sess.assign_server(route.target(), route.hops() == 0);
+            (route.clone(), sess.cluster_volume_mbit(0))
+        };
+        let flow = self.launch_flow(request.client, meta.id(), &route, volume);
+        self.flow_sessions.insert(flow, sid);
+    }
+
+    fn on_playout_tick(&mut self, now: SimTime, sid: SessionId, sched: &mut Scheduler<Event>) {
+        let Some(sess) = self.sessions.get_mut(&sid) else {
+            return;
+        };
+        sess.on_cluster_played();
+        if sess.playback_complete() {
+            let record = sess.finish(now);
+            self.records.push(record);
+            self.sessions.remove(&sid);
+            self.session_routes.remove(&sid);
+            self.cache_on_complete.remove(&sid);
+        } else if sess.buffered() > 0 {
+            let dt = sess.cluster_play_time(sess.clusters_played());
+            sched.schedule(now + dt, Event::PlayoutTick(sid));
+        } else {
+            sess.stall(now);
+        }
+    }
+
+    /// A server dies: its catalog entries are withdrawn, its cache is
+    /// lost, sessions homed there are dropped, and transfers sourced from
+    /// it are re-routed to surviving replicas.
+    fn on_server_down(&mut self, node: NodeId) {
+        if !self.down.insert(node) {
+            return; // already down
+        }
+        // Withdraw the catalog and retire the cache.
+        if let Some(cache) = self.caches.remove(&node) {
+            let s = cache.stats();
+            self.retired_dma.requests += s.requests;
+            self.retired_dma.hits += s.hits;
+            self.retired_dma.admissions += s.admissions;
+            self.retired_dma.evictions += s.evictions;
+            self.retired_dma.rejections += s.rejections;
+            let mut admin = self
+                .db
+                .limited_access(&self.admin)
+                .expect("service admin is registered");
+            for video in cache.resident_ids() {
+                let _ = admin.remove_title(node, video);
+            }
+        }
+        // Also withdraw titles listed in the DB but not in the cache
+        // (initial seeding differences).
+        let listed = self
+            .db
+            .full_access()
+            .titles_at(node)
+            .unwrap_or_default();
+        if !listed.is_empty() {
+            let mut admin = self
+                .db
+                .limited_access(&self.admin)
+                .expect("service admin is registered");
+            for video in listed {
+                let _ = admin.remove_title(node, video);
+            }
+        }
+
+        // Sessions homed at the dead server lose their client connection.
+        let homed: Vec<SessionId> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.home() == node)
+            .map(|(&sid, _)| sid)
+            .collect();
+        for sid in homed {
+            self.drop_session(sid);
+            self.aborted_sessions += 1;
+        }
+
+        // Transfers sourced from the dead server re-route mid-cluster.
+        let rerouted: Vec<(FlowId, SessionId)> = self
+            .flow_sessions
+            .iter()
+            .filter(|(_, sid)| {
+                self.session_routes
+                    .get(sid)
+                    .map(|r| r.target() == node)
+                    .unwrap_or(false)
+            })
+            .map(|(&f, &sid)| (f, sid))
+            .collect();
+        for (flow, sid) in rerouted {
+            let _ = self.flows.remove_flow(flow);
+            self.flow_sessions.remove(&flow);
+            self.session_routes.remove(&sid);
+            // Re-select a source for the same cluster; aborts the session
+            // if no replica survives.
+            self.start_cluster_fetch(sid);
+        }
+    }
+
+    /// A failed server rejoins with empty disks; the DMA repopulates it
+    /// from future demand.
+    fn on_server_up(&mut self, node: NodeId) {
+        if !self.down.remove(&node) {
+            return;
+        }
+        let cache = DmaCache::new(DmaConfig {
+            disk_count: self.config.disk_count,
+            disk_capacity: self.config.disk_capacity,
+            cluster_size: self.config.cluster,
+            admit_threshold: self.config.dma_admit_threshold,
+            eviction: self.config.dma_eviction,
+        })
+        .expect("disk_count > 0");
+        self.caches.insert(node, cache);
+    }
+
+    /// Removes a session and everything attached to it.
+    fn drop_session(&mut self, sid: SessionId) {
+        self.sessions.remove(&sid);
+        self.session_routes.remove(&sid);
+        self.cache_on_complete.remove(&sid);
+        let flows: Vec<FlowId> = self
+            .flow_sessions
+            .iter()
+            .filter(|(_, s)| **s == sid)
+            .map(|(&f, _)| f)
+            .collect();
+        for f in flows {
+            let _ = self.flows.remove_flow(f);
+            self.flow_sessions.remove(&f);
+        }
+    }
+
+    fn on_snmp_poll(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.snmp
+            .poll(&self.topology, &mut self.db, now)
+            .expect("topology links are registered");
+        // Sample true instantaneous utilization for the report.
+        let snap = self.flows.snapshot();
+        if let Some((_, max)) = snap.max_utilization(&self.topology) {
+            self.max_util_series.push(now, max.get());
+        }
+        self.mean_util_series
+            .push(now, snap.mean_utilization(&self.topology).get());
+        self.reschedule_recurring(now, self.config.snmp_interval, || Event::SnmpPoll, sched);
+    }
+
+    fn on_background_update(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.background.apply(&mut self.flows, now);
+        self.reschedule_recurring(
+            now,
+            self.config.background_interval,
+            || Event::BackgroundUpdate,
+            sched,
+        );
+    }
+
+    fn into_report(self) -> ServiceReport {
+        let mut dma = self.retired_dma;
+        for cache in self.caches.values() {
+            let s = cache.stats();
+            dma.requests += s.requests;
+            dma.hits += s.hits;
+            dma.admissions += s.admissions;
+            dma.evictions += s.evictions;
+            dma.rejections += s.rejections;
+        }
+        ServiceReport {
+            selector: self.selector.name().to_string(),
+            seed: self.seed,
+            completed: self.records,
+            failed_requests: self.failed_requests + self.aborted_sessions,
+            rejected_requests: self.rejected_requests,
+            unfinished_sessions: self.sessions.len(),
+            max_link_utilization: Summary::from_values(
+                self.max_util_series.samples().iter().map(|&(_, v)| v),
+            ),
+            mean_link_utilization: Summary::from_values(
+                self.mean_util_series.samples().iter().map(|&(_, v)| v),
+            ),
+            dma,
+        }
+    }
+}
+
+impl Model for ServiceModel {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        self.advance_to(now, sched);
+        match event {
+            Event::Arrival(idx) => self.on_arrival(now, idx),
+            Event::FlowCheck(version) => {
+                // Completions were already processed by advance_to; a
+                // stale version means a newer check is pending.
+                let _ = version;
+            }
+            Event::PlayoutTick(sid) => self.on_playout_tick(now, sid, sched),
+            Event::SnmpPoll => self.on_snmp_poll(now, sched),
+            Event::BackgroundUpdate => self.on_background_update(now, sched),
+            Event::ServerDown(node) => self.on_server_down(node),
+            Event::ServerUp(node) => self.on_server_up(node),
+        }
+        self.schedule_flow_check(now, sched);
+    }
+}
+
+/// A configured, runnable VoD service experiment.
+///
+/// # Examples
+///
+/// ```no_run
+/// use vod_core::service::{ServiceConfig, VodService};
+/// use vod_core::vra::Vra;
+/// use vod_workload::scenario::Scenario;
+///
+/// let scenario = Scenario::grnet_case_study(42);
+/// let service = VodService::new(&scenario, Box::new(Vra::default()), ServiceConfig::default());
+/// let report = service.run();
+/// println!("{} sessions completed", report.completed.len());
+/// ```
+pub struct VodService {
+    sim: Simulation<ServiceModel>,
+}
+
+impl VodService {
+    /// Builds a service over a scenario with the given selector policy.
+    ///
+    /// Titles are seeded round-robin ([`ServiceConfig::initial_replicas`]
+    /// copies each) across the video servers — the paper's service
+    /// initialization, where each participant contributes its available
+    /// titles — and both the DMA caches and the database start from that
+    /// placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's topology has no video servers, or if the
+    /// configured per-server disk space cannot hold the seeded titles.
+    pub fn new(
+        scenario: &Scenario,
+        selector: Box<dyn ServerSelector>,
+        config: ServiceConfig,
+    ) -> Self {
+        let topology = scenario.topology().clone();
+        let servers = topology.video_server_nodes();
+        assert!(!servers.is_empty(), "topology has no video servers");
+
+        let mut db = Database::from_topology(&topology, scenario.library().clone());
+        let admin = AdminCredential::new("root");
+
+        // Per-server DMA caches.
+        let mut caches: BTreeMap<NodeId, DmaCache> = servers
+            .iter()
+            .map(|&n| {
+                let cache = DmaCache::new(DmaConfig {
+                    disk_count: config.disk_count,
+                    disk_capacity: config.disk_capacity,
+                    cluster_size: config.cluster,
+                    admit_threshold: config.dma_admit_threshold,
+                    eviction: config.dma_eviction,
+                })
+                .expect("disk_count > 0");
+                (n, cache)
+            })
+            .collect();
+
+        // Service initialization: seed titles round-robin.
+        {
+            let mut la = db.limited_access(&admin).expect("root is registered");
+            let videos: Vec<VideoMeta> = scenario.library().iter().cloned().collect();
+            let replicas = config.initial_replicas.clamp(1, servers.len());
+            for (i, video) in videos.iter().enumerate() {
+                for k in 0..replicas {
+                    let server = servers[(i + k) % servers.len()];
+                    caches
+                        .get_mut(&server)
+                        .expect("cache exists for every server")
+                        .preload(video)
+                        .expect("seeded titles must fit the configured disks");
+                    la.add_title(server, video.id()).expect("library title");
+                }
+            }
+        }
+
+        let start = scenario
+            .trace()
+            .requests()
+            .first()
+            .map(|r| r.at)
+            .unwrap_or(SimTime::ZERO);
+        let end = scenario
+            .trace()
+            .requests()
+            .last()
+            .map(|r| r.at)
+            .unwrap_or(SimTime::ZERO);
+
+        let mut flows = FlowNetwork::new(topology.clone());
+        flows.set_local_rate(config.local_rate);
+        scenario.background().apply(&mut flows, start);
+
+        let mut snmp = SnmpSystem::new(&topology, config.snmp_interval);
+        snmp.reset_epoch(start);
+
+        // Bootstrap reading: the service has been polling before our
+        // window opens, so seed the database with the instantaneous state.
+        {
+            let mut la = db.limited_access(&admin).expect("root is registered");
+            for link in topology.link_ids() {
+                let load = flows.link_total_load(link);
+                let capacity = topology.link(link).capacity();
+                let util = if capacity.is_zero() {
+                    vod_net::units::Fraction::ZERO
+                } else {
+                    vod_net::units::Fraction::new(load / capacity)
+                };
+                la.record_reading(link, start, load, util)
+                    .expect("links are registered");
+            }
+        }
+
+        let model = ServiceModel {
+            recurring_deadline: end + config.drain_grace,
+            arrivals_remaining: scenario.trace().len(),
+            topology,
+            flows,
+            snmp,
+            db,
+            admin,
+            caches,
+            selector,
+            background: scenario.background().clone(),
+            trace: scenario.trace().clone(),
+            sessions: BTreeMap::new(),
+            session_routes: BTreeMap::new(),
+            flow_sessions: BTreeMap::new(),
+            cache_on_complete: BTreeMap::new(),
+            down: std::collections::BTreeSet::new(),
+            retired_dma: DmaStats::default(),
+            records: Vec::new(),
+            failed_requests: 0,
+            rejected_requests: 0,
+            aborted_sessions: 0,
+            next_session: 0,
+            last_sync: start,
+            flow_version: 0,
+            max_util_series: TimeSeries::new(),
+            mean_util_series: TimeSeries::new(),
+            seed: scenario.seed(),
+            config,
+        };
+
+        let mut sim = Simulation::new(model);
+        // Seed all events.
+        for (i, r) in scenario.trace().iter().enumerate() {
+            sim.scheduler_mut().schedule(r.at, Event::Arrival(i));
+        }
+        let (snmp_next, bg_next) = {
+            let m = sim.model();
+            (
+                start + m.config.snmp_interval,
+                start + m.config.background_interval,
+            )
+        };
+        sim.scheduler_mut().schedule(snmp_next, Event::SnmpPoll);
+        sim.scheduler_mut().schedule(bg_next, Event::BackgroundUpdate);
+        // Scheduled outages.
+        let failures = sim.model().config.failures.clone();
+        for (down_at, up_at, node) in failures {
+            assert!(down_at < up_at, "a failure must end after it starts");
+            assert!(
+                sim.model().caches.contains_key(&node),
+                "only video servers can fail"
+            );
+            sim.scheduler_mut().schedule(down_at, Event::ServerDown(node));
+            sim.scheduler_mut().schedule(up_at, Event::ServerUp(node));
+        }
+        VodService { sim }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> ServiceReport {
+        self.sim.run();
+        self.sim.into_model().into_report()
+    }
+
+    /// Runs until `deadline` only (for incremental inspection in tests).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sim.run_until(deadline);
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.processed()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Finishes immediately with whatever has completed (for tests).
+    pub fn into_report(self) -> ServiceReport {
+        self.sim.into_model().into_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::{FirstCandidate, HopCountNearest, RandomReplica};
+    use crate::vra::Vra;
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        use vod_sim::traffic::BackgroundModel;
+        use vod_workload::arrivals::HourlyShape;
+        use vod_workload::library::{LibraryConfig, LibraryGenerator};
+        use vod_workload::trace::TraceConfig;
+        let grnet = vod_net::topologies::grnet::Grnet::new();
+        let library = LibraryGenerator::new(LibraryConfig {
+            titles: 12,
+            min_size_mb: 50.0,
+            max_size_mb: 120.0,
+            bitrate_mbps: 1.5,
+        })
+        .generate(seed);
+        let trace = TraceConfig {
+            start: SimTime::from_secs(8 * 3600),
+            duration: SimDuration::from_secs(1800),
+            rate_per_sec: 0.01,
+            shape: HourlyShape::flat(),
+            zipf_skew: 0.9,
+            client_weights: None,
+        }
+        .generate(grnet.topology(), &library, seed);
+        Scenario::new(
+            "quick",
+            grnet.topology().clone(),
+            library,
+            trace,
+            BackgroundModel::grnet_table2(&grnet),
+            seed,
+        )
+    }
+
+    fn quick_config() -> ServiceConfig {
+        ServiceConfig {
+            cluster: ClusterSize::new(Megabytes::new(25.0)),
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn vra_run_completes_all_sessions() {
+        let scenario = quick_scenario(1);
+        let n = scenario.trace().len();
+        assert!(n > 0);
+        let report =
+            VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
+        assert_eq!(report.selector, "vra");
+        assert_eq!(report.completed.len() + report.unfinished_sessions, n);
+        assert_eq!(report.failed_requests, 0);
+        assert!(report.completed.len() >= n * 9 / 10, "most sessions finish");
+        for r in &report.completed {
+            assert!(r.startup_delay.as_secs_f64() >= 0.0);
+            assert!(r.clusters > 0);
+        }
+        // The DMA saw every request.
+        assert_eq!(report.dma.requests, n as u64);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = VodService::new(
+            &quick_scenario(7),
+            Box::new(Vra::default()),
+            quick_config(),
+        )
+        .run();
+        let b = VodService::new(
+            &quick_scenario(7),
+            Box::new(Vra::default()),
+            quick_config(),
+        )
+        .run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn baselines_also_run_to_completion() {
+        let scenario = quick_scenario(3);
+        let selectors: Vec<Box<dyn ServerSelector>> = vec![
+            Box::new(HopCountNearest),
+            Box::new(FirstCandidate),
+            Box::new(RandomReplica::new(3)),
+        ];
+        for selector in selectors {
+            let name = selector.name().to_string();
+            let report = VodService::new(&scenario, selector, quick_config()).run();
+            assert!(
+                !report.completed.is_empty(),
+                "{name} completed no sessions"
+            );
+        }
+    }
+
+    #[test]
+    fn static_mode_never_switches() {
+        let scenario = quick_scenario(5);
+        let config = ServiceConfig {
+            dynamic_rerouting: false,
+            ..quick_config()
+        };
+        let report = VodService::new(&scenario, Box::new(Vra::default()), config).run();
+        for r in &report.completed {
+            assert_eq!(r.switches, 0);
+        }
+    }
+
+    #[test]
+    fn local_requests_have_zero_network_cost() {
+        // Seed every title everywhere: every request is a local hit.
+        let scenario = quick_scenario(9);
+        let config = ServiceConfig {
+            initial_replicas: 6,
+            disk_capacity: Megabytes::new(100_000.0),
+            ..quick_config()
+        };
+        let report = VodService::new(&scenario, Box::new(Vra::default()), config).run();
+        assert!(!report.completed.is_empty());
+        for r in &report.completed {
+            assert_eq!(r.local_clusters, r.clusters, "all clusters local");
+            assert_eq!(r.switches, 0);
+        }
+        // Startup = first 25 MB cluster at 100 Mbps = 2 s.
+        let startup = report.startup_summary();
+        assert!((startup.mean - 2.0).abs() < 0.2, "mean = {}", startup.mean);
+    }
+
+    #[test]
+    fn popular_titles_get_replicated_by_the_dma() {
+        let scenario = quick_scenario(11);
+        let report =
+            VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
+        // With Zipf skew and per-request DMA admission, remote fetches
+        // admit titles into home caches.
+        assert!(report.dma.admissions > 0, "DMA never admitted anything");
+        assert!(report.dma.hits > 0, "DMA never hit");
+    }
+
+    #[test]
+    fn admission_control_protects_the_floor() {
+        use crate::admission::AdmissionPolicy;
+        // A congested flash crowd: without admission everything is
+        // admitted and stalls; with it, some requests are turned away and
+        // the admitted remote sessions stall less.
+        let scenario = Scenario::flash_crowd(21);
+        let open = VodService::new(
+            &scenario,
+            Box::new(Vra::default()),
+            ServiceConfig::default(),
+        )
+        .run();
+        let gated = VodService::new(
+            &scenario,
+            Box::new(Vra::default()),
+            ServiceConfig {
+                admission: Some(AdmissionPolicy::new(1.0)),
+                ..ServiceConfig::default()
+            },
+        )
+        .run();
+        assert_eq!(open.rejected_requests, 0);
+        assert!(gated.rejected_requests > 0, "congestion must trigger rejections");
+        assert!(
+            gated.mean_stall_ratio() <= open.mean_stall_ratio(),
+            "admission control should not worsen stalls: {} vs {}",
+            gated.mean_stall_ratio(),
+            open.mean_stall_ratio()
+        );
+        // Conservation including rejections.
+        assert_eq!(
+            gated.completed.len()
+                + gated.unfinished_sessions
+                + gated.failed_requests as usize
+                + gated.rejected_requests as usize,
+            scenario.trace().len()
+        );
+    }
+
+    #[test]
+    fn smoothed_snapshots_run_and_differ_from_raw() {
+        let scenario = quick_scenario(23);
+        let raw = VodService::new(
+            &scenario,
+            Box::new(Vra::default()),
+            quick_config(),
+        )
+        .run();
+        let smoothed = VodService::new(
+            &scenario,
+            Box::new(Vra::default()),
+            ServiceConfig {
+                snmp_smoothing: Some(0.3),
+                ..quick_config()
+            },
+        )
+        .run();
+        // Both complete the workload; smoothing is a view change, not a
+        // correctness change.
+        assert_eq!(
+            raw.completed.len() + raw.unfinished_sessions,
+            smoothed.completed.len() + smoothed.unfinished_sessions
+        );
+    }
+
+    #[test]
+    fn server_failure_reroutes_and_service_recovers() {
+        let scenario = quick_scenario(17);
+        let n = scenario.trace().len();
+        let start = scenario.trace().requests().first().unwrap().at;
+        let victim = scenario.topology().video_server_nodes()[0];
+        // With 2 replicas per title, every title survives one failure.
+        let config = ServiceConfig {
+            initial_replicas: 2,
+            failures: vec![(
+                start + SimDuration::from_secs(300),
+                start + SimDuration::from_secs(2_400),
+                victim,
+            )],
+            ..quick_config()
+        };
+        let report = VodService::new(&scenario, Box::new(Vra::default()), config).run();
+        // Conservation still holds.
+        assert_eq!(
+            report.completed.len()
+                + report.unfinished_sessions
+                + report.failed_requests as usize
+                + report.rejected_requests as usize,
+            n
+        );
+        // The service kept serving: most sessions completed despite the
+        // outage (only clients homed at the victim are lost).
+        assert!(
+            report.completed.len() * 2 > n,
+            "{} of {n} completed",
+            report.completed.len()
+        );
+        // No completed session was served its last cluster by a ghost:
+        // every record is internally consistent.
+        for r in &report.completed {
+            assert!(r.local_clusters <= r.clusters);
+        }
+    }
+
+    #[test]
+    fn failure_of_sole_replica_aborts_cleanly() {
+        let scenario = quick_scenario(19);
+        let start = scenario.trace().requests().first().unwrap().at;
+        let victim = scenario.topology().video_server_nodes()[0];
+        // Single-copy seeding: titles on the victim vanish with it.
+        let config = ServiceConfig {
+            initial_replicas: 1,
+            failures: vec![(
+                start + SimDuration::from_secs(60),
+                start + SimDuration::from_secs(30_000),
+                victim,
+            )],
+            ..quick_config()
+        };
+        let n = scenario.trace().len();
+        let report = VodService::new(&scenario, Box::new(Vra::default()), config).run();
+        // Requests for vanished titles fail rather than hang.
+        assert!(report.failed_requests > 0);
+        assert_eq!(
+            report.completed.len()
+                + report.unfinished_sessions
+                + report.failed_requests as usize
+                + report.rejected_requests as usize,
+            n
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "only video servers can fail")]
+    fn failing_a_non_server_is_rejected() {
+        let scenario = quick_scenario(1);
+        let config = ServiceConfig {
+            failures: vec![(SimTime::ZERO, SimTime::from_secs(1), NodeId::new(99))],
+            ..quick_config()
+        };
+        let _ = VodService::new(&scenario, Box::new(Vra::default()), config);
+    }
+
+    #[test]
+    fn snmp_metrics_are_sampled() {
+        let scenario = quick_scenario(13);
+        let report =
+            VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
+        assert!(report.max_link_utilization.count > 0);
+        assert!(report.max_link_utilization.max <= 1.0 + 1e-9);
+    }
+}

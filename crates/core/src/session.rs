@@ -1,0 +1,421 @@
+//! Playback sessions: cluster-by-cluster download with playout tracking.
+//!
+//! The paper's dynamic feature: *"If the optimal server changes due to the
+//! change of certain network features during the downloading of a certain
+//! cluster, then the next cluster will be requested by the new optimal
+//! server."* A [`Session`] tracks which cluster is being fetched from
+//! which server, how far playout has advanced, and every QoS-relevant
+//! incident (startup wait, stalls, server switches).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use vod_net::NodeId;
+use vod_sim::{SimDuration, SimTime};
+use vod_storage::cluster::ClusterSize;
+use vod_storage::video::{VideoId, VideoMeta};
+
+use crate::qos::QosRecord;
+
+/// Identifier of a playback session.
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Lifecycle of one client watching one video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    id: SessionId,
+    video: VideoId,
+    home: NodeId,
+    cluster: ClusterSize,
+    video_size_mb: f64,
+    bitrate_mbps: f64,
+    requested_at: SimTime,
+    clusters_total: usize,
+    clusters_fetched: usize,
+    clusters_played: usize,
+    current_server: Option<NodeId>,
+    switches: u32,
+    local_clusters: usize,
+    first_cluster_at: Option<SimTime>,
+    stall_started_at: Option<SimTime>,
+    stall_total: SimDuration,
+    stall_count: u32,
+    playing: bool,
+}
+
+impl Session {
+    /// Opens a session for `video` requested at `requested_at` by a client
+    /// homed at `home`.
+    pub fn new(
+        id: SessionId,
+        video: &VideoMeta,
+        home: NodeId,
+        cluster: ClusterSize,
+        requested_at: SimTime,
+    ) -> Self {
+        Session {
+            id,
+            video: video.id(),
+            home,
+            cluster,
+            video_size_mb: video.size().as_f64(),
+            bitrate_mbps: video.bitrate_mbps(),
+            requested_at,
+            clusters_total: cluster.parts(video.size()),
+            clusters_fetched: 0,
+            clusters_played: 0,
+            current_server: None,
+            switches: 0,
+            local_clusters: 0,
+            first_cluster_at: None,
+            stall_started_at: None,
+            stall_total: SimDuration::ZERO,
+            stall_count: 0,
+            playing: false,
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The requested video.
+    pub fn video(&self) -> VideoId {
+        self.video
+    }
+
+    /// The client's home server.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// When the request arrived.
+    pub fn requested_at(&self) -> SimTime {
+        self.requested_at
+    }
+
+    /// Total number of clusters in the video.
+    pub fn clusters_total(&self) -> usize {
+        self.clusters_total
+    }
+
+    /// Index of the next cluster to fetch, or `None` when fully fetched.
+    pub fn next_cluster(&self) -> Option<usize> {
+        (self.clusters_fetched < self.clusters_total).then_some(self.clusters_fetched)
+    }
+
+    /// Clusters fetched so far.
+    pub fn clusters_fetched(&self) -> usize {
+        self.clusters_fetched
+    }
+
+    /// Clusters fully played so far.
+    pub fn clusters_played(&self) -> usize {
+        self.clusters_played
+    }
+
+    /// Fetched-but-unplayed clusters.
+    pub fn buffered(&self) -> usize {
+        self.clusters_fetched - self.clusters_played
+    }
+
+    /// The server the current/most recent cluster was fetched from.
+    pub fn current_server(&self) -> Option<NodeId> {
+        self.current_server
+    }
+
+    /// Mid-stream server switches so far.
+    pub fn switches(&self) -> u32 {
+        self.switches
+    }
+
+    /// Returns true once playout has started.
+    pub fn is_playing(&self) -> bool {
+        self.playing
+    }
+
+    /// Returns true while playout is stalled waiting for data.
+    pub fn is_stalled(&self) -> bool {
+        self.stall_started_at.is_some()
+    }
+
+    /// Returns true when every cluster has been fetched.
+    pub fn fetch_complete(&self) -> bool {
+        self.clusters_fetched == self.clusters_total
+    }
+
+    /// Returns true when every cluster has been played.
+    pub fn playback_complete(&self) -> bool {
+        self.clusters_played == self.clusters_total
+    }
+
+    /// Size of cluster `index` in megabits (the network transfer volume).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn cluster_volume_mbit(&self, index: usize) -> f64 {
+        self.cluster
+            .part_size(
+                vod_storage::video::Megabytes::new(self.video_size_mb),
+                index,
+            )
+            .as_megabits()
+    }
+
+    /// Playout duration of cluster `index` at the nominal bitrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn cluster_play_time(&self, index: usize) -> SimDuration {
+        SimDuration::from_secs_f64(self.cluster_volume_mbit(index) / self.bitrate_mbps)
+    }
+
+    /// Records which server the next cluster will be fetched from,
+    /// returning `true` when this is a mid-stream switch.
+    pub fn assign_server(&mut self, server: NodeId, local: bool) -> bool {
+        let switched = match self.current_server {
+            Some(prev) => prev != server,
+            None => false,
+        };
+        if switched {
+            self.switches += 1;
+        }
+        if local {
+            self.local_clusters += 1;
+        }
+        self.current_server = Some(server);
+        switched
+    }
+
+    /// Records the completion of the in-flight cluster fetch at `now`.
+    /// Returns `true` if this was the first cluster (playout may start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is already fully fetched.
+    pub fn on_cluster_fetched(&mut self, now: SimTime) -> bool {
+        assert!(
+            self.clusters_fetched < self.clusters_total,
+            "fetched more clusters than the video has"
+        );
+        self.clusters_fetched += 1;
+        if self.first_cluster_at.is_none() {
+            self.first_cluster_at = Some(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks playout as started.
+    pub fn start_playing(&mut self) {
+        self.playing = true;
+    }
+
+    /// Records the completion of one played cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it would overtake fetching.
+    pub fn on_cluster_played(&mut self) {
+        assert!(
+            self.clusters_played < self.clusters_fetched,
+            "cannot play an unfetched cluster"
+        );
+        self.clusters_played += 1;
+    }
+
+    /// Enters a stall (buffer ran dry) at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already stalled.
+    pub fn stall(&mut self, now: SimTime) {
+        assert!(self.stall_started_at.is_none(), "already stalled");
+        self.stall_started_at = Some(now);
+        self.stall_count += 1;
+    }
+
+    /// Leaves a stall at `now`, accumulating the stalled duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not stalled.
+    pub fn resume(&mut self, now: SimTime) {
+        let started = self.stall_started_at.take().expect("resume without stall");
+        self.stall_total += now.duration_since(started);
+    }
+
+    /// Startup delay: request → first cluster available.
+    pub fn startup_delay(&self) -> Option<SimDuration> {
+        self.first_cluster_at
+            .map(|t| t.duration_since(self.requested_at))
+    }
+
+    /// Closes the session at `now` (playback finished) and produces its
+    /// QoS record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if playback is not complete.
+    pub fn finish(&self, now: SimTime) -> QosRecord {
+        assert!(self.playback_complete(), "finish before playback completed");
+        QosRecord {
+            session: self.id,
+            video: self.video,
+            home: self.home,
+            requested_at: self.requested_at,
+            completed_at: now,
+            startup_delay: self.startup_delay().unwrap_or(SimDuration::ZERO),
+            stall_count: self.stall_count,
+            stall_time: self.stall_total,
+            switches: self.switches,
+            clusters: self.clusters_total,
+            local_clusters: self.local_clusters,
+            nominal_duration: SimDuration::from_secs_f64(
+                self.video_size_mb * 8.0 / self.bitrate_mbps,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_storage::video::Megabytes;
+
+    fn video() -> VideoMeta {
+        VideoMeta::new(VideoId::new(7), "m", Megabytes::new(250.0), 2.0)
+    }
+
+    fn session() -> Session {
+        Session::new(
+            SessionId(1),
+            &video(),
+            NodeId::new(0),
+            ClusterSize::new(Megabytes::new(100.0)),
+            SimTime::from_secs(10),
+        )
+    }
+
+    #[test]
+    fn cluster_math() {
+        let s = session();
+        assert_eq!(s.clusters_total(), 3); // 100 + 100 + 50
+        assert_eq!(s.next_cluster(), Some(0));
+        assert!((s.cluster_volume_mbit(0) - 800.0).abs() < 1e-9);
+        assert!((s.cluster_volume_mbit(2) - 400.0).abs() < 1e-9);
+        assert_eq!(s.cluster_play_time(0), SimDuration::from_secs(400));
+        assert_eq!(s.cluster_play_time(2), SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn fetch_and_play_progression() {
+        let mut s = session();
+        assert!(s.assign_server(NodeId::new(2), false) == false);
+        let first = s.on_cluster_fetched(SimTime::from_secs(20));
+        assert!(first);
+        assert_eq!(s.startup_delay(), Some(SimDuration::from_secs(10)));
+        s.start_playing();
+        assert!(s.is_playing());
+        assert_eq!(s.buffered(), 1);
+        s.on_cluster_played();
+        assert_eq!(s.buffered(), 0);
+        assert!(!s.playback_complete());
+    }
+
+    #[test]
+    fn switches_count_only_changes() {
+        let mut s = session();
+        assert!(!s.assign_server(NodeId::new(2), false)); // first assignment
+        assert!(!s.assign_server(NodeId::new(2), false)); // same server
+        assert!(s.assign_server(NodeId::new(3), false)); // switch
+        assert!(s.assign_server(NodeId::new(2), false)); // switch back
+        assert_eq!(s.switches(), 2);
+    }
+
+    #[test]
+    fn local_clusters_tracked() {
+        let mut s = session();
+        s.assign_server(NodeId::new(0), true);
+        s.assign_server(NodeId::new(0), true);
+        s.assign_server(NodeId::new(1), false);
+        assert_eq!(s.switches(), 1);
+        // finish() carries local_clusters; check via record below.
+    }
+
+    #[test]
+    fn stall_accounting() {
+        let mut s = session();
+        s.stall(SimTime::from_secs(100));
+        assert!(s.is_stalled());
+        s.resume(SimTime::from_secs(130));
+        assert!(!s.is_stalled());
+        s.stall(SimTime::from_secs(200));
+        s.resume(SimTime::from_secs(210));
+        assert_eq!(s.stall_total, SimDuration::from_secs(40));
+        assert_eq!(s.stall_count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already stalled")]
+    fn double_stall_panics() {
+        let mut s = session();
+        s.stall(SimTime::from_secs(1));
+        s.stall(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn finish_produces_complete_record() {
+        let mut s = session();
+        s.assign_server(NodeId::new(0), true);
+        for i in 0..3 {
+            s.on_cluster_fetched(SimTime::from_secs(20 + i));
+        }
+        assert!(s.fetch_complete());
+        s.start_playing();
+        for _ in 0..3 {
+            s.on_cluster_played();
+        }
+        assert!(s.playback_complete());
+        let rec = s.finish(SimTime::from_secs(1_000));
+        assert_eq!(rec.session, SessionId(1));
+        assert_eq!(rec.video, VideoId::new(7));
+        assert_eq!(rec.clusters, 3);
+        assert_eq!(rec.local_clusters, 1);
+        assert_eq!(rec.startup_delay, SimDuration::from_secs(10));
+        assert_eq!(rec.completed_at, SimTime::from_secs(1_000));
+        // 250 MB × 8 / 2 Mbps = 1000 s nominal.
+        assert_eq!(rec.nominal_duration, SimDuration::from_secs(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "unfetched")]
+    fn playing_ahead_of_fetch_panics() {
+        let mut s = session();
+        s.on_cluster_played();
+    }
+
+    #[test]
+    #[should_panic(expected = "more clusters")]
+    fn over_fetching_panics() {
+        let mut s = session();
+        for _ in 0..4 {
+            s.on_cluster_fetched(SimTime::ZERO);
+        }
+    }
+}

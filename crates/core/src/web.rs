@@ -1,0 +1,235 @@
+//! The web module: the service's user- and administrator-facing front.
+//!
+//! The paper's interface "consists of two basic modules. The first is a
+//! full access module, with which the user is able to find and watch the
+//! available video titles (user interface) and the second is a limited
+//! access module to which only the administrators of the service can have
+//! access." There is no HTTP here — the simulation has no browsers — but
+//! the *contract* is faithfully reproduced: [`UserPortal`] exposes exactly
+//! the catalog operations a user gets (browse, search, place a request by
+//! IP), while administrator operations stay behind
+//! [`Database::limited_access`](vod_db::Database::limited_access).
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use vod_db::Database;
+use vod_net::NodeId;
+use vod_sim::SimTime;
+use vod_storage::video::VideoId;
+
+use crate::error::CoreError;
+use crate::ip::HomeResolver;
+
+/// A user's validated video request, ready for the Virtual Routing
+/// Algorithm: the title plus the home server resolved from the client IP
+/// (the first two steps of Figure 5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VideoRequest {
+    /// The requesting client's address.
+    pub client_ip: Ipv4Addr,
+    /// The home server resolved for that address.
+    pub home: NodeId,
+    /// The requested title.
+    pub video: VideoId,
+    /// When the request was placed.
+    pub at: SimTime,
+}
+
+/// A catalog entry as shown to users: title metadata plus availability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// The title id.
+    pub video: VideoId,
+    /// The human-readable title.
+    pub title: String,
+    /// Size in megabytes.
+    pub size_mb: f64,
+    /// Number of servers currently offering the title.
+    pub replicas: usize,
+}
+
+/// The full-access user portal.
+///
+/// Note what is *not* here: the user "cannot choose the server used to
+/// deliver to him each video title, as this will be determined by the
+/// proposed routing algorithm" — so the portal never exposes servers,
+/// only titles.
+#[derive(Debug, Clone)]
+pub struct UserPortal {
+    resolver: HomeResolver,
+}
+
+impl UserPortal {
+    /// Creates a portal with the given IP → home-server mapping.
+    pub fn new(resolver: HomeResolver) -> Self {
+        UserPortal { resolver }
+    }
+
+    /// The IP resolver in use.
+    pub fn resolver(&self) -> &HomeResolver {
+        &self.resolver
+    }
+
+    /// Lists every title in the catalog with its current availability.
+    pub fn browse(&self, db: &Database) -> Vec<CatalogEntry> {
+        let fa = db.full_access();
+        fa.titles()
+            .map(|meta| CatalogEntry {
+                video: meta.id(),
+                title: meta.title().to_string(),
+                size_mb: meta.size().as_f64(),
+                replicas: fa.servers_with_title(meta.id()).len(),
+            })
+            .collect()
+    }
+
+    /// Case-insensitive substring search over titles.
+    pub fn search(&self, db: &Database, query: &str) -> Vec<CatalogEntry> {
+        let needle = query.to_lowercase();
+        self.browse(db)
+            .into_iter()
+            .filter(|e| e.title.to_lowercase().contains(&needle))
+            .collect()
+    }
+
+    /// Places a request: resolves the client's home server and validates
+    /// the title exists.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownVideo`] if the title is not in the catalog.
+    /// * [`CoreError::NotAServer`] is **not** used here — an unresolvable
+    ///   IP yields [`CoreError::Unreachable`] with no candidates, since
+    ///   the service cannot even name a home server for it.
+    pub fn place_request(
+        &self,
+        db: &Database,
+        client_ip: Ipv4Addr,
+        video: VideoId,
+        at: SimTime,
+    ) -> Result<VideoRequest, CoreError> {
+        if db.library().get(video).is_none() {
+            return Err(CoreError::UnknownVideo(video));
+        }
+        let home = self
+            .resolver
+            .resolve(client_ip)
+            .ok_or(CoreError::Unreachable {
+                home: NodeId::new(u32::MAX),
+                candidates: vec![],
+            })?;
+        Ok(VideoRequest {
+            client_ip,
+            home,
+            video,
+            at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_db::AdminCredential;
+    use vod_net::topologies::grnet::{Grnet, GrnetNode};
+    use vod_storage::video::{Megabytes, VideoLibrary, VideoMeta};
+
+    fn setup() -> (Grnet, Database, UserPortal) {
+        let grnet = Grnet::new();
+        let mut library = VideoLibrary::new();
+        library.insert(VideoMeta::new(
+            VideoId::new(0),
+            "Zorba the Greek",
+            Megabytes::new(700.0),
+            1.5,
+        ));
+        library.insert(VideoMeta::new(
+            VideoId::new(1),
+            "Stella",
+            Megabytes::new(650.0),
+            1.5,
+        ));
+        let mut db = Database::from_topology(grnet.topology(), library);
+        db.limited_access(&AdminCredential::new("root"))
+            .unwrap()
+            .add_title(grnet.node(GrnetNode::Athens), VideoId::new(0))
+            .unwrap();
+
+        let mut resolver = HomeResolver::new();
+        resolver
+            .add(
+                Ipv4Addr::new(150, 140, 0, 0),
+                16,
+                grnet.node(GrnetNode::Patra),
+            )
+            .unwrap();
+        (grnet, db, UserPortal::new(resolver))
+    }
+
+    #[test]
+    fn browse_lists_titles_with_replica_counts() {
+        let (_, db, portal) = setup();
+        let catalog = portal.browse(&db);
+        assert_eq!(catalog.len(), 2);
+        let zorba = catalog.iter().find(|e| e.title.contains("Zorba")).unwrap();
+        assert_eq!(zorba.replicas, 1);
+        let stella = catalog.iter().find(|e| e.title == "Stella").unwrap();
+        assert_eq!(stella.replicas, 0);
+        assert_eq!(stella.size_mb, 650.0);
+    }
+
+    #[test]
+    fn search_is_case_insensitive_substring() {
+        let (_, db, portal) = setup();
+        assert_eq!(portal.search(&db, "zorba").len(), 1);
+        assert_eq!(portal.search(&db, "ELL").len(), 1);
+        assert_eq!(portal.search(&db, "e").len(), 2);
+        assert!(portal.search(&db, "matrix").is_empty());
+    }
+
+    #[test]
+    fn place_request_resolves_home() {
+        let (grnet, db, portal) = setup();
+        let req = portal
+            .place_request(
+                &db,
+                Ipv4Addr::new(150, 140, 20, 3),
+                VideoId::new(0),
+                SimTime::from_secs(60),
+            )
+            .unwrap();
+        assert_eq!(req.home, grnet.node(GrnetNode::Patra));
+        assert_eq!(req.video, VideoId::new(0));
+        assert_eq!(req.at, SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn unknown_title_rejected() {
+        let (_, db, portal) = setup();
+        let err = portal
+            .place_request(
+                &db,
+                Ipv4Addr::new(150, 140, 20, 3),
+                VideoId::new(99),
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, CoreError::UnknownVideo(VideoId::new(99)));
+    }
+
+    #[test]
+    fn unresolvable_ip_rejected() {
+        let (_, db, portal) = setup();
+        let err = portal
+            .place_request(
+                &db,
+                Ipv4Addr::new(8, 8, 8, 8),
+                VideoId::new(0),
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Unreachable { .. }));
+    }
+}

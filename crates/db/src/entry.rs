@@ -1,0 +1,285 @@
+//! Database entries: one per server and one per link.
+//!
+//! Each entry is conceptually split into the paper's two sub-modules:
+//! the *full-access* part (the titles available on a server) and the
+//! *limited-access* part (network and configuration information).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use vod_net::units::Fraction;
+use vod_net::{LinkId, Mbps, NodeId};
+use vod_sim::SimTime;
+use vod_storage::video::{Megabytes, VideoId};
+
+/// Per-server configuration recorded during service initialization
+/// ("Network links' bandwidth … the video titles available on each VoD
+/// server") and updated by administrators on configuration changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Number of disks in the server's array.
+    pub disk_count: usize,
+    /// Space allocated to the VoD service per disk.
+    pub disk_capacity: Megabytes,
+    /// The bandwidth of the server's connection to the network.
+    pub access_bandwidth: Mbps,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            disk_count: 4,
+            disk_capacity: Megabytes::new(10_000.0),
+            access_bandwidth: Mbps::new(2.0),
+        }
+    }
+}
+
+/// One server's database entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerEntry {
+    node: NodeId,
+    /// Full-access sub-module: the titles this server can provide.
+    titles: BTreeSet<VideoId>,
+    /// Limited-access sub-module: configuration information.
+    config: ServerConfig,
+}
+
+impl ServerEntry {
+    /// Creates an entry with no titles.
+    pub fn new(node: NodeId, config: ServerConfig) -> Self {
+        ServerEntry {
+            node,
+            titles: BTreeSet::new(),
+            config,
+        }
+    }
+
+    /// The server's node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Titles available on this server (full access).
+    pub fn titles(&self) -> impl ExactSizeIterator<Item = VideoId> + '_ {
+        self.titles.iter().copied()
+    }
+
+    /// Returns true if this server can provide `video`.
+    pub fn has_title(&self, video: VideoId) -> bool {
+        self.titles.contains(&video)
+    }
+
+    /// Number of titles listed.
+    pub fn title_count(&self) -> usize {
+        self.titles.len()
+    }
+
+    /// The limited-access configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    pub(crate) fn add_title(&mut self, video: VideoId) -> bool {
+        self.titles.insert(video)
+    }
+
+    pub(crate) fn remove_title(&mut self, video: VideoId) -> bool {
+        self.titles.remove(&video)
+    }
+
+    pub(crate) fn set_config(&mut self, config: ServerConfig) {
+        self.config = config;
+    }
+}
+
+/// One SNMP utilization reading, as inserted by the statistics module.
+#[derive(Debug, Copy, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationReading {
+    /// When the reading was inserted.
+    pub at: SimTime,
+    /// Combined in+out traffic at that moment.
+    pub used: Mbps,
+    /// `used / capacity` per the paper's equation (5).
+    pub utilization: Fraction,
+}
+
+/// Number of SNMP readings retained per link (at the paper's 2-minute
+/// interval this is roughly one hour of history).
+pub const READING_HISTORY: usize = 32;
+
+/// One link's database entry (limited access only — users never see link
+/// state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkEntry {
+    link: LinkId,
+    total_bandwidth: Mbps,
+    last_reading: Option<UtilizationReading>,
+    history: Vec<UtilizationReading>,
+}
+
+impl LinkEntry {
+    /// Creates an entry with no readings yet.
+    pub fn new(link: LinkId, total_bandwidth: Mbps) -> Self {
+        LinkEntry {
+            link,
+            total_bandwidth,
+            last_reading: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// The link this entry describes.
+    pub fn link(&self) -> LinkId {
+        self.link
+    }
+
+    /// The administrator-entered total bandwidth.
+    pub fn total_bandwidth(&self) -> Mbps {
+        self.total_bandwidth
+    }
+
+    /// The latest SNMP reading, if any has been inserted.
+    pub fn last_reading(&self) -> Option<UtilizationReading> {
+        self.last_reading
+    }
+
+    /// Age of the latest reading at `now` (`None` before the first poll).
+    pub fn reading_age(&self, now: SimTime) -> Option<vod_sim::SimDuration> {
+        self.last_reading.map(|r| now.duration_since(r.at))
+    }
+
+    /// The retained reading history, oldest first (at most
+    /// [`READING_HISTORY`] entries, the newest equal to
+    /// [`LinkEntry::last_reading`]).
+    pub fn history(&self) -> &[UtilizationReading] {
+        &self.history
+    }
+
+    /// Exponentially-weighted moving average of the recorded traffic,
+    /// `alpha` being the weight of each newer reading (1.0 = latest
+    /// reading only). Returns `None` before the first reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not within `(0, 1]`.
+    pub fn smoothed_used(&self, alpha: f64) -> Option<Mbps> {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0 && alpha.is_finite(),
+            "alpha must be in (0, 1]"
+        );
+        let mut iter = self.history.iter();
+        let first = iter.next()?;
+        let mut acc = first.used.as_f64();
+        for r in iter {
+            acc = acc + alpha * (r.used.as_f64() - acc);
+        }
+        Some(Mbps::new(acc))
+    }
+
+    pub(crate) fn record(&mut self, reading: UtilizationReading) {
+        self.last_reading = Some(reading);
+        if self.history.len() == READING_HISTORY {
+            self.history.remove(0);
+        }
+        self.history.push(reading);
+    }
+
+    pub(crate) fn set_total_bandwidth(&mut self, bw: Mbps) {
+        self.total_bandwidth = bw;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_entry_title_management() {
+        let mut e = ServerEntry::new(NodeId::new(1), ServerConfig::default());
+        assert_eq!(e.title_count(), 0);
+        assert!(e.add_title(VideoId::new(5)));
+        assert!(!e.add_title(VideoId::new(5)));
+        assert!(e.has_title(VideoId::new(5)));
+        assert!(!e.has_title(VideoId::new(6)));
+        assert_eq!(e.titles().collect::<Vec<_>>(), vec![VideoId::new(5)]);
+        assert!(e.remove_title(VideoId::new(5)));
+        assert!(!e.remove_title(VideoId::new(5)));
+        assert_eq!(e.node(), NodeId::new(1));
+    }
+
+    #[test]
+    fn server_config_update() {
+        let mut e = ServerEntry::new(NodeId::new(0), ServerConfig::default());
+        e.set_config(ServerConfig {
+            disk_count: 8,
+            ..ServerConfig::default()
+        });
+        assert_eq!(e.config().disk_count, 8);
+    }
+
+    fn reading(secs: u64, used: f64) -> UtilizationReading {
+        UtilizationReading {
+            at: SimTime::from_secs(secs),
+            used: Mbps::new(used),
+            utilization: Fraction::new(used / 2.0),
+        }
+    }
+
+    #[test]
+    fn history_is_bounded_and_ordered() {
+        let mut e = LinkEntry::new(LinkId::new(0), Mbps::new(2.0));
+        assert!(e.history().is_empty());
+        for i in 0..(READING_HISTORY as u64 + 10) {
+            e.record(reading(i * 120, (i % 5) as f64 * 0.1));
+        }
+        assert_eq!(e.history().len(), READING_HISTORY);
+        // Oldest entries were dropped; the newest equals last_reading.
+        assert_eq!(e.history().last().copied(), e.last_reading());
+        assert!(e
+            .history()
+            .windows(2)
+            .all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn smoothing_blends_history() {
+        let mut e = LinkEntry::new(LinkId::new(0), Mbps::new(2.0));
+        assert_eq!(e.smoothed_used(0.5), None);
+        e.record(reading(0, 0.0));
+        e.record(reading(120, 2.0));
+        // EWMA: 0 + 0.5*(2-0) = 1.0.
+        assert!((e.smoothed_used(0.5).unwrap().as_f64() - 1.0).abs() < 1e-12);
+        // alpha = 1: latest reading wins outright.
+        assert!((e.smoothed_used(1.0).unwrap().as_f64() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        let mut e = LinkEntry::new(LinkId::new(0), Mbps::new(2.0));
+        e.record(reading(0, 1.0));
+        let _ = e.smoothed_used(0.0);
+    }
+
+    #[test]
+    fn link_entry_readings() {
+        let mut e = LinkEntry::new(LinkId::new(0), Mbps::new(2.0));
+        assert_eq!(e.last_reading(), None);
+        assert_eq!(e.reading_age(SimTime::from_secs(10)), None);
+        let reading = UtilizationReading {
+            at: SimTime::from_secs(60),
+            used: Mbps::new(1.0),
+            utilization: Fraction::new(0.5),
+        };
+        e.record(reading);
+        assert_eq!(e.last_reading(), Some(reading));
+        assert_eq!(
+            e.reading_age(SimTime::from_secs(90)),
+            Some(vod_sim::SimDuration::from_secs(30))
+        );
+        e.set_total_bandwidth(Mbps::new(18.0));
+        assert_eq!(e.total_bandwidth(), Mbps::new(18.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! The VoD service's database module.
+//!
+//! The paper's service keeps all of its state in a single conceptual
+//! database with two access levels:
+//!
+//! * the **full-access sub-module**, readable by any user through the web
+//!   module: which video titles are available on which server;
+//! * the **limited-access sub-module**, readable only by the service's
+//!   administrators and by the application running the Virtual Routing
+//!   Algorithm: per-link bandwidth and the latest SNMP utilization
+//!   readings, plus per-server configuration.
+//!
+//! This crate models the database as an in-memory store ([`Database`])
+//! with typed views enforcing the two access levels at compile time:
+//! [`FullAccess`] can only see the catalog, [`LimitedAccess`] (obtained
+//! from an [`AdminCredential`]) additionally sees network state and may
+//! write updates. A [`SharedDatabase`] wraps the store in a mutex for the
+//! simulation components that update it concurrently with lookups.
+//!
+//! # Example
+//!
+//! ```
+//! use vod_db::{AdminCredential, Database};
+//! use vod_net::topologies::grnet::{Grnet, GrnetNode};
+//! use vod_storage::video::{Megabytes, VideoId, VideoLibrary, VideoMeta};
+//!
+//! # fn main() -> Result<(), vod_db::DbError> {
+//! let grnet = Grnet::new();
+//! let mut library = VideoLibrary::new();
+//! let id = VideoId::new(0);
+//! library.insert(VideoMeta::new(id, "Zorba", Megabytes::new(700.0), 1.5));
+//!
+//! let mut db = Database::from_topology(grnet.topology(), library);
+//! let admin = AdminCredential::new("root");
+//! let patra = grnet.node(GrnetNode::Patra);
+//! db.limited_access(&admin)?.add_title(patra, id)?;
+//!
+//! // Any user can ask who has the title…
+//! assert_eq!(db.full_access().servers_with_title(id), vec![patra]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod access;
+pub mod database;
+pub mod entry;
+pub mod error;
+pub mod shared;
+
+pub use access::{AdminCredential, FullAccess, LimitedAccess};
+pub use database::Database;
+pub use entry::{LinkEntry, ServerConfig, ServerEntry, UtilizationReading};
+pub use error::DbError;
+pub use shared::SharedDatabase;

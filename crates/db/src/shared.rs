@@ -1,0 +1,89 @@
+//! A shared, lockable handle to the database.
+//!
+//! The paper's database is updated concurrently: the SNMP module on every
+//! server inserts readings while the routing application reads them.
+//! [`SharedDatabase`] provides that shape — a cheaply clonable handle
+//! guarded by a mutex — even though the discrete-event simulation itself
+//! is single-threaded (components hold handles rather than `&mut`
+//! references to one owner).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::database::Database;
+
+/// A cheaply clonable, mutex-guarded handle to a [`Database`].
+///
+/// # Examples
+///
+/// ```
+/// use vod_db::{Database, SharedDatabase};
+/// use vod_storage::video::VideoLibrary;
+///
+/// let shared = SharedDatabase::new(Database::new(VideoLibrary::new()));
+/// let clone = shared.clone();
+/// let titles = clone.with(|db| db.full_access().titles().count());
+/// assert_eq!(titles, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedDatabase {
+    inner: Arc<Mutex<Database>>,
+}
+
+impl SharedDatabase {
+    /// Wraps a database.
+    pub fn new(db: Database) -> Self {
+        SharedDatabase {
+            inner: Arc::new(Mutex::new(db)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the database.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Number of strong handles to this database (for diagnostics).
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AdminCredential;
+    use vod_net::topologies::grnet::Grnet;
+    use vod_storage::video::{Megabytes, VideoId, VideoLibrary, VideoMeta};
+
+    #[test]
+    fn clones_share_state() {
+        let grnet = Grnet::new();
+        let mut lib = VideoLibrary::new();
+        lib.insert(VideoMeta::new(
+            VideoId::new(0),
+            "t",
+            Megabytes::new(1.0),
+            1.0,
+        ));
+        let shared = SharedDatabase::new(Database::from_topology(grnet.topology(), lib));
+        let writer = shared.clone();
+        let node = grnet.topology().video_server_nodes()[0];
+        writer.with(|db| {
+            db.limited_access(&AdminCredential::new("root"))
+                .unwrap()
+                .add_title(node, VideoId::new(0))
+                .unwrap();
+        });
+        let seen = shared.with(|db| db.full_access().servers_with_title(VideoId::new(0)));
+        assert_eq!(seen, vec![node]);
+        assert_eq!(shared.handle_count(), 2);
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedDatabase>();
+    }
+}

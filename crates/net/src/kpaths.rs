@@ -1,0 +1,348 @@
+//! K-shortest loopless paths (Yen's algorithm).
+//!
+//! The Virtual Routing Algorithm commits to *the* least-cost path; path
+//! diversity is what anti-herding variants (and the E2 analysis) need.
+//! [`k_shortest_paths`] enumerates the `k` cheapest simple paths between
+//! two nodes under a [`LinkWeights`] table, in nondecreasing cost order,
+//! using Yen's algorithm over the crate's Dijkstra.
+
+use crate::dijkstra::dijkstra;
+use crate::error::NetError;
+use crate::ids::NodeId;
+use crate::lvn::LinkWeights;
+use crate::route::Route;
+use crate::topology::Topology;
+
+/// Returns up to `k` cheapest loopless routes from `source` to `target`,
+/// sorted by cost (ties broken deterministically by node sequence).
+///
+/// Returns an empty vector when `target` is unreachable. The first route,
+/// when present, is exactly the Dijkstra shortest path.
+///
+/// # Errors
+///
+/// Propagates weight-validation errors ([`NetError::NegativeWeight`],
+/// [`NetError::WeightCountMismatch`], …) and unknown node ids.
+///
+/// # Examples
+///
+/// ```
+/// use vod_net::kpaths::k_shortest_paths;
+/// use vod_net::lvn::LinkWeights;
+/// use vod_net::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};
+///
+/// # fn main() -> Result<(), vod_net::NetError> {
+/// let grnet = Grnet::new();
+/// let weights = grnet.paper_table3_weights(TimeOfDay::T1000);
+/// let paths = k_shortest_paths(
+///     grnet.topology(),
+///     &weights,
+///     grnet.node(GrnetNode::Patra),
+///     grnet.node(GrnetNode::Thessaloniki),
+///     3,
+/// )?;
+/// assert_eq!(paths[0].display_with(grnet.topology()).to_string(), "U2,U3,U4");
+/// assert!(paths.windows(2).all(|w| w[0].cost() <= w[1].cost()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn k_shortest_paths(
+    topology: &Topology,
+    weights: &LinkWeights,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+) -> Result<Vec<Route>, NetError> {
+    weights.validate(topology)?;
+    topology.try_node(source)?;
+    topology.try_node(target)?;
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+
+    let shortest = match dijkstra(topology, weights, source)?.route_to(target) {
+        Some(r) => r,
+        None => return Ok(Vec::new()),
+    };
+    let mut accepted: Vec<Route> = vec![shortest];
+    // Candidate pool; kept sorted on extraction.
+    let mut candidates: Vec<Route> = Vec::new();
+
+    while accepted.len() < k {
+        let last = accepted.last().expect("at least the shortest path");
+        // Each prefix of the last accepted path spawns a spur.
+        for spur_idx in 0..last.nodes().len() - 1 {
+            let spur_node = last.nodes()[spur_idx];
+            let root_nodes = &last.nodes()[..=spur_idx];
+            let root_links = &last.links()[..spur_idx];
+
+            // Mask links used by accepted paths sharing this root, and
+            // every root node except the spur node, by inflating weights.
+            let mut masked = weights.clone();
+            for path in &accepted {
+                if path.nodes().len() > spur_idx && path.nodes()[..=spur_idx] == *root_nodes {
+                    masked.set_weight(path.links()[spur_idx], f64::INFINITY);
+                }
+            }
+            for &node in &root_nodes[..spur_idx] {
+                for inc in topology.adjacent(node) {
+                    masked.set_weight(inc.link, f64::INFINITY);
+                }
+            }
+
+            let spur = match dijkstra_infinity_ok(topology, &masked, spur_node)?
+                .route_to(target)
+            {
+                Some(r) if r.cost().is_finite() => r,
+                _ => continue,
+            };
+
+            // Total path = root + spur.
+            let mut nodes = root_nodes.to_vec();
+            nodes.extend_from_slice(&spur.nodes()[1..]);
+            let mut links = root_links.to_vec();
+            links.extend_from_slice(spur.links());
+            // Skip paths with repeated nodes (loops through the root).
+            let mut seen = nodes.clone();
+            seen.sort();
+            seen.dedup();
+            if seen.len() != nodes.len() {
+                continue;
+            }
+            let cost: f64 = links.iter().map(|&l| weights.weight(l)).sum();
+            let candidate = Route::new(nodes, links, cost);
+            if !accepted.contains(&candidate) && !candidates.contains(&candidate) {
+                candidates.push(candidate);
+            }
+        }
+        // Extract the cheapest candidate.
+        candidates.sort_by(|a, b| {
+            a.cost()
+                .total_cmp(&b.cost())
+                .then_with(|| a.nodes().cmp(b.nodes()))
+        });
+        if candidates.is_empty() {
+            break;
+        }
+        accepted.push(candidates.remove(0));
+    }
+    Ok(accepted)
+}
+
+/// Dijkstra that tolerates the infinite masking weights (they are never
+/// negative/NaN, but `validate` must be skipped for the +∞ entries).
+fn dijkstra_infinity_ok(
+    topology: &Topology,
+    weights: &LinkWeights,
+    source: NodeId,
+) -> Result<crate::dijkstra::ShortestPaths, NetError> {
+    // Replace +∞ with a huge finite sentinel that passes validation but
+    // can never be part of a finite-cost best path on any real topology.
+    let sentinel = 1e30;
+    let finite: LinkWeights = weights
+        .iter()
+        .map(|(_, w)| if w.is_finite() { w } else { sentinel })
+        .collect();
+    let paths = dijkstra(topology, &finite, source)?;
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};
+    use crate::topology::TopologyBuilder;
+    use crate::units::Mbps;
+
+    #[test]
+    fn grnet_alternatives_in_cost_order() {
+        let g = Grnet::new();
+        let weights = g.paper_table3_weights(TimeOfDay::T1000);
+        let paths = k_shortest_paths(
+            g.topology(),
+            &weights,
+            g.node(GrnetNode::Patra),
+            g.node(GrnetNode::Thessaloniki),
+            4,
+        )
+        .unwrap();
+        assert!(paths.len() >= 2);
+        // Best = the Table 5 route.
+        assert_eq!(
+            paths[0].display_with(g.topology()).to_string(),
+            "U2,U3,U4"
+        );
+        assert!((paths[0].cost() - 1.007117).abs() < 1e-9);
+        // Second best: via Athens (0.632 + 1.1075 = 1.7395).
+        assert_eq!(
+            paths[1].display_with(g.topology()).to_string(),
+            "U2,U1,U4"
+        );
+        assert!((paths[1].cost() - 1.7395).abs() < 1e-9);
+        // Monotone, loopless, valid.
+        for w in paths.windows(2) {
+            assert!(w[0].cost() <= w[1].cost() + 1e-12);
+        }
+        for p in &paths {
+            assert!(p.is_valid_in(g.topology()));
+            let mut nodes = p.nodes().to_vec();
+            nodes.sort();
+            nodes.dedup();
+            assert_eq!(nodes.len(), p.nodes().len(), "loopless");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_path_count_returns_all() {
+        // A path graph has exactly one simple path between its ends.
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let m = b.add_node("m");
+        let c = b.add_node("c");
+        b.add_link(a, m, Mbps::new(1.0)).unwrap();
+        b.add_link(m, c, Mbps::new(1.0)).unwrap();
+        let topo = b.build();
+        let w = LinkWeights::uniform(2, 1.0);
+        let paths = k_shortest_paths(&topo, &w, a, c, 10).unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].hops(), 2);
+    }
+
+    #[test]
+    fn unreachable_and_degenerate_cases() {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let island = b.add_node("island");
+        let topo = b.build();
+        let w = LinkWeights::uniform(0, 1.0);
+        assert!(k_shortest_paths(&topo, &w, a, island, 3)
+            .unwrap()
+            .is_empty());
+        assert!(k_shortest_paths(&topo, &w, a, a, 0).unwrap().is_empty());
+        // Source == target: the trivial path.
+        let trivial = k_shortest_paths(&topo, &w, a, a, 2).unwrap();
+        assert_eq!(trivial.len(), 1);
+        assert_eq!(trivial[0].hops(), 0);
+    }
+
+    #[test]
+    fn diamond_enumerates_both_sides() {
+        let mut b = TopologyBuilder::new();
+        let s = b.add_node("s");
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let t = b.add_node("t");
+        let sx = b.add_link(s, x, Mbps::new(1.0)).unwrap();
+        let sy = b.add_link(s, y, Mbps::new(1.0)).unwrap();
+        let xt = b.add_link(x, t, Mbps::new(1.0)).unwrap();
+        let yt = b.add_link(y, t, Mbps::new(1.0)).unwrap();
+        let topo = b.build();
+        let mut w = LinkWeights::uniform(4, 1.0);
+        w.set_weight(sx, 0.4);
+        w.set_weight(xt, 0.4);
+        w.set_weight(sy, 0.6);
+        w.set_weight(yt, 0.6);
+        let paths = k_shortest_paths(&topo, &w, s, t, 5).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert!((paths[0].cost() - 0.8).abs() < 1e-12);
+        assert!((paths[1].cost() - 1.2).abs() < 1e-12);
+        assert!(paths[0].contains_node(x));
+        assert!(paths[1].contains_node(y));
+    }
+
+    /// Exhaustive simple-path enumeration for cross-validation.
+    fn all_simple_paths(
+        topology: &Topology,
+        weights: &LinkWeights,
+        source: NodeId,
+        target: NodeId,
+    ) -> Vec<(f64, Vec<NodeId>)> {
+        fn dfs(
+            topology: &Topology,
+            weights: &LinkWeights,
+            target: NodeId,
+            nodes: &mut Vec<NodeId>,
+            cost: f64,
+            out: &mut Vec<(f64, Vec<NodeId>)>,
+        ) {
+            let cur = *nodes.last().expect("non-empty");
+            if cur == target {
+                out.push((cost, nodes.clone()));
+                return;
+            }
+            for inc in topology.adjacent(cur) {
+                if !nodes.contains(&inc.neighbor) {
+                    nodes.push(inc.neighbor);
+                    dfs(
+                        topology,
+                        weights,
+                        target,
+                        nodes,
+                        cost + weights.weight(inc.link),
+                        out,
+                    );
+                    nodes.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut nodes = vec![source];
+        dfs(topology, weights, target, &mut nodes, 0.0, &mut out);
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        out
+    }
+
+    mod proptests {
+        use super::*;
+        use crate::topologies::random::connected_gnp;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(40))]
+
+            /// Yen's results match exhaustive enumeration: same count (up
+            /// to k) and the same cost sequence.
+            #[test]
+            fn matches_exhaustive_enumeration(
+                n in 3usize..8,
+                p in 0.1f64..0.5,
+                seed in 0u64..500,
+                k in 1usize..6,
+            ) {
+                let topo = connected_gnp(n, p, seed);
+                let weights: LinkWeights = topo
+                    .link_ids()
+                    .map(|l| 0.1 + ((l.index() * 7) % 11) as f64 * 0.13)
+                    .collect();
+                let source = NodeId::new(0);
+                let target = NodeId::new((n - 1) as u32);
+                let yen = k_shortest_paths(&topo, &weights, source, target, k).unwrap();
+                let brute = all_simple_paths(&topo, &weights, source, target);
+                prop_assert_eq!(yen.len(), brute.len().min(k));
+                for (route, (cost, _)) in yen.iter().zip(brute.iter()) {
+                    prop_assert!(
+                        (route.cost() - cost).abs() < 1e-9,
+                        "cost mismatch: {} vs {}",
+                        route.cost(),
+                        cost
+                    );
+                    prop_assert!(route.is_valid_in(&topo));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_weights_rejected() {
+        let g = Grnet::new();
+        let w = LinkWeights::uniform(7, -1.0);
+        assert!(k_shortest_paths(
+            g.topology(),
+            &w,
+            g.node(GrnetNode::Patra),
+            g.node(GrnetNode::Athens),
+            2
+        )
+        .is_err());
+    }
+}

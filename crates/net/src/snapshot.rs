@@ -1,0 +1,256 @@
+//! Per-link traffic snapshots.
+//!
+//! A [`TrafficSnapshot`] captures, for every link of a topology, the
+//! combined in+out traffic volume at one instant — exactly what the paper's
+//! SNMP statistics module writes into the limited-access database every
+//! 1–2 minutes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetError;
+use crate::ids::LinkId;
+use crate::topology::Topology;
+use crate::units::{Fraction, Mbps};
+
+/// Traffic state of every link of a topology at one instant.
+///
+/// For each link the snapshot stores the *used bandwidth* (UBW, the
+/// combined `traffic_in + traffic_out` of the paper's equation (5)). The
+/// utilization fraction is normally derived as `used / capacity`, but an
+/// explicit utilization can be recorded per link: the paper's Table 2
+/// reports rounded percentages (e.g. 9.4% for 1 700 kb on an 18 Mb link)
+/// and its Table 3 LVN values were computed from those rounded figures, so
+/// faithful reproduction requires carrying both.
+///
+/// # Examples
+///
+/// ```
+/// use vod_net::{Mbps, TopologyBuilder, TrafficSnapshot};
+///
+/// # fn main() -> Result<(), vod_net::NetError> {
+/// let mut b = TopologyBuilder::new();
+/// let a = b.add_node("a");
+/// let c = b.add_node("b");
+/// let l = b.add_link(a, c, Mbps::new(18.0))?;
+/// let topo = b.build();
+///
+/// let mut snap = TrafficSnapshot::zero(&topo);
+/// snap.set_used(l, Mbps::new(1.7));
+/// assert!((snap.utilization(&topo, l).get() - 1.7 / 18.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSnapshot {
+    used: Vec<Mbps>,
+    explicit_utilization: Vec<Option<Fraction>>,
+}
+
+impl TrafficSnapshot {
+    /// Creates a snapshot with zero traffic on every link of `topology`.
+    pub fn zero(topology: &Topology) -> Self {
+        TrafficSnapshot {
+            used: vec![Mbps::ZERO; topology.link_count()],
+            explicit_utilization: vec![None; topology.link_count()],
+        }
+    }
+
+    /// Number of links covered by this snapshot.
+    pub fn link_count(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Sets the combined in+out traffic on `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range for the topology this snapshot was
+    /// created from.
+    pub fn set_used(&mut self, link: LinkId, used: Mbps) {
+        self.used[link.index()] = used;
+    }
+
+    /// Adds traffic on `link` (e.g. when a new flow is admitted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn add_used(&mut self, link: LinkId, delta: Mbps) {
+        self.used[link.index()] += delta;
+    }
+
+    /// Removes traffic from `link`, clamping at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn remove_used(&mut self, link: LinkId, delta: Mbps) {
+        self.used[link.index()] = self.used[link.index()].saturating_sub(delta);
+    }
+
+    /// Records an explicit utilization reading for `link`, overriding the
+    /// derived `used / capacity` value (used to reproduce the paper's
+    /// rounded Table 2 percentages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn set_explicit_utilization(&mut self, link: LinkId, utilization: Fraction) {
+        self.explicit_utilization[link.index()] = Some(utilization);
+    }
+
+    /// Clears an explicit utilization reading, reverting to the derived
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn clear_explicit_utilization(&mut self, link: LinkId) {
+        self.explicit_utilization[link.index()] = None;
+    }
+
+    /// Returns the combined in+out traffic currently recorded on `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn used(&self, link: LinkId) -> Mbps {
+        self.used[link.index()]
+    }
+
+    /// Returns the utilization fraction of `link`: the explicit reading if
+    /// one was recorded, otherwise `used / capacity` (equation (5) of the
+    /// paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range of `topology`, or if this snapshot
+    /// was built for a different topology.
+    pub fn utilization(&self, topology: &Topology, link: LinkId) -> Fraction {
+        if let Some(explicit) = self.explicit_utilization[link.index()] {
+            return explicit;
+        }
+        let cap = topology.link(link).capacity();
+        if cap.is_zero() {
+            Fraction::ZERO
+        } else {
+            Fraction::new(self.used(link) / cap)
+        }
+    }
+
+    /// Validates that this snapshot matches `topology`'s link count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::WeightCountMismatch`] when sizes differ.
+    pub fn check_matches(&self, topology: &Topology) -> Result<(), NetError> {
+        if self.used.len() == topology.link_count() {
+            Ok(())
+        } else {
+            Err(NetError::WeightCountMismatch {
+                expected: topology.link_count(),
+                actual: self.used.len(),
+            })
+        }
+    }
+
+    /// The most-utilized link and its utilization, or `None` for an empty
+    /// topology.
+    pub fn max_utilization(&self, topology: &Topology) -> Option<(LinkId, Fraction)> {
+        topology
+            .link_ids()
+            .map(|l| (l, self.utilization(topology, l)))
+            .max_by(|a, b| a.1.get().total_cmp(&b.1.get()))
+    }
+
+    /// Mean utilization over all links (zero for an empty topology).
+    pub fn mean_utilization(&self, topology: &Topology) -> Fraction {
+        if topology.link_count() == 0 {
+            return Fraction::ZERO;
+        }
+        let sum: f64 = topology
+            .link_ids()
+            .map(|l| self.utilization(topology, l).get())
+            .sum();
+        Fraction::new(sum / topology.link_count() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn two_link_topo() -> (Topology, LinkId, LinkId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        let d = b.add_node("c");
+        let l0 = b.add_link(a, c, Mbps::new(2.0)).unwrap();
+        let l1 = b.add_link(c, d, Mbps::new(18.0)).unwrap();
+        (b.build(), l0, l1)
+    }
+
+    #[test]
+    fn zero_snapshot_has_zero_utilization() {
+        let (topo, l0, l1) = two_link_topo();
+        let snap = TrafficSnapshot::zero(&topo);
+        assert_eq!(snap.used(l0), Mbps::ZERO);
+        assert_eq!(snap.utilization(&topo, l1).get(), 0.0);
+        assert_eq!(snap.link_count(), 2);
+    }
+
+    #[test]
+    fn derived_utilization_is_used_over_capacity() {
+        let (topo, l0, _) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        snap.set_used(l0, Mbps::new(0.2));
+        assert!((snap.utilization(&topo, l0).get() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_utilization_overrides_derived() {
+        let (topo, l0, _) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        snap.set_used(l0, Mbps::new(0.2));
+        snap.set_explicit_utilization(l0, Fraction::from_percent(9.4));
+        assert!((snap.utilization(&topo, l0).get() - 0.094).abs() < 1e-12);
+        snap.clear_explicit_utilization(l0);
+        assert!((snap.utilization(&topo, l0).get() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_remove_traffic() {
+        let (topo, l0, _) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        snap.add_used(l0, Mbps::new(1.0));
+        snap.add_used(l0, Mbps::new(0.5));
+        assert_eq!(snap.used(l0), Mbps::new(1.5));
+        snap.remove_used(l0, Mbps::new(2.0));
+        assert_eq!(snap.used(l0), Mbps::ZERO);
+    }
+
+    #[test]
+    fn max_and_mean_utilization() {
+        let (topo, l0, l1) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        snap.set_used(l0, Mbps::new(1.0)); // 50%
+        snap.set_used(l1, Mbps::new(1.8)); // 10%
+        let (link, frac) = snap.max_utilization(&topo).unwrap();
+        assert_eq!(link, l0);
+        assert!((frac.get() - 0.5).abs() < 1e-12);
+        assert!((snap.mean_utilization(&topo).get() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_matches_detects_size_mismatch() {
+        let (topo, ..) = two_link_topo();
+        let snap = TrafficSnapshot::zero(&topo);
+        assert!(snap.check_matches(&topo).is_ok());
+
+        let mut b = TopologyBuilder::new();
+        b.add_node("solo");
+        let other = b.build();
+        assert!(snap.check_matches(&other).is_err());
+    }
+}

@@ -1,0 +1,6 @@
+//! Ready-made topologies: the paper's GRNET case study plus synthetic
+//! generators for scale and robustness experiments.
+
+pub mod grnet;
+pub mod patterns;
+pub mod random;

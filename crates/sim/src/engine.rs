@@ -1,0 +1,214 @@
+//! The discrete-event simulation loop.
+
+use crate::scheduler::Scheduler;
+use crate::time::SimTime;
+
+/// A simulation model: owns the world state and handles its own events.
+///
+/// The engine repeatedly pops the earliest event and calls
+/// [`Model::handle`], which may schedule further events. Time never moves
+/// backwards: scheduling an event before the current instant is a model
+/// bug and the engine will panic when it pops it.
+pub trait Model {
+    /// The event type driving this model.
+    type Event;
+
+    /// Handles one event at instant `now`, scheduling any follow-ups on
+    /// `scheduler`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, scheduler: &mut Scheduler<Self::Event>);
+}
+
+/// The simulation engine: clock + scheduler + model.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug)]
+pub struct Simulation<M: Model> {
+    model: M,
+    scheduler: Scheduler<M::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation at time zero with an empty event queue.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            scheduler: Scheduler::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The model (read access).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The model (write access) — for seeding state before a run or
+    /// inspecting/adjusting between runs.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The scheduler, e.g. for seeding initial events.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<M::Event> {
+        &mut self.scheduler
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model scheduled an event in the past.
+    pub fn step(&mut self) -> bool {
+        match self.scheduler.pop() {
+            Some((at, event)) => {
+                assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+                self.now = at;
+                self.processed += 1;
+                self.model.handle(at, event, &mut self.scheduler);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains. Returns the number of events
+    /// processed by this call.
+    pub fn run(&mut self) -> u64 {
+        let before = self.processed;
+        while self.step() {}
+        self.processed - before
+    }
+
+    /// Runs until the queue drains or the next event would be after
+    /// `deadline`; events exactly at the deadline are processed. The clock
+    /// is advanced to `deadline` if the run stopped early. Returns the
+    /// number of events processed by this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.processed;
+        while let Some(at) = self.scheduler.peek_time() {
+            if at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.processed - before
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Counts events; every event below `limit` reschedules itself 1s later.
+    struct Counter {
+        fired: Vec<SimTime>,
+        limit: usize,
+    }
+
+    enum Ev {
+        Tick,
+    }
+
+    impl Model for Counter {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, _ev: Ev, s: &mut Scheduler<Ev>) {
+            self.fired.push(now);
+            if self.fired.len() < self.limit {
+                s.schedule(now + SimDuration::from_secs(1), Ev::Tick);
+            }
+        }
+    }
+
+    fn ticking(limit: usize) -> Simulation<Counter> {
+        let mut sim = Simulation::new(Counter {
+            fired: Vec::new(),
+            limit,
+        });
+        sim.scheduler_mut().schedule(SimTime::ZERO, Ev::Tick);
+        sim
+    }
+
+    #[test]
+    fn run_drains_queue() {
+        let mut sim = ticking(5);
+        assert_eq!(sim.run(), 5);
+        assert_eq!(sim.model().fired.len(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        assert_eq!(sim.processed(), 5);
+        // Queue empty: another run processes nothing.
+        assert_eq!(sim.run(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = ticking(100);
+        let n = sim.run_until(SimTime::from_secs(2));
+        assert_eq!(n, 3); // events at t=0,1,2
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        // Continue to the end.
+        sim.run();
+        assert_eq!(sim.model().fired.len(), 100);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim = ticking(1);
+        sim.run();
+        sim.run_until(SimTime::from_secs(50));
+        assert_eq!(sim.now(), SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn step_returns_false_on_empty() {
+        let mut sim = Simulation::new(Counter {
+            fired: Vec::new(),
+            limit: 0,
+        });
+        assert!(!sim.step());
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let mut sim = ticking(2);
+        sim.run();
+        let model = sim.into_model();
+        assert_eq!(model.fired, vec![SimTime::ZERO, SimTime::from_secs(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_events_panic() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, _now: SimTime, _ev: (), s: &mut Scheduler<()>) {
+                s.schedule(SimTime::ZERO, ());
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.scheduler_mut().schedule(SimTime::from_secs(1), ());
+        sim.run();
+    }
+}

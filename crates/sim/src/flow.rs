@@ -1,0 +1,757 @@
+//! Fluid-flow network model with max-min fair bandwidth sharing.
+//!
+//! Each video transfer is a *flow*: a fixed volume of data moving along a
+//! route of links. At any instant every link's residual capacity (capacity
+//! minus background traffic) is shared **max-min fairly** among the flows
+//! crossing it — the classic progressive-filling allocation. Between
+//! events the allocation is constant, so flow completion times can be
+//! predicted exactly, which is what makes the discrete-event simulation
+//! both fast and deterministic.
+//!
+//! Flows with an *empty* route model a client served from its home
+//! server's disks; they progress at a configurable local rate instead of
+//! competing for network bandwidth.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use vod_net::{LinkId, Mbps, Topology, TrafficSnapshot};
+
+use crate::time::SimDuration;
+
+/// Volume below which a flow counts as complete (megabits). Guards against
+/// floating-point dust after many `advance` calls.
+const COMPLETION_EPSILON_MBIT: f64 = 1e-9;
+
+/// Identifier of a flow within a [`FlowNetwork`].
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct FlowId(u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Errors produced by the flow network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The flow id is unknown (never existed or already completed/removed).
+    UnknownFlow(FlowId),
+    /// A route referenced a link that is not in the topology.
+    UnknownLink(LinkId),
+    /// The requested volume was not a positive finite number.
+    InvalidVolume(f64),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::UnknownFlow(id) => write!(f, "unknown flow {id}"),
+            FlowError::UnknownLink(id) => write!(f, "unknown link {id}"),
+            FlowError::InvalidVolume(v) => write!(f, "invalid flow volume {v} Mbit"),
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    links: Vec<LinkId>,
+    remaining_mbit: f64,
+    rate: Mbps,
+    /// For local (empty-route) flows: a per-flow rate replacing the
+    /// network-wide default (e.g. derived from a disk model).
+    local_rate_override: Option<Mbps>,
+}
+
+/// A set of concurrent flows over a topology, with max-min fair rates.
+///
+/// # Examples
+///
+/// Two flows share a 2 Mbps link fairly:
+///
+/// ```
+/// use vod_net::{Mbps, TopologyBuilder};
+/// use vod_sim::flow::FlowNetwork;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TopologyBuilder::new();
+/// let a = b.add_node("a");
+/// let c = b.add_node("b");
+/// let l = b.add_link(a, c, Mbps::new(2.0))?;
+/// let mut net = FlowNetwork::new(b.build());
+///
+/// let f1 = net.add_flow(vec![l], 10.0)?; // 10 Mbit
+/// let f2 = net.add_flow(vec![l], 10.0)?;
+/// assert_eq!(net.rate(f1)?, Mbps::new(1.0));
+/// assert_eq!(net.rate(f2)?, Mbps::new(1.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    topology: Topology,
+    background: Vec<Mbps>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+    local_rate: Mbps,
+    /// Allocated flow rate per link, maintained by `reallocate`.
+    link_loads: Vec<f64>,
+}
+
+impl FlowNetwork {
+    /// Creates a flow network over `topology` with zero background
+    /// traffic and a 100 Mbps local-serve rate.
+    pub fn new(topology: Topology) -> Self {
+        let links = topology.link_count();
+        FlowNetwork {
+            topology,
+            background: vec![Mbps::ZERO; links],
+            flows: BTreeMap::new(),
+            next_id: 0,
+            local_rate: Mbps::new(100.0),
+            link_loads: vec![0.0; links],
+        }
+    }
+
+    /// The topology this network runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Sets the rate at which local (empty-route) flows progress.
+    pub fn set_local_rate(&mut self, rate: Mbps) {
+        self.local_rate = rate;
+        self.reallocate();
+    }
+
+    /// Sets the background (non-VoD) traffic occupying `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn set_background(&mut self, link: LinkId, load: Mbps) {
+        self.background[link.index()] = load;
+        self.reallocate();
+    }
+
+    /// The background traffic on `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn background(&self, link: LinkId) -> Mbps {
+        self.background[link.index()]
+    }
+
+    /// Starts a flow of `volume_mbit` megabits along `route_links` and
+    /// returns its id. An empty route is a local serve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownLink`] for a foreign link id, or
+    /// [`FlowError::InvalidVolume`] for a non-positive or non-finite
+    /// volume.
+    pub fn add_flow(
+        &mut self,
+        route_links: Vec<LinkId>,
+        volume_mbit: f64,
+    ) -> Result<FlowId, FlowError> {
+        if !volume_mbit.is_finite() || volume_mbit <= 0.0 {
+            return Err(FlowError::InvalidVolume(volume_mbit));
+        }
+        for &l in &route_links {
+            if l.index() >= self.topology.link_count() {
+                return Err(FlowError::UnknownLink(l));
+            }
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                links: route_links,
+                remaining_mbit: volume_mbit,
+                rate: Mbps::ZERO,
+                local_rate_override: None,
+            },
+        );
+        self.reallocate();
+        Ok(id)
+    }
+
+    /// Starts a *local* flow (empty route) progressing at its own fixed
+    /// rate instead of the network-wide local default — e.g. the striped
+    /// disk throughput of the title being served.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidVolume`] for a non-positive or
+    /// non-finite volume.
+    pub fn add_local_flow(&mut self, volume_mbit: f64, rate: Mbps) -> Result<FlowId, FlowError> {
+        if !volume_mbit.is_finite() || volume_mbit <= 0.0 {
+            return Err(FlowError::InvalidVolume(volume_mbit));
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                links: Vec::new(),
+                remaining_mbit: volume_mbit,
+                rate: Mbps::ZERO,
+                local_rate_override: Some(rate),
+            },
+        );
+        self.reallocate();
+        Ok(id)
+    }
+
+    /// Removes a flow (e.g. a cancelled download). Returns the unfinished
+    /// volume in megabits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownFlow`] if the flow does not exist.
+    pub fn remove_flow(&mut self, id: FlowId) -> Result<f64, FlowError> {
+        let flow = self.flows.remove(&id).ok_or(FlowError::UnknownFlow(id))?;
+        self.reallocate();
+        Ok(flow.remaining_mbit)
+    }
+
+    /// The current max-min fair rate of `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownFlow`] if the flow does not exist.
+    pub fn rate(&self, id: FlowId) -> Result<Mbps, FlowError> {
+        self.flows
+            .get(&id)
+            .map(|f| f.rate)
+            .ok_or(FlowError::UnknownFlow(id))
+    }
+
+    /// Remaining volume of `id` in megabits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownFlow`] if the flow does not exist.
+    pub fn remaining_mbit(&self, id: FlowId) -> Result<f64, FlowError> {
+        self.flows
+            .get(&id)
+            .map(|f| f.remaining_mbit)
+            .ok_or(FlowError::UnknownFlow(id))
+    }
+
+    /// The route links of `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownFlow`] if the flow does not exist.
+    pub fn flow_links(&self, id: FlowId) -> Result<&[LinkId], FlowError> {
+        self.flows
+            .get(&id)
+            .map(|f| f.links.as_slice())
+            .ok_or(FlowError::UnknownFlow(id))
+    }
+
+    /// Number of active flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Ids of all active flows, in creation order.
+    pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.flows.keys().copied()
+    }
+
+    /// Time until the next flow completes at current rates, with its id.
+    ///
+    /// The duration is rounded *up* to the clock's microsecond
+    /// resolution, so `advance(next_completion_duration)` is guaranteed
+    /// to complete (at least) the returned flow.
+    ///
+    /// Returns `None` when there are no flows or none of them makes
+    /// progress (all rates zero).
+    pub fn next_completion(&self) -> Option<(FlowId, SimDuration)> {
+        self.flows
+            .iter()
+            .filter(|(_, f)| f.rate.as_f64() > 0.0)
+            .map(|(&id, f)| (id, f.remaining_mbit / f.rate.as_f64()))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+            .map(|(id, secs)| (id, SimDuration::from_micros((secs * 1e6).ceil() as u64)))
+    }
+
+    /// Advances all flows by `dt` at their current rates and removes the
+    /// ones that finish, returning their ids in deterministic (creation)
+    /// order.
+    pub fn advance(&mut self, dt: SimDuration) -> Vec<FlowId> {
+        let secs = dt.as_secs_f64();
+        let mut done = Vec::new();
+        for (&id, flow) in self.flows.iter_mut() {
+            flow.remaining_mbit -= flow.rate.as_f64() * secs;
+            if flow.remaining_mbit <= COMPLETION_EPSILON_MBIT {
+                done.push(id);
+            }
+        }
+        for &id in &done {
+            self.flows.remove(&id);
+        }
+        if !done.is_empty() {
+            self.reallocate();
+        }
+        done
+    }
+
+    /// Total VoD flow traffic currently allocated on `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_flow_load(&self, link: LinkId) -> Mbps {
+        Mbps::new(self.link_loads[link.index()].max(0.0))
+    }
+
+    /// Background plus flow traffic on `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_total_load(&self, link: LinkId) -> Mbps {
+        self.background(link) + self.link_flow_load(link)
+    }
+
+    /// Builds a [`TrafficSnapshot`] of the current total loads — exactly
+    /// what the SNMP module reads and the Virtual Routing Algorithm
+    /// consumes.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        let mut snap = TrafficSnapshot::zero(&self.topology);
+        for link in self.topology.link_ids() {
+            snap.set_used(link, self.link_total_load(link));
+        }
+        snap
+    }
+
+    /// Recomputes max-min fair rates (progressive filling).
+    ///
+    /// Each iteration of the filling loop saturates at least one link, so
+    /// the loop runs at most `link_count` times; the total cost is
+    /// `O(link_count × (link_count + Σ route lengths))`.
+    fn reallocate(&mut self) {
+        let n_links = self.topology.link_count();
+        // Residual capacity after background traffic.
+        let mut cap: Vec<f64> = (0..n_links)
+            .map(|i| {
+                let link = self.topology.link(LinkId::new(i as u32));
+                (link.capacity().as_f64() - self.background[i].as_f64()).max(0.0)
+            })
+            .collect();
+
+        // Dense view of network flows: (id, frozen?); local flows get the
+        // fixed local rate immediately.
+        let local_rate = self.local_rate;
+        let mut network: Vec<(FlowId, bool)> = Vec::with_capacity(self.flows.len());
+        for (&id, f) in self.flows.iter_mut() {
+            if f.links.is_empty() {
+                f.rate = f.local_rate_override.unwrap_or(local_rate);
+            } else {
+                f.rate = Mbps::ZERO;
+                network.push((id, false));
+            }
+        }
+
+        // Crossing counts for unfrozen flows.
+        let mut count = vec![0usize; n_links];
+        for &(id, _) in &network {
+            for l in &self.flows[&id].links {
+                count[l.index()] += 1;
+            }
+        }
+
+        let mut remaining = network.len();
+        let mut level = 0.0f64;
+        while remaining > 0 {
+            // Smallest per-flow increment any crossed link can afford.
+            let mut inc = f64::INFINITY;
+            for i in 0..n_links {
+                if count[i] > 0 {
+                    inc = inc.min(cap[i] / count[i] as f64);
+                }
+            }
+            if !inc.is_finite() {
+                inc = 0.0;
+            }
+            level += inc;
+            for i in 0..n_links {
+                if count[i] > 0 {
+                    cap[i] -= inc * count[i] as f64;
+                }
+            }
+            // Flows crossing a saturated link freeze at the current level.
+            let mut froze_any = false;
+            for entry in network.iter_mut() {
+                let (id, frozen) = *entry;
+                if frozen {
+                    continue;
+                }
+                let bottlenecked = self.flows[&id]
+                    .links
+                    .iter()
+                    .any(|l| cap[l.index()] <= 1e-12);
+                if bottlenecked {
+                    entry.1 = true;
+                    froze_any = true;
+                    remaining -= 1;
+                    for l in &self.flows[&id].links {
+                        count[l.index()] -= 1;
+                    }
+                    let rate = Mbps::new(level.max(0.0));
+                    self.flows
+                        .get_mut(&id)
+                        .expect("flow exists")
+                        .rate = rate;
+                }
+            }
+            if !froze_any {
+                // Cannot happen with finite capacities; guard against an
+                // infinite loop by freezing everything at the level.
+                for entry in network.iter_mut() {
+                    if !entry.1 {
+                        let rate = Mbps::new(level.max(0.0));
+                        self.flows.get_mut(&entry.0).expect("flow exists").rate = rate;
+                        entry.1 = true;
+                    }
+                }
+                break;
+            }
+        }
+
+        // Refresh the per-link allocation cache.
+        self.link_loads.iter_mut().for_each(|l| *l = 0.0);
+        for f in self.flows.values() {
+            for l in &f.links {
+                self.link_loads[l.index()] += f.rate.as_f64();
+            }
+        }
+    }
+
+    /// Sets the background traffic on several links at once, recomputing
+    /// the allocation a single time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any link is out of range.
+    pub fn set_background_many<I>(&mut self, loads: I)
+    where
+        I: IntoIterator<Item = (LinkId, Mbps)>,
+    {
+        for (link, load) in loads {
+            self.background[link.index()] = load;
+        }
+        self.reallocate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_net::TopologyBuilder;
+
+    /// a --l0-- b --l1-- c, capacities 2 and 18 Mbps.
+    fn two_hop() -> (Topology, LinkId, LinkId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let m = b.add_node("b");
+        let c = b.add_node("c");
+        let l0 = b.add_link(a, m, Mbps::new(2.0)).unwrap();
+        let l1 = b.add_link(m, c, Mbps::new(18.0)).unwrap();
+        (b.build(), l0, l1)
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_capacity() {
+        let (t, l0, l1) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let f = net.add_flow(vec![l0, l1], 20.0).unwrap();
+        assert_eq!(net.rate(f).unwrap(), Mbps::new(2.0));
+        assert_eq!(net.link_flow_load(l0), Mbps::new(2.0));
+        assert_eq!(net.link_flow_load(l1), Mbps::new(2.0));
+    }
+
+    #[test]
+    fn fair_share_on_shared_bottleneck() {
+        let (t, l0, _) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let f1 = net.add_flow(vec![l0], 10.0).unwrap();
+        let f2 = net.add_flow(vec![l0], 10.0).unwrap();
+        assert_eq!(net.rate(f1).unwrap(), Mbps::new(1.0));
+        assert_eq!(net.rate(f2).unwrap(), Mbps::new(1.0));
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_unconstrained_flow() {
+        let (t, l0, l1) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        // f1 crosses both links, f2 only the fat one.
+        let f1 = net.add_flow(vec![l0, l1], 100.0).unwrap();
+        let f2 = net.add_flow(vec![l1], 100.0).unwrap();
+        // f1 is capped at 2 by l0; f2 takes the rest of l1.
+        assert!((net.rate(f1).unwrap().as_f64() - 2.0).abs() < 1e-9);
+        assert!((net.rate(f2).unwrap().as_f64() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_reduces_residual_capacity() {
+        let (t, l0, _) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        net.set_background(l0, Mbps::new(1.5));
+        let f = net.add_flow(vec![l0], 10.0).unwrap();
+        assert!((net.rate(f).unwrap().as_f64() - 0.5).abs() < 1e-9);
+        assert_eq!(net.link_total_load(l0), Mbps::new(2.0));
+    }
+
+    #[test]
+    fn oversubscribed_background_gives_zero_rate() {
+        let (t, l0, _) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        net.set_background(l0, Mbps::new(5.0));
+        let f = net.add_flow(vec![l0], 10.0).unwrap();
+        assert_eq!(net.rate(f).unwrap(), Mbps::ZERO);
+        assert_eq!(net.next_completion(), None);
+    }
+
+    #[test]
+    fn local_flows_use_local_rate() {
+        let (t, ..) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        net.set_local_rate(Mbps::new(50.0));
+        let f = net.add_flow(vec![], 100.0).unwrap();
+        assert_eq!(net.rate(f).unwrap(), Mbps::new(50.0));
+        let (id, dt) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert_eq!(dt, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn local_flow_rate_override() {
+        let (t, ..) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        net.set_local_rate(Mbps::new(50.0));
+        let slow_disk = net.add_local_flow(100.0, Mbps::new(10.0)).unwrap();
+        let default = net.add_flow(vec![], 100.0).unwrap();
+        assert_eq!(net.rate(slow_disk).unwrap(), Mbps::new(10.0));
+        assert_eq!(net.rate(default).unwrap(), Mbps::new(50.0));
+        assert!(net.add_local_flow(-1.0, Mbps::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn completion_prediction_matches_advance() {
+        let (t, l0, l1) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let f1 = net.add_flow(vec![l0, l1], 4.0).unwrap(); // 2 Mbps → 2 s
+        let f2 = net.add_flow(vec![l1], 64.0).unwrap(); // 16 Mbps → 4 s
+        let (first, dt) = net.next_completion().unwrap();
+        assert_eq!(first, f1);
+        assert_eq!(dt, SimDuration::from_secs(2));
+        let done = net.advance(dt);
+        assert_eq!(done, vec![f1]);
+        // f2 now gets the full 18 Mbps for its remaining 32 Mbit.
+        assert!((net.rate(f2).unwrap().as_f64() - 18.0).abs() < 1e-9);
+        let (second, dt2) = net.next_completion().unwrap();
+        assert_eq!(second, f2);
+        assert!((dt2.as_secs_f64() - 32.0 / 18.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn advance_partial_keeps_flow() {
+        let (t, l0, _) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let f = net.add_flow(vec![l0], 4.0).unwrap();
+        let done = net.advance(SimDuration::from_secs(1));
+        assert!(done.is_empty());
+        assert!((net.remaining_mbit(f).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remove_flow_returns_unfinished_volume() {
+        let (t, l0, _) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let f = net.add_flow(vec![l0], 4.0).unwrap();
+        net.advance(SimDuration::from_secs(1));
+        let left = net.remove_flow(f).unwrap();
+        assert!((left - 2.0).abs() < 1e-9);
+        assert_eq!(net.flow_count(), 0);
+        assert_eq!(net.remove_flow(f), Err(FlowError::UnknownFlow(f)));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let (t, ..) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        assert!(matches!(
+            net.add_flow(vec![], 0.0),
+            Err(FlowError::InvalidVolume(_))
+        ));
+        assert!(matches!(
+            net.add_flow(vec![], f64::NAN),
+            Err(FlowError::InvalidVolume(_))
+        ));
+        assert!(matches!(
+            net.add_flow(vec![LinkId::new(99)], 1.0),
+            Err(FlowError::UnknownLink(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_reflects_total_load() {
+        let (t, l0, l1) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        net.set_background(l1, Mbps::new(3.0));
+        net.add_flow(vec![l0, l1], 100.0).unwrap();
+        let snap = net.snapshot();
+        assert_eq!(snap.used(l0), Mbps::new(2.0));
+        assert_eq!(snap.used(l1), Mbps::new(5.0));
+        let topo = net.topology().clone();
+        assert!((snap.utilization(&topo, l0).get() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_never_exceed_capacity() {
+        let (t, l0, l1) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        for i in 0..20 {
+            let links = if i % 3 == 0 {
+                vec![l0]
+            } else if i % 3 == 1 {
+                vec![l1]
+            } else {
+                vec![l0, l1]
+            };
+            net.add_flow(links, 100.0).unwrap();
+        }
+        let load0 = net.link_flow_load(l0).as_f64();
+        let load1 = net.link_flow_load(l1).as_f64();
+        assert!(load0 <= 2.0 + 1e-9, "l0 overloaded: {load0}");
+        assert!(load1 <= 18.0 + 1e-9, "l1 overloaded: {load1}");
+        // Work-conserving: the bottleneck links are fully used.
+        assert!(load0 >= 2.0 - 1e-9);
+        assert!(load1 >= 18.0 - 1e-9);
+    }
+
+    #[test]
+    fn bulk_background_updates_match_individual_ones() {
+        let (t, l0, l1) = two_hop();
+        let mut a = FlowNetwork::new(t.clone());
+        let mut b = FlowNetwork::new(t);
+        let fa = a.add_flow(vec![l0, l1], 10.0).unwrap();
+        let fb = b.add_flow(vec![l0, l1], 10.0).unwrap();
+        a.set_background(l0, Mbps::new(0.5));
+        a.set_background(l1, Mbps::new(2.0));
+        b.set_background_many([(l0, Mbps::new(0.5)), (l1, Mbps::new(2.0))]);
+        assert_eq!(a.rate(fa).unwrap(), b.rate(fb).unwrap());
+        assert_eq!(a.link_total_load(l0), b.link_total_load(l0));
+    }
+
+    #[test]
+    fn flow_ids_are_stable_and_ordered() {
+        let (t, l0, _) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let a = net.add_flow(vec![l0], 1.0).unwrap();
+        let b = net.add_flow(vec![l0], 1.0).unwrap();
+        assert!(a < b);
+        let ids: Vec<FlowId> = net.flow_ids().collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+
+    mod max_min_properties {
+        use super::*;
+        use proptest::prelude::*;
+        use vod_net::topologies::patterns::line;
+
+        proptest! {
+            /// On a random line network with random flows and background
+            /// loads, the max-min allocation (a) never oversubscribes a
+            /// link, and (b) bottlenecks every flow: each network flow
+            /// crosses at least one saturated link.
+            #[test]
+            fn allocation_is_feasible_and_bottlenecked(
+                nodes in 3usize..8,
+                caps in proptest::collection::vec(1.0f64..20.0, 7),
+                backgrounds in proptest::collection::vec(0.0f64..10.0, 7),
+                flows in proptest::collection::vec((0usize..7, 1usize..7), 1..15),
+            ) {
+                let topo = line(nodes, Mbps::new(1.0));
+                // Rebuild with per-link capacities via a fresh topology.
+                let mut b = vod_net::TopologyBuilder::new();
+                let ids: Vec<_> = (0..nodes).map(|i| b.add_node(format!("n{i}"))).collect();
+                let mut links = Vec::new();
+                for i in 1..nodes {
+                    links.push(
+                        b.add_link(ids[i - 1], ids[i], Mbps::new(caps[i - 1])).unwrap(),
+                    );
+                }
+                let topo2 = b.build();
+                drop(topo);
+                let mut net = FlowNetwork::new(topo2.clone());
+                for (i, &l) in links.iter().enumerate() {
+                    net.set_background(l, Mbps::new(backgrounds[i].min(caps[i])));
+                }
+                let mut flow_ids = Vec::new();
+                for &(start, len) in &flows {
+                    let s = start % links.len();
+                    let e = (s + len).min(links.len());
+                    let route: Vec<LinkId> = links[s..e].to_vec();
+                    if !route.is_empty() {
+                        flow_ids.push((net.add_flow(route.clone(), 100.0).unwrap(), route));
+                    }
+                }
+
+                // (a) feasibility.
+                for (i, &l) in links.iter().enumerate() {
+                    let residual = (caps[i] - net.background(l).as_f64()).max(0.0);
+                    prop_assert!(
+                        net.link_flow_load(l).as_f64() <= residual + 1e-6,
+                        "link {l} oversubscribed"
+                    );
+                }
+                // (b) every flow is bottlenecked by a saturated link.
+                for (id, route) in &flow_ids {
+                    let _rate = net.rate(*id).unwrap();
+                    let bottlenecked = route.iter().any(|&l| {
+                        let i = l.index();
+                        let residual = (caps[i] - net.background(l).as_f64()).max(0.0);
+                        net.link_flow_load(l).as_f64() >= residual - 1e-6
+                    });
+                    prop_assert!(bottlenecked, "flow {id} is not bottlenecked");
+                }
+            }
+
+            /// advance() and next_completion() agree: advancing by the
+            /// predicted time completes exactly the predicted flow first.
+            #[test]
+            fn completion_prediction_is_consistent(
+                volumes in proptest::collection::vec(0.5f64..50.0, 1..8),
+            ) {
+                let topo = line(3, Mbps::new(2.0));
+                let links: Vec<LinkId> = topo.link_ids().collect();
+                let mut net = FlowNetwork::new(topo);
+                for (i, &v) in volumes.iter().enumerate() {
+                    net.add_flow(vec![links[i % 2]], v).unwrap();
+                }
+                if let Some((first, dt)) = net.next_completion() {
+                    let done = net.advance(dt);
+                    prop_assert!(done.contains(&first), "{first} predicted, got {done:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Metrics collection for experiments: counters, time series and summary
+//! statistics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A timestamped series of float samples.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if timestamps go backwards.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.samples.last().map_or(true, |&(t, _)| t <= at),
+            "time series samples must be time-ordered"
+        );
+        self.samples.push((at, value));
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summary statistics over the sample values.
+    pub fn summary(&self) -> Summary {
+        Summary::from_values(self.samples.iter().map(|&(_, v)| v))
+    }
+
+    /// Time-weighted average of a step function: each sample holds until
+    /// the next sample's timestamp. Returns `None` with fewer than two
+    /// samples.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let mut area = 0.0;
+        let mut total = 0.0;
+        for w in self.samples.windows(2) {
+            let dt = (w[1].0 - w[0].0).as_secs_f64();
+            area += w[0].1 * dt;
+            total += dt;
+        }
+        if total > 0.0 {
+            Some(area / total)
+        } else {
+            None
+        }
+    }
+}
+
+/// Summary statistics of a set of float values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+    /// Median (0 when empty).
+    pub p50: f64,
+    /// 95th percentile (0 when empty).
+    pub p95: f64,
+    /// 99th percentile (0 when empty).
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes a summary from values (NaNs are ignored).
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut v: Vec<f64> = values.into_iter().filter(|x| !x.is_nan()).collect();
+        if v.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+            };
+        }
+        v.sort_by(|a, b| a.total_cmp(b));
+        let count = v.len();
+        let mean = v.iter().sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            min: v[0],
+            max: v[count - 1],
+            p50: percentile(&v, 0.50),
+            p95: percentile(&v, 0.95),
+            p99: percentile(&v, 0.99),
+        }
+    }
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm) — constant
+/// memory for metrics sampled millions of times.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation (NaNs are ignored).
+    pub fn push(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel collection).
+    pub fn merge(&mut self, other: RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty data");
+    assert!((0.0..=1.0).contains(&p), "percentile rank out of range");
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn series_accumulates_in_order() {
+        let mut s = TimeSeries::new();
+        assert!(s.is_empty());
+        s.push(SimTime::from_secs(1), 1.0);
+        s.push(SimTime::from_secs(2), 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.samples()[1], (SimTime::from_secs(2), 3.0));
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(0), 10.0); // holds 1 s
+        s.push(SimTime::from_secs(1), 0.0); // holds 9 s
+        s.push(SimTime::from_secs(10), 99.0); // terminal sample, no weight
+        let m = s.time_weighted_mean().unwrap();
+        assert!((m - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_needs_two_samples() {
+        let mut s = TimeSeries::new();
+        assert_eq!(s.time_weighted_mean(), None);
+        s.push(SimTime::ZERO, 5.0);
+        assert_eq!(s.time_weighted_mean(), None);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let sum = Summary::from_values((1..=100).map(|i| i as f64));
+        assert_eq!(sum.count, 100);
+        assert!((sum.mean - 50.5).abs() < 1e-12);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 100.0);
+        assert_eq!(sum.p50, 50.0);
+        assert_eq!(sum.p95, 95.0);
+        assert_eq!(sum.p99, 99.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zeroed() {
+        let sum = Summary::from_values(std::iter::empty());
+        assert_eq!(sum.count, 0);
+        assert_eq!(sum.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_ignores_nans() {
+        let sum = Summary::from_values(vec![1.0, f64::NAN, 3.0]);
+        assert_eq!(sum.count, 2);
+        assert_eq!(sum.mean, 2.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.25), 1.0);
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        let _ = percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn running_stats_match_batch_computation() {
+        let values: Vec<f64> = (1..=100).map(|i| (i as f64).sqrt()).collect();
+        let mut rs = RunningStats::new();
+        for &v in &values {
+            rs.push(v);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        assert_eq!(rs.count(), 100);
+        assert!((rs.mean() - mean).abs() < 1e-12);
+        assert!((rs.variance() - var).abs() < 1e-10);
+        assert!((rs.std_dev() - var.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        let mut all = RunningStats::new();
+        for i in 0..50 {
+            let v = (i as f64) * 0.7 - 3.0;
+            a.push(v);
+            all.push(v);
+        }
+        for i in 50..120 {
+            let v = (i as f64).ln();
+            b.push(v);
+            all.push(v);
+        }
+        a.merge(b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_edge_cases() {
+        let mut rs = RunningStats::new();
+        assert_eq!(rs.mean(), 0.0);
+        assert_eq!(rs.variance(), 0.0);
+        rs.push(f64::NAN);
+        assert_eq!(rs.count(), 0);
+        rs.push(5.0);
+        assert_eq!(rs.mean(), 5.0);
+        assert_eq!(rs.variance(), 0.0);
+        // Merging empties is a no-op in both directions.
+        let mut empty = RunningStats::new();
+        empty.merge(rs);
+        assert_eq!(empty.count(), 1);
+        rs.merge(RunningStats::new());
+        assert_eq!(rs.count(), 1);
+    }
+
+    #[test]
+    fn series_summary_delegates() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::ZERO, 2.0);
+        s.push(SimTime::from_secs(1), 4.0);
+        let sum = s.summary();
+        assert_eq!(sum.count, 2);
+        assert_eq!(sum.mean, 3.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's equation (5): line utilization.
+
+use vod_net::units::Fraction;
+use vod_net::Mbps;
+
+/// Equation (5): `(traffic_in + traffic_out) / total bandwidth`.
+///
+/// Returns zero for a zero-capacity link. Utilization may exceed 1.0 when
+/// a reading is taken against a stale administrator-entered bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use vod_net::Mbps;
+/// use vod_snmp::utilization::utilization;
+///
+/// // Thessaloniki–Athens at 8am: 1.7 Mb combined on an 18 Mb link → 9.4%.
+/// let u = utilization(Mbps::new(1.0), Mbps::new(0.7), Mbps::new(18.0));
+/// assert!((u.as_percent() - 9.44).abs() < 0.01);
+/// ```
+pub fn utilization(traffic_in: Mbps, traffic_out: Mbps, total_bandwidth: Mbps) -> Fraction {
+    combined_utilization(traffic_in + traffic_out, total_bandwidth)
+}
+
+/// Equation (5) with the in+out sum already combined (the fluid-flow model
+/// tracks combined load per link).
+pub fn combined_utilization(combined: Mbps, total_bandwidth: Mbps) -> Fraction {
+    if total_bandwidth.is_zero() {
+        Fraction::ZERO
+    } else {
+        Fraction::new(combined / total_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table2_rows() {
+        // Patra-Athens 8am: 200 kb on 2 Mb → 10%.
+        let u = combined_utilization(Mbps::from_kbps(200.0), Mbps::new(2.0));
+        assert!((u.as_percent() - 10.0).abs() < 1e-9);
+        // Thessaloniki-Ioannina 4pm: 1860 kb on 2 Mb → 93%.
+        let u = combined_utilization(Mbps::from_kbps(1860.0), Mbps::new(2.0));
+        assert!((u.as_percent() - 93.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splits_in_and_out() {
+        let u = utilization(Mbps::new(0.5), Mbps::new(1.5), Mbps::new(2.0));
+        assert!((u.get() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_reads_zero() {
+        assert_eq!(
+            combined_utilization(Mbps::new(1.0), Mbps::ZERO),
+            Fraction::ZERO
+        );
+    }
+
+    #[test]
+    fn oversubscription_is_representable() {
+        let u = combined_utilization(Mbps::new(3.0), Mbps::new(2.0));
+        assert!((u.get() - 1.5).abs() < 1e-12);
+    }
+}

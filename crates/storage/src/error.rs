@@ -1,0 +1,72 @@
+//! Error types for the storage substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::video::VideoId;
+
+/// Errors produced by disks, arrays and the DMA cache.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// A write did not fit on a disk.
+    InsufficientCapacity {
+        /// Megabytes that were needed.
+        needed_mb: f64,
+        /// Megabytes that were free.
+        available_mb: f64,
+    },
+    /// The video is not stored here.
+    UnknownVideo(VideoId),
+    /// The video is already stored here.
+    AlreadyStored(VideoId),
+    /// A disk array was configured with zero disks.
+    NoDisks,
+    /// A disk index was out of range for the array.
+    UnknownDisk(usize),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::InsufficientCapacity {
+                needed_mb,
+                available_mb,
+            } => write!(
+                f,
+                "insufficient disk capacity: need {needed_mb} MB, {available_mb} MB free"
+            ),
+            StorageError::UnknownVideo(id) => write!(f, "video {id} is not stored here"),
+            StorageError::AlreadyStored(id) => write!(f, "video {id} is already stored here"),
+            StorageError::NoDisks => write!(f, "a disk array needs at least one disk"),
+            StorageError::UnknownDisk(i) => write!(f, "disk index {i} out of range"),
+        }
+    }
+}
+
+impl Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(StorageError::NoDisks.to_string().contains("at least one"));
+        assert!(StorageError::UnknownVideo(VideoId::new(7))
+            .to_string()
+            .contains("v7"));
+        assert!(StorageError::InsufficientCapacity {
+            needed_mb: 10.0,
+            available_mb: 3.0
+        }
+        .to_string()
+        .contains("10 MB"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StorageError>();
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: one VRA decision on the paper's GRNET case study.
+//!
+//! Reproduces Experiment B of the paper end-to-end through the public
+//! API: a client in Patra asks for a title available only in
+//! Thessaloniki and Xanthi at 10am; the Virtual Routing Algorithm
+//! weights every backbone link with its Link Validation Number, runs
+//! Dijkstra, and picks Thessaloniki over the Ioannina path.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use vod_core::selection::SelectionContext;
+use vod_core::vra::Vra;
+use vod_net::lvn::{LvnComputer, LvnParams};
+use vod_net::topologies::grnet::{Grnet, GrnetLink, GrnetNode, TimeOfDay};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grnet = Grnet::new();
+    let time = TimeOfDay::T1000;
+    let snapshot = grnet.snapshot(time);
+
+    println!("== Link Validation Numbers at {} ==", time.label());
+    let lvn = LvnComputer::new(grnet.topology(), &snapshot, LvnParams::default());
+    for link in GrnetLink::ALL {
+        println!(
+            "  {:<24} capacity {:>5}  LVN {:.4}  (paper: {:.4})",
+            link.label(),
+            link.capacity().to_string(),
+            lvn.lvn(grnet.link(link)),
+            grnet.paper_table3_lvn(link, time),
+        );
+    }
+
+    let home = grnet.node(GrnetNode::Patra);
+    let candidates = [
+        grnet.node(GrnetNode::Thessaloniki),
+        grnet.node(GrnetNode::Xanthi),
+    ];
+    let ctx = SelectionContext {
+        topology: grnet.topology(),
+        snapshot: &snapshot,
+        home,
+        candidates: &candidates,
+    };
+
+    let report = Vra::default().select_with_report(&ctx)?;
+    println!("\n== VRA decision (client at Patra/U2) ==");
+    for (candidate, route) in &report.candidate_routes {
+        match route {
+            Some(r) => println!(
+                "  candidate {}: best path {} (cost {:.4})",
+                grnet.topology().node(*candidate).name(),
+                r.display_with(grnet.topology()),
+                r.cost()
+            ),
+            None => println!(
+                "  candidate {}: unreachable",
+                grnet.topology().node(*candidate).name()
+            ),
+        }
+    }
+    println!(
+        "\n  => download from {} via {} (cost {:.4})",
+        grnet.topology().node(report.selection.server).name(),
+        report.selection.route.display_with(grnet.topology()),
+        report.selection.route.cost()
+    );
+
+    if let Some(trace) = &report.trace {
+        println!("\n== Dijkstra trace (the paper's Table 5) ==");
+        println!("{}", trace.render(grnet.topology()));
+    }
+    Ok(())
+}

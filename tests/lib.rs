@@ -1,0 +1,16 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in this package's `tests/` directory; this
+//! library only hosts small fixtures they share.
+
+#![forbid(unsafe_code)]
+
+use vod_net::topologies::grnet::Grnet;
+
+/// Builds the paper's GRNET case-study backbone.
+pub fn grnet() -> Grnet {
+    Grnet::new()
+}
+
+/// Default deterministic seed used across integration tests.
+pub const TEST_SEED: u64 = 0xB0A5_1999;

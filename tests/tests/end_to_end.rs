@@ -1,0 +1,169 @@
+//! Integration test: full service runs across crates — scenarios from
+//! `vod-workload`, the service loop from `vod-core`, SNMP/database/DMA
+//! underneath — checking cross-component invariants.
+
+use vod_core::selection::{FirstCandidate, HopCountNearest, RandomReplica, ServerSelector};
+use vod_core::service::{ServiceConfig, VodService};
+use vod_core::vra::Vra;
+use vod_integration_tests::TEST_SEED;
+use vod_sim::{SimDuration, SimTime};
+use vod_storage::cluster::ClusterSize;
+use vod_storage::video::Megabytes;
+use vod_workload::arrivals::HourlyShape;
+use vod_workload::library::{LibraryConfig, LibraryGenerator};
+use vod_workload::scenario::Scenario;
+use vod_workload::trace::TraceConfig;
+
+fn small_scenario(seed: u64) -> Scenario {
+    let grnet = vod_net::topologies::grnet::Grnet::new();
+    let library = LibraryGenerator::new(LibraryConfig {
+        titles: 15,
+        min_size_mb: 50.0,
+        max_size_mb: 150.0,
+        bitrate_mbps: 1.5,
+    })
+    .generate(seed);
+    let trace = TraceConfig {
+        start: SimTime::from_secs(8 * 3600),
+        duration: SimDuration::from_secs(3600),
+        rate_per_sec: 0.008,
+        shape: HourlyShape::flat(),
+        zipf_skew: 0.9,
+        client_weights: None,
+    }
+    .generate(grnet.topology(), &library, seed);
+    Scenario::new(
+        "integration",
+        grnet.topology().clone(),
+        library,
+        trace,
+        vod_sim::traffic::BackgroundModel::grnet_table2(&grnet),
+        seed,
+    )
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        cluster: ClusterSize::new(Megabytes::new(25.0)),
+        initial_replicas: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn accounting_is_conserved_across_selectors() {
+    let scenario = small_scenario(TEST_SEED);
+    let n = scenario.trace().len();
+    let selectors: Vec<Box<dyn ServerSelector>> = vec![
+        Box::new(Vra::default()),
+        Box::new(HopCountNearest),
+        Box::new(RandomReplica::new(TEST_SEED)),
+        Box::new(FirstCandidate),
+    ];
+    for selector in selectors {
+        let name = selector.name().to_string();
+        let report = VodService::new(&scenario, selector, config()).run();
+        assert_eq!(
+            report.completed.len()
+                + report.unfinished_sessions
+                + report.failed_requests as usize
+                + report.rejected_requests as usize,
+            n,
+            "{name}: sessions must be conserved"
+        );
+        // Every record internally consistent.
+        for r in &report.completed {
+            assert!(r.completed_at >= r.requested_at, "{name}");
+            assert!(r.local_clusters <= r.clusters, "{name}");
+            assert!(r.stall_count == 0 || r.stall_time > SimDuration::ZERO, "{name}");
+            assert!(r.local_fraction() >= 0.0 && r.local_fraction() <= 1.0);
+        }
+        // DMA saw exactly the admitted requests.
+        assert_eq!(report.dma.requests, n as u64, "{name}");
+        // The fluid model never oversubscribes a link.
+        assert!(report.max_link_utilization.max <= 1.0 + 1e-9, "{name}");
+    }
+}
+
+#[test]
+fn identical_runs_produce_identical_reports() {
+    let a = VodService::new(&small_scenario(7), Box::new(Vra::default()), config()).run();
+    let b = VodService::new(&small_scenario(7), Box::new(Vra::default()), config()).run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_produce_different_workloads() {
+    let a = VodService::new(&small_scenario(1), Box::new(Vra::default()), config()).run();
+    let b = VodService::new(&small_scenario(2), Box::new(Vra::default()), config()).run();
+    assert_ne!(a.completed, b.completed);
+}
+
+#[test]
+fn full_replication_eliminates_network_traffic() {
+    let scenario = small_scenario(3);
+    let report = VodService::new(
+        &scenario,
+        Box::new(Vra::default()),
+        ServiceConfig {
+            initial_replicas: 6,
+            disk_capacity: Megabytes::new(100_000.0),
+            ..config()
+        },
+    )
+    .run();
+    assert!(report.failed_requests == 0);
+    for r in &report.completed {
+        assert_eq!(r.local_clusters, r.clusters);
+        assert_eq!(r.stall_count, 0, "local serves never starve");
+    }
+}
+
+#[test]
+fn dynamic_rerouting_never_loses_sessions_vs_static() {
+    let scenario = small_scenario(5);
+    let dynamic = VodService::new(&scenario, Box::new(Vra::default()), config()).run();
+    let static_run = VodService::new(
+        &scenario,
+        Box::new(Vra::default()),
+        ServiceConfig {
+            dynamic_rerouting: false,
+            ..config()
+        },
+    )
+    .run();
+    assert_eq!(
+        dynamic.completed.len() + dynamic.unfinished_sessions,
+        static_run.completed.len() + static_run.unfinished_sessions
+    );
+    // Static mode never switches; dynamic may.
+    assert!(static_run.completed.iter().all(|r| r.switches == 0));
+}
+
+#[test]
+fn flash_crowd_scenario_exercises_dma_evictions_or_hits() {
+    let scenario = Scenario::flash_crowd(TEST_SEED);
+    // Give the caches little room so the DMA must make choices.
+    let report = VodService::new(
+        &scenario,
+        Box::new(Vra::default()),
+        ServiceConfig {
+            disk_capacity: Megabytes::new(1_000.0),
+            ..ServiceConfig::default()
+        },
+    )
+    .run();
+    assert!(report.dma.requests > 0);
+    assert!(
+        report.dma.hits + report.dma.rejections > 0,
+        "a constrained cache must either hit or reject"
+    );
+}
+
+#[test]
+fn random_network_scenario_runs_clean() {
+    let scenario = Scenario::random_network(TEST_SEED);
+    let report = VodService::new(&scenario, Box::new(Vra::default()), config()).run();
+    assert!(report.failed_requests == 0);
+    assert!(!report.completed.is_empty());
+}

@@ -1,0 +1,143 @@
+//! Cross-crate property tests: invariants that must hold on arbitrary
+//! topologies, traffic states and request streams.
+
+use proptest::prelude::*;
+
+use vod_core::selection::{SelectionContext, ServerSelector};
+use vod_core::vra::Vra;
+use vod_net::topologies::random::connected_gnp;
+use vod_net::{Mbps, NodeId, TrafficSnapshot};
+use vod_storage::cluster::ClusterSize;
+use vod_storage::dma::{DmaCache, DmaConfig, EvictionMode};
+use vod_storage::video::{Megabytes, VideoId, VideoMeta};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On any connected topology with any load state, the VRA returns a
+    /// valid route from the home server to one of the candidates, and no
+    /// candidate has a cheaper best route than the chosen one.
+    #[test]
+    fn vra_selects_a_cheapest_valid_route(
+        n in 3usize..20,
+        p in 0.0f64..0.4,
+        seed in 0u64..1_000,
+        load in 0.0f64..1.5,
+        candidate_picks in proptest::collection::vec(0usize..20, 1..5),
+        home_pick in 0usize..20,
+    ) {
+        let topo = connected_gnp(n, p, seed);
+        let mut snapshot = TrafficSnapshot::zero(&topo);
+        for link in topo.link_ids() {
+            let cap = topo.link(link).capacity();
+            snapshot.set_used(link, Mbps::new(cap.as_f64() * load * ((link.index() % 3) as f64) / 3.0));
+        }
+        let home = NodeId::new((home_pick % n) as u32);
+        let mut candidates: Vec<NodeId> = candidate_picks
+            .iter()
+            .map(|&c| NodeId::new((c % n) as u32))
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+
+        let report = Vra::default().select_with_report(&SelectionContext {
+            topology: &topo,
+            snapshot: &snapshot,
+            home,
+            candidates: &candidates,
+        }).expect("connected topology always yields a route");
+
+        let sel = &report.selection;
+        prop_assert!(candidates.contains(&sel.server));
+        prop_assert!(sel.route.is_valid_in(&topo));
+        prop_assert_eq!(sel.route.source(), home);
+        prop_assert_eq!(sel.route.target(), sel.server);
+        // No candidate's route beats the chosen cost.
+        for (_, route) in &report.candidate_routes {
+            if let Some(r) = route {
+                prop_assert!(sel.route.cost() <= r.cost() + 1e-9);
+            }
+        }
+        // Local candidates always win outright.
+        if candidates.contains(&home) {
+            prop_assert!(sel.is_local());
+        }
+    }
+
+    /// The DMA cache never overcommits its disks, and the resident set
+    /// only ever contains requested (or preloaded) titles.
+    #[test]
+    fn dma_never_overcommits(
+        requests in proptest::collection::vec((0u32..30, 50.0f64..400.0), 1..120),
+        disk_capacity in 200.0f64..2_000.0,
+        eviction_until_fit in any::<bool>(),
+    ) {
+        let mut cache = DmaCache::new(DmaConfig {
+            disk_count: 3,
+            disk_capacity: Megabytes::new(disk_capacity),
+            cluster_size: ClusterSize::new(Megabytes::new(50.0)),
+            admit_threshold: 0,
+            eviction: if eviction_until_fit {
+                EvictionMode::UntilFit
+            } else {
+                EvictionMode::SingleAttempt
+            },
+        }).expect("valid config");
+
+        // Sizes must be stable per id for the stream to be coherent.
+        let mut sizes = std::collections::BTreeMap::new();
+        for (id, size) in &requests {
+            sizes.entry(*id).or_insert(*size);
+        }
+        for (id, _) in &requests {
+            let meta = VideoMeta::new(
+                VideoId::new(*id),
+                format!("t{id}"),
+                Megabytes::new(sizes[id]),
+                1.5,
+            );
+            let _ = cache.on_request(&meta);
+            // Invariant: no disk over capacity.
+            for d in 0..3 {
+                let disk = cache.array().disk(d).expect("disk exists");
+                prop_assert!(disk.used().as_f64() <= disk.capacity().as_f64() + 1e-6);
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.requests as usize, requests.len());
+        prop_assert_eq!(
+            stats.hits + stats.admissions + stats.rejections,
+            stats.requests
+        );
+    }
+
+    /// Striped storage conserves bytes: storing then removing any set of
+    /// videos restores an empty array.
+    #[test]
+    fn store_remove_round_trip(
+        sizes in proptest::collection::vec(10.0f64..900.0, 1..20),
+    ) {
+        use vod_storage::disk_array::DiskArray;
+        let mut array = DiskArray::uniform(
+            4,
+            Megabytes::new(10_000.0),
+            ClusterSize::new(Megabytes::new(75.0)),
+        ).expect("valid");
+        let videos: Vec<VideoMeta> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &mb)| VideoMeta::new(VideoId::new(i as u32), format!("t{i}"), Megabytes::new(mb), 1.5))
+            .collect();
+        let mut stored = Vec::new();
+        for v in &videos {
+            if array.store(v).is_ok() {
+                stored.push(v.id());
+            }
+        }
+        for id in stored {
+            array.remove(id).expect("stored videos can be removed");
+        }
+        prop_assert_eq!(array.total_free(), array.total_capacity());
+        prop_assert_eq!(array.stored_count(), 0);
+    }
+}
