@@ -13,14 +13,7 @@ use vod_workload::zipf::Zipf;
 
 fn library(titles: u32) -> VideoLibrary {
     (0..titles)
-        .map(|i| {
-            VideoMeta::new(
-                VideoId::new(i),
-                format!("t{i}"),
-                Megabytes::new(500.0),
-                1.5,
-            )
-        })
+        .map(|i| VideoMeta::new(VideoId::new(i), format!("t{i}"), Megabytes::new(500.0), 1.5))
         .collect()
 }
 

@@ -1,0 +1,172 @@
+//! Criterion bench: the epoch-cached [`RoutingEngine`] against the slow
+//! reference pipeline — cold vs warm cache, incremental vs full LVN
+//! rebuild, and `select_batch` thread scaling on GRNET and a 200-node
+//! random topology.
+//!
+//! Run with `CRITERION_JSON=BENCH_routing.json cargo bench --bench
+//! routing_engine` to regenerate the committed results file.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vod_net::dijkstra::dijkstra_with_trace;
+use vod_net::engine::{BatchRequest, RoutingEngine};
+use vod_net::lvn::{LvnComputer, LvnParams};
+use vod_net::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};
+use vod_net::topologies::random::connected_gnp;
+use vod_net::{NodeId, Topology, TrafficSnapshot};
+
+/// Per-request GRNET selection: the warm engine path (the service's
+/// steady state), the cold path (cache rebuilt every request), and the
+/// trace-producing reference pipeline the engine replaces.
+fn bench_grnet_select(c: &mut Criterion) {
+    let grnet = Grnet::new();
+    let snapshot = grnet.snapshot(TimeOfDay::T1000);
+    let home = grnet.node(GrnetNode::Patra);
+    let candidates = [
+        grnet.node(GrnetNode::Athens),
+        grnet.node(GrnetNode::Thessaloniki),
+    ];
+    let params = LvnParams::default();
+
+    let mut group = c.benchmark_group("engine/grnet_select");
+    let mut engine = RoutingEngine::new(params);
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            engine
+                .select(
+                    black_box(grnet.topology()),
+                    black_box(&snapshot),
+                    home,
+                    &candidates,
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            engine
+                .select(
+                    black_box(grnet.topology()),
+                    black_box(&snapshot),
+                    home,
+                    &candidates,
+                )
+                .unwrap()
+        })
+    });
+    group.bench_function("reference_slow_path", |b| {
+        b.iter(|| {
+            let weights =
+                LvnComputer::new(black_box(grnet.topology()), black_box(&snapshot), params)
+                    .weights();
+            dijkstra_with_trace(grnet.topology(), &weights, home).unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Weight-table maintenance: a full rebuild (cold cache) against the
+/// journal-driven incremental patch after a single link reading changes.
+fn bench_lvn_rebuild(c: &mut Criterion) {
+    let grnet = Grnet::new();
+    let mut snapshot = grnet.snapshot(TimeOfDay::T1000);
+    let params = LvnParams::default();
+    let link = grnet.topology().link_ids().next().unwrap();
+    let capacity = grnet.topology().link(link).capacity();
+
+    let mut group = c.benchmark_group("engine/lvn_rebuild");
+    let mut engine = RoutingEngine::new(params);
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            engine
+                .weights(black_box(grnet.topology()), black_box(&snapshot))
+                .unwrap()
+                .weight(link)
+        })
+    });
+    let mut flip = false;
+    group.bench_function("incremental_1_link", |b| {
+        b.iter(|| {
+            flip = !flip;
+            snapshot.set_used(link, capacity * if flip { 0.31 } else { 0.62 });
+            engine
+                .weights(black_box(grnet.topology()), black_box(&snapshot))
+                .unwrap()
+                .weight(link)
+        })
+    });
+    group.finish();
+}
+
+/// One request per node, all homes distinct, candidates fixed — the
+/// worst case for the path cache and the best case for parallelism.
+fn batch_requests(topology: &Topology, candidates: &[NodeId]) -> Vec<(NodeId, Vec<NodeId>)> {
+    topology
+        .node_ids()
+        .map(|home| (home, candidates.to_vec()))
+        .collect()
+}
+
+fn bench_batch(
+    c: &mut Criterion,
+    group_name: &str,
+    topology: &Topology,
+    snapshot: &TrafficSnapshot,
+) {
+    let candidates = [NodeId::new(0), NodeId::new(1)];
+    let owned = batch_requests(topology, &candidates);
+    let requests: Vec<BatchRequest<'_>> = owned
+        .iter()
+        .map(|(home, cands)| BatchRequest {
+            home: *home,
+            candidates: cands,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group(group_name);
+    for &threads in &[1usize, 2, 4, 8] {
+        let mut engine = RoutingEngine::new(LvnParams::default());
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                engine.clear_cache();
+                engine
+                    .select_batch_with_threads(
+                        black_box(topology),
+                        black_box(snapshot),
+                        &requests,
+                        t,
+                    )
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_grnet(c: &mut Criterion) {
+    let grnet = Grnet::new();
+    let snapshot = grnet.snapshot(TimeOfDay::T1000);
+    bench_batch(c, "engine/select_batch/grnet", grnet.topology(), &snapshot);
+}
+
+fn bench_batch_gnp200(c: &mut Criterion) {
+    let topology = connected_gnp(200, 0.05, 42);
+    let mut snapshot = TrafficSnapshot::zero(&topology);
+    for link in topology.link_ids() {
+        let capacity = topology.link(link).capacity();
+        snapshot.set_used(link, capacity * (0.1 + (link.index() % 7) as f64 * 0.1));
+    }
+    bench_batch(c, "engine/select_batch/gnp200", &topology, &snapshot);
+}
+
+criterion_group!(
+    benches,
+    bench_grnet_select,
+    bench_lvn_rebuild,
+    bench_batch_grnet,
+    bench_batch_gnp200
+);
+criterion_main!(benches);

@@ -70,8 +70,7 @@ fn main() {
                 admission,
                 ..ServiceConfig::default()
             };
-            let report =
-                VodService::new(&scenario, Box::new(Vra::default()), config).run();
+            let report = VodService::new(&scenario, Box::new(Vra::default()), config).run();
             t.row([
                 format!("{rate}"),
                 label.to_string(),

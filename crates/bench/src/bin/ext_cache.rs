@@ -22,7 +22,11 @@ use vod_workload::zipf::Zipf;
 
 const REQUESTS: usize = 20_000;
 
-fn run_policy(cache: &mut dyn TitleCache, stream: &[VideoId], library: &vod_storage::video::VideoLibrary) -> f64 {
+fn run_policy(
+    cache: &mut dyn TitleCache,
+    stream: &[VideoId],
+    library: &vod_storage::video::VideoLibrary,
+) -> f64 {
     let mut hits = 0usize;
     for &id in stream {
         let video = library.get(id).expect("stream ids come from the library");
@@ -79,8 +83,14 @@ fn main() {
             t.row([
                 format!("{skew:.1}"),
                 format!("{:.0}%", fraction * 100.0),
-                format!("{:.1}%", run_policy(&mut dma_single, &stream, &library) * 100.0),
-                format!("{:.1}%", run_policy(&mut dma_fit, &stream, &library) * 100.0),
+                format!(
+                    "{:.1}%",
+                    run_policy(&mut dma_single, &stream, &library) * 100.0
+                ),
+                format!(
+                    "{:.1}%",
+                    run_policy(&mut dma_fit, &stream, &library) * 100.0
+                ),
                 format!("{:.1}%", run_policy(&mut lfu, &stream, &library) * 100.0),
                 format!("{:.1}%", run_policy(&mut lru, &stream, &library) * 100.0),
             ]);

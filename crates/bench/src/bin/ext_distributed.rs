@@ -40,7 +40,9 @@ fn main() {
     let opts = Options::from_env();
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
-    println!("E7 — popularity-scaled strip replication across {SERVERS} servers ({PARTS} strips)\n");
+    println!(
+        "E7 — popularity-scaled strip replication across {SERVERS} servers ({PARTS} strips)\n"
+    );
     let mut t = Table::new([
         "popularity",
         "replicas",

@@ -28,9 +28,7 @@ fn main() {
         .expect("non-empty trace")
         .at;
     let victim = scenario.topology().video_server_nodes()[0]; // Athens
-    println!(
-        "E8 — Athens (U1) fails 1 h into the day, recovers 2 h later; {n} requests\n"
-    );
+    println!("E8 — Athens (U1) fails 1 h into the day, recovers 2 h later; {n} requests\n");
 
     let mut t = Table::new([
         "replicas",
@@ -55,8 +53,7 @@ fn main() {
                 },
                 ..ServiceConfig::default()
             };
-            let report =
-                VodService::new(&scenario, Box::new(Vra::default()), config).run();
+            let report = VodService::new(&scenario, Box::new(Vra::default()), config).run();
             t.row([
                 replicas.to_string(),
                 if fail { "yes" } else { "no" }.to_string(),

@@ -28,8 +28,7 @@ fn main() {
         let mut cells = vec![format!("{n}")];
         for exp in experiments() {
             let snapshot = grnet.snapshot(exp.time);
-            let candidates: Vec<NodeId> =
-                exp.candidates.iter().map(|&c| grnet.node(c)).collect();
+            let candidates: Vec<NodeId> = exp.candidates.iter().map(|&c| grnet.node(c)).collect();
             let ctx = SelectionContext {
                 topology: grnet.topology(),
                 snapshot: &snapshot,
@@ -60,8 +59,7 @@ fn main() {
         let mut cells = vec![format!("{combiner:?}")];
         for exp in experiments() {
             let snapshot = grnet.snapshot(exp.time);
-            let candidates: Vec<NodeId> =
-                exp.candidates.iter().map(|&c| grnet.node(c)).collect();
+            let candidates: Vec<NodeId> = exp.candidates.iter().map(|&c| grnet.node(c)).collect();
             let ctx = SelectionContext {
                 topology: grnet.topology(),
                 snapshot: &snapshot,

@@ -71,9 +71,7 @@ fn main() {
         ..ServiceConfig::default()
     };
 
-    println!(
-        "E2 — selector comparison on the simulated GRNET day ({SEEDS} seeds per cell)\n"
-    );
+    println!("E2 — selector comparison on the simulated GRNET day ({SEEDS} seeds per cell)\n");
     let mut t = Table::new([
         "load (req/s)",
         "selector",

@@ -73,8 +73,7 @@ fn main() {
                 snmp_smoothing: smoothing,
                 ..ServiceConfig::default()
             };
-            let report =
-                VodService::new(&scenario(seed), Box::new(Vra::default()), config).run();
+            let report = VodService::new(&scenario(seed), Box::new(Vra::default()), config).run();
             startup += report.startup_summary().mean;
             stall += report.mean_stall_ratio();
             stalled += report.stalled_session_fraction();

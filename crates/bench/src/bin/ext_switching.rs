@@ -43,8 +43,7 @@ fn main() {
                 initial_replicas: 2,
                 ..ServiceConfig::default()
             };
-            let report =
-                VodService::new(&scenario, Box::new(Vra::default()), config).run();
+            let report = VodService::new(&scenario, Box::new(Vra::default()), config).run();
             t.row([
                 format!("{cluster_mb}"),
                 if dynamic { "dynamic" } else { "static" }.to_string(),

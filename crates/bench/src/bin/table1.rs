@@ -34,7 +34,11 @@ fn main() {
     let id = grnet.link(link);
     let (a, b) = grnet.topology().link(id).endpoints();
 
-    println!("\nFigure 4 worked example — validating {} at {}:", link.label(), time.label());
+    println!(
+        "\nFigure 4 worked example — validating {} at {}:",
+        link.label(),
+        time.label()
+    );
     println!(
         "  NV_{} = Σ UBW / Σ LBW over adjacent links = {:.4}      (eq. 2)",
         grnet.topology().node(a).name(),

@@ -20,11 +20,7 @@ fn main() {
     println!("Table 2 — The network status (as recorded in the paper)\n");
     let mut t = Table::new(["Link", "8am", "10am", "4pm", "6pm"]);
     for link in GrnetLink::ALL {
-        let mut cells = vec![format!(
-            "{} ({} link)",
-            link.label(),
-            link.capacity()
-        )];
+        let mut cells = vec![format!("{} ({} link)", link.label(), link.capacity())];
         for time in TimeOfDay::ALL {
             let cell = grnet.table2(link, time);
             cells.push(format!(

@@ -31,14 +31,20 @@ fn main() {
         .expect("connected");
 
     println!("Candidate summary (paper vs faithful Dijkstra):");
-    println!("  paper:    D4 = 0.365  via U2,U1,U4   |  D5 = 0.315  via U2,U1,U6,U5 → picks U5 (Xanthi)");
+    println!(
+        "  paper:    D4 = 0.365  via U2,U1,U4   |  D5 = 0.315  via U2,U1,U6,U5 → picks U5 (Xanthi)"
+    );
     println!(
         "  faithful: D4 = {:.5} via {}  |  D5 = {:.5} via {} → picks {}",
         d4,
         route4.display_with(grnet.topology()),
         d5,
         route5.display_with(grnet.topology()),
-        if d4 < d5 { "U4 (Thessaloniki)" } else { "U5 (Xanthi)" }
+        if d4 < d5 {
+            "U4 (Thessaloniki)"
+        } else {
+            "U5 (Xanthi)"
+        }
     );
     println!();
     println!("ERRATUM: settling U3 (cost 0.07501) must relax the U3–U4 link");
@@ -50,6 +56,9 @@ fn main() {
     // Machine check: D5 must match the paper (0.083 + 0.1116 + 0.1201 =
     // 0.3147, printed as 0.315); D4 must be the corrected value.
     assert!((d5 - 0.3147).abs() < 1e-9, "D5 should match the paper");
-    assert!((d4 - 0.21771).abs() < 1e-9, "D4 should be the corrected cost");
+    assert!(
+        (d4 - 0.21771).abs() < 1e-9,
+        "D4 should be the corrected cost"
+    );
     println!("\nchecks passed: D5 matches the paper, D4 is the corrected value");
 }

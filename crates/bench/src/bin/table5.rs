@@ -37,13 +37,20 @@ fn main() {
         route4.display_with(grnet.topology()),
         d5,
         route5.display_with(grnet.topology()),
-        if d4 < d5 { "U4 (Thessaloniki)" } else { "U5 (Xanthi)" }
+        if d4 < d5 {
+            "U4 (Thessaloniki)"
+        } else {
+            "U5 (Xanthi)"
+        }
     );
 
     // 0.450017 + 0.5571 and 0.632 + 0.5462 + 0.13001.
     assert!((d4 - 1.007117).abs() < 1e-9);
     assert!((d5 - 1.30821).abs() < 1e-9);
-    assert_eq!(route4.display_with(grnet.topology()).to_string(), "U2,U3,U4");
+    assert_eq!(
+        route4.display_with(grnet.topology()).to_string(),
+        "U2,U3,U4"
+    );
     assert_eq!(
         route5.display_with(grnet.topology()).to_string(),
         "U2,U1,U6,U5"

@@ -78,11 +78,7 @@ pub fn experiments() -> Vec<ExpectedExperiment> {
             time: TimeOfDay::T1600,
             home: Athens,
             candidates: &[Thessaloniki, Xanthi, Ioannina],
-            published_costs: &[
-                (Thessaloniki, 1.5433),
-                (Xanthi, 1.274),
-                (Ioannina, 1.222),
-            ],
+            published_costs: &[(Thessaloniki, 1.5433), (Xanthi, 1.274), (Ioannina, 1.222)],
             published_choice: Ioannina,
             published_route: &["U1", "U2", "U3"],
             published_cost: 1.222,
@@ -96,11 +92,7 @@ pub fn experiments() -> Vec<ExpectedExperiment> {
             time: TimeOfDay::T1800,
             home: Athens,
             candidates: &[Thessaloniki, Xanthi, Ioannina],
-            published_costs: &[
-                (Thessaloniki, 1.4824),
-                (Xanthi, 1.3574),
-                (Ioannina, 1.236),
-            ],
+            published_costs: &[(Thessaloniki, 1.4824), (Xanthi, 1.3574), (Ioannina, 1.236)],
             published_choice: Ioannina,
             published_route: &["U1", "U2", "U3"],
             published_cost: 1.236,

@@ -190,7 +190,7 @@ mod tests {
         let (topo, route, ..) = two_hop();
         let mut snap = TrafficSnapshot::zero(&topo);
         snap.set_used(LinkId::new(0), Mbps::new(0.2)); // 1.8 free
-        // factor 1.0: 1.5 needed → fits.
+                                                       // factor 1.0: 1.5 needed → fits.
         assert!(AdmissionPolicy::new(1.0)
             .check(&topo, &snap, &route, 1.5)
             .is_admit());

@@ -58,12 +58,7 @@ impl HomeResolver {
     ///
     /// Returns `Err` with the invalid length when `prefix_len > 32` or
     /// the network address has bits set beyond the prefix.
-    pub fn add(
-        &mut self,
-        network: Ipv4Addr,
-        prefix_len: u8,
-        server: NodeId,
-    ) -> Result<(), String> {
+    pub fn add(&mut self, network: Ipv4Addr, prefix_len: u8, server: NodeId) -> Result<(), String> {
         if prefix_len > 32 {
             return Err(format!("prefix length {prefix_len} exceeds 32"));
         }
@@ -137,14 +132,16 @@ mod tests {
     #[test]
     fn no_default_route_means_unresolved() {
         let mut r = HomeResolver::new();
-        r.add(Ipv4Addr::new(10, 0, 0, 0), 8, NodeId::new(1)).unwrap();
+        r.add(Ipv4Addr::new(10, 0, 0, 0), 8, NodeId::new(1))
+            .unwrap();
         assert_eq!(r.resolve(Ipv4Addr::new(11, 0, 0, 1)), None);
     }
 
     #[test]
     fn exact_host_prefix() {
         let mut r = HomeResolver::new();
-        r.add(Ipv4Addr::new(10, 0, 0, 5), 32, NodeId::new(9)).unwrap();
+        r.add(Ipv4Addr::new(10, 0, 0, 5), 32, NodeId::new(9))
+            .unwrap();
         assert_eq!(r.resolve(Ipv4Addr::new(10, 0, 0, 5)), Some(NodeId::new(9)));
         assert_eq!(r.resolve(Ipv4Addr::new(10, 0, 0, 6)), None);
     }
@@ -152,7 +149,9 @@ mod tests {
     #[test]
     fn invalid_prefixes_rejected() {
         let mut r = HomeResolver::new();
-        assert!(r.add(Ipv4Addr::new(10, 0, 0, 0), 33, NodeId::new(0)).is_err());
+        assert!(r
+            .add(Ipv4Addr::new(10, 0, 0, 0), 33, NodeId::new(0))
+            .is_err());
         assert!(r
             .add(Ipv4Addr::new(10, 0, 0, 1), 24, NodeId::new(0))
             .is_err());

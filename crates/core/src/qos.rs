@@ -107,7 +107,10 @@ impl ServiceReport {
         if self.completed.is_empty() {
             return 0.0;
         }
-        self.completed.iter().map(QosRecord::stall_ratio).sum::<f64>()
+        self.completed
+            .iter()
+            .map(QosRecord::stall_ratio)
+            .sum::<f64>()
             / self.completed.len() as f64
     }
 
@@ -125,7 +128,10 @@ impl ServiceReport {
         if self.completed.is_empty() {
             return 0.0;
         }
-        self.completed.iter().map(|r| r.switches as f64).sum::<f64>()
+        self.completed
+            .iter()
+            .map(|r| r.switches as f64)
+            .sum::<f64>()
             / self.completed.len() as f64
     }
 

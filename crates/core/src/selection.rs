@@ -413,9 +413,7 @@ mod tests {
         assert_eq!(hop.route.hops(), 2);
         let vra = crate::vra::Vra::default().select(&ctx).unwrap();
         // VRA avoids the congested Patra-Athens link via Ioannina.
-        assert!(!vra
-            .route
-            .contains_link(grnet.link(GrnetLink::PatraAthens)));
+        assert!(!vra.route.contains_link(grnet.link(GrnetLink::PatraAthens)));
     }
 
     #[test]
@@ -456,11 +454,10 @@ mod tests {
             grnet.node(GrnetNode::Heraklio),
         ];
         let ctx = grnet_ctx(&grnet, &snap, &candidates);
-        let picks =
-            |seed: u64| -> Vec<NodeId> {
-                let mut p = RandomReplica::new(seed);
-                (0..20).map(|_| p.select(&ctx).unwrap().server).collect()
-            };
+        let picks = |seed: u64| -> Vec<NodeId> {
+            let mut p = RandomReplica::new(seed);
+            (0..20).map(|_| p.select(&ctx).unwrap().server).collect()
+        };
         assert_eq!(picks(5), picks(5));
         let all = picks(5);
         // With 20 draws over 3 candidates, all should appear.

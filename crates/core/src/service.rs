@@ -148,6 +148,15 @@ struct ServiceModel {
     flow_sessions: BTreeMap<FlowId, SessionId>,
     cache_on_complete: BTreeMap<SessionId, bool>,
     down: std::collections::BTreeSet<NodeId>,
+    /// The database snapshot the selector sees, cached per
+    /// [`Database::traffic_version`]. Requests between SNMP polls reuse
+    /// the same snapshot *instance*, so its epoch token stays stable and
+    /// the VRA's routing engine serves them from its weight and
+    /// shortest-path caches.
+    db_snap_cache: Option<(u64, vod_net::TrafficSnapshot)>,
+    /// Reused buffer for the instantaneous utilization samples taken at
+    /// each SNMP poll (avoids one snapshot allocation per poll).
+    live_snap: vod_net::TrafficSnapshot,
     retired_dma: DmaStats,
     records: Vec<QosRecord>,
     failed_requests: u64,
@@ -208,17 +217,25 @@ impl ServiceModel {
         }
     }
 
-    /// The database's current (stale, SNMP-fed) view of the network,
-    /// optionally EWMA-smoothed.
-    fn db_snapshot(&mut self) -> vod_net::TrafficSnapshot {
+    /// Ensures the cached database snapshot matches the database's
+    /// current traffic version, rebuilding it only after an SNMP poll
+    /// actually recorded new readings. The cached *instance* is what
+    /// makes the routing engine's epoch cache effective: every request
+    /// between two polls sees the same snapshot token and version.
+    fn refresh_db_snapshot(&mut self) {
+        let version = self.db.traffic_version();
+        if matches!(&self.db_snap_cache, Some((v, _)) if *v == version) {
+            return;
+        }
         let la = self
             .db
             .limited_access(&self.admin)
             .expect("service admin is registered");
-        match self.config.snmp_smoothing {
+        let snap = match self.config.snmp_smoothing {
             Some(alpha) => la.smoothed_snapshot(&self.topology, alpha),
             None => la.snapshot(&self.topology),
-        }
+        };
+        self.db_snap_cache = Some((version, snap));
     }
 
     /// Runs the selector for `video` on behalf of a client homed at
@@ -232,14 +249,21 @@ impl ServiceModel {
         if candidates.is_empty() {
             return None;
         }
-        let snapshot = self.db_snapshot();
+        self.refresh_db_snapshot();
+        let ServiceModel {
+            topology,
+            selector,
+            db_snap_cache,
+            ..
+        } = self;
+        let snapshot = &db_snap_cache.as_ref().expect("refreshed above").1;
         let ctx = SelectionContext {
-            topology: &self.topology,
-            snapshot: &snapshot,
+            topology,
+            snapshot,
             home,
             candidates: &candidates,
         };
-        self.selector.select(&ctx).ok()
+        selector.select(&ctx).ok()
     }
 
     /// Starts fetching the next cluster of `sid`, re-running the selector
@@ -418,17 +442,18 @@ impl ServiceModel {
                         let _ = admin.remove_title(request.client, victim);
                     }
                 }
-                DmaDecision::NotAdmitted { reason } => {
-                    if let vod_storage::dma::RejectReason::DoesNotFit { evicted } = reason {
-                        let mut admin = self
-                            .db
-                            .limited_access(&self.admin)
-                            .expect("service admin is registered");
-                        for victim in evicted {
-                            let _ = admin.remove_title(request.client, victim);
-                        }
+                DmaDecision::NotAdmitted {
+                    reason: vod_storage::dma::RejectReason::DoesNotFit { evicted },
+                } => {
+                    let mut admin = self
+                        .db
+                        .limited_access(&self.admin)
+                        .expect("service admin is registered");
+                    for victim in evicted {
+                        let _ = admin.remove_title(request.client, victim);
                     }
                 }
+                DmaDecision::NotAdmitted { .. } => {}
                 // DmaDecision is #[non_exhaustive]; future variants are
                 // treated as "no catalog change".
                 _ => {}
@@ -443,11 +468,12 @@ impl ServiceModel {
 
         // "Minimum QoS" admission: reject rather than degrade everyone.
         if let Some(policy) = self.config.admission {
-            let snapshot = self.db_snapshot();
+            self.refresh_db_snapshot();
+            let snapshot = &self.db_snap_cache.as_ref().expect("refreshed above").1;
             if !policy
                 .check(
                     &self.topology,
-                    &snapshot,
+                    snapshot,
                     &selection.route,
                     meta.bitrate_mbps(),
                 )
@@ -520,11 +546,7 @@ impl ServiceModel {
         }
         // Also withdraw titles listed in the DB but not in the cache
         // (initial seeding differences).
-        let listed = self
-            .db
-            .full_access()
-            .titles_at(node)
-            .unwrap_or_default();
+        let listed = self.db.full_access().titles_at(node).unwrap_or_default();
         if !listed.is_empty() {
             let mut admin = self
                 .db
@@ -607,13 +629,14 @@ impl ServiceModel {
         self.snmp
             .poll(&self.topology, &mut self.db, now)
             .expect("topology links are registered");
-        // Sample true instantaneous utilization for the report.
-        let snap = self.flows.snapshot();
-        if let Some((_, max)) = snap.max_utilization(&self.topology) {
+        // Sample true instantaneous utilization for the report, reusing
+        // the buffer instead of allocating a snapshot per poll.
+        self.flows.snapshot_into(&mut self.live_snap);
+        if let Some((_, max)) = self.live_snap.max_utilization(&self.topology) {
             self.max_util_series.push(now, max.get());
         }
         self.mean_util_series
-            .push(now, snap.mean_utilization(&self.topology).get());
+            .push(now, self.live_snap.mean_utilization(&self.topology).get());
         self.reschedule_recurring(now, self.config.snmp_interval, || Event::SnmpPoll, sched);
     }
 
@@ -791,11 +814,14 @@ impl VodService {
             }
         }
 
+        let live_snap = flows.snapshot();
         let model = ServiceModel {
             recurring_deadline: end + config.drain_grace,
             arrivals_remaining: scenario.trace().len(),
             topology,
             flows,
+            db_snap_cache: None,
+            live_snap,
             snmp,
             db,
             admin,
@@ -835,7 +861,8 @@ impl VodService {
             )
         };
         sim.scheduler_mut().schedule(snmp_next, Event::SnmpPoll);
-        sim.scheduler_mut().schedule(bg_next, Event::BackgroundUpdate);
+        sim.scheduler_mut()
+            .schedule(bg_next, Event::BackgroundUpdate);
         // Scheduled outages.
         let failures = sim.model().config.failures.clone();
         for (down_at, up_at, node) in failures {
@@ -844,7 +871,8 @@ impl VodService {
                 sim.model().caches.contains_key(&node),
                 "only video servers can fail"
             );
-            sim.scheduler_mut().schedule(down_at, Event::ServerDown(node));
+            sim.scheduler_mut()
+                .schedule(down_at, Event::ServerDown(node));
             sim.scheduler_mut().schedule(up_at, Event::ServerUp(node));
         }
         VodService { sim }
@@ -927,8 +955,7 @@ mod tests {
         let scenario = quick_scenario(1);
         let n = scenario.trace().len();
         assert!(n > 0);
-        let report =
-            VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
+        let report = VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
         assert_eq!(report.selector, "vra");
         assert_eq!(report.completed.len() + report.unfinished_sessions, n);
         assert_eq!(report.failed_requests, 0);
@@ -943,18 +970,8 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let a = VodService::new(
-            &quick_scenario(7),
-            Box::new(Vra::default()),
-            quick_config(),
-        )
-        .run();
-        let b = VodService::new(
-            &quick_scenario(7),
-            Box::new(Vra::default()),
-            quick_config(),
-        )
-        .run();
+        let a = VodService::new(&quick_scenario(7), Box::new(Vra::default()), quick_config()).run();
+        let b = VodService::new(&quick_scenario(7), Box::new(Vra::default()), quick_config()).run();
         assert_eq!(a, b);
     }
 
@@ -969,10 +986,7 @@ mod tests {
         for selector in selectors {
             let name = selector.name().to_string();
             let report = VodService::new(&scenario, selector, quick_config()).run();
-            assert!(
-                !report.completed.is_empty(),
-                "{name} completed no sessions"
-            );
+            assert!(!report.completed.is_empty(), "{name} completed no sessions");
         }
     }
 
@@ -1012,8 +1026,7 @@ mod tests {
     #[test]
     fn popular_titles_get_replicated_by_the_dma() {
         let scenario = quick_scenario(11);
-        let report =
-            VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
+        let report = VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
         // With Zipf skew and per-request DMA admission, remote fetches
         // admit titles into home caches.
         assert!(report.dma.admissions > 0, "DMA never admitted anything");
@@ -1043,7 +1056,10 @@ mod tests {
         )
         .run();
         assert_eq!(open.rejected_requests, 0);
-        assert!(gated.rejected_requests > 0, "congestion must trigger rejections");
+        assert!(
+            gated.rejected_requests > 0,
+            "congestion must trigger rejections"
+        );
         assert!(
             gated.mean_stall_ratio() <= open.mean_stall_ratio(),
             "admission control should not worsen stalls: {} vs {}",
@@ -1063,12 +1079,7 @@ mod tests {
     #[test]
     fn smoothed_snapshots_run_and_differ_from_raw() {
         let scenario = quick_scenario(23);
-        let raw = VodService::new(
-            &scenario,
-            Box::new(Vra::default()),
-            quick_config(),
-        )
-        .run();
+        let raw = VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
         let smoothed = VodService::new(
             &scenario,
             Box::new(Vra::default()),
@@ -1167,8 +1178,7 @@ mod tests {
     #[test]
     fn snmp_metrics_are_sampled() {
         let scenario = quick_scenario(13);
-        let report =
-            VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
+        let report = VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
         assert!(report.max_link_utilization.count > 0);
         assert!(report.max_link_utilization.max <= 1.0 + 1e-9);
     }

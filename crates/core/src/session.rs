@@ -19,9 +19,7 @@ use vod_storage::video::{VideoId, VideoMeta};
 use crate::qos::QosRecord;
 
 /// Identifier of a playback session.
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct SessionId(pub u64);
 
@@ -326,7 +324,7 @@ mod tests {
     #[test]
     fn fetch_and_play_progression() {
         let mut s = session();
-        assert!(s.assign_server(NodeId::new(2), false) == false);
+        assert!(!s.assign_server(NodeId::new(2), false));
         let first = s.on_cluster_fetched(SimTime::from_secs(20));
         assert!(first);
         assert_eq!(s.startup_delay(), Some(SimDuration::from_secs(10)));

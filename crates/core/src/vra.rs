@@ -18,6 +18,7 @@
 //! the content of the paper's Tables 4/5 and its Experiments A–D.
 
 use vod_net::dijkstra::dijkstra_with_trace;
+use vod_net::engine::RoutingEngine;
 use vod_net::lvn::{LvnComputer, LvnParams};
 use vod_net::trace::DijkstraTrace;
 use vod_net::{NodeId, Route, Topology, TrafficSnapshot};
@@ -55,6 +56,10 @@ use crate::selection::{Selection, SelectionContext, ServerSelector};
 #[derive(Debug, Clone, Default)]
 pub struct Vra {
     params: LvnParams,
+    /// Epoch-cached fast path used by [`ServerSelector::select`]; its
+    /// decisions are bit-identical to [`Vra::select_with_report`], which
+    /// recomputes from scratch to produce the paper's traces.
+    engine: RoutingEngine,
 }
 
 /// The full decision record of one VRA run: the chosen selection, every
@@ -75,12 +80,21 @@ pub struct VraReport {
 impl Vra {
     /// A VRA with explicit LVN parameters.
     pub fn new(params: LvnParams) -> Self {
-        Vra { params }
+        Vra {
+            params,
+            engine: RoutingEngine::new(params),
+        }
     }
 
     /// The LVN parameters in use.
     pub fn params(&self) -> LvnParams {
         self.params
+    }
+
+    /// The cached routing engine behind the fast path (cache/rebuild
+    /// statistics live in [`RoutingEngine::stats`]).
+    pub fn engine(&self) -> &RoutingEngine {
+        &self.engine
     }
 
     /// Computes the LVN weight table for the given network state.
@@ -200,7 +214,22 @@ impl ServerSelector for Vra {
     }
 
     fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Selection, CoreError> {
-        self.select_with_report(ctx).map(|r| r.selection)
+        // The hot path: epoch-cached weights and shortest-path trees.
+        // Identical decisions (costs, routes, tie-breaks) to the
+        // trace-producing `select_with_report`.
+        match self
+            .engine
+            .select(ctx.topology, ctx.snapshot, ctx.home, ctx.candidates)?
+        {
+            Some(sel) => Ok(Selection {
+                server: sel.server,
+                route: sel.route,
+            }),
+            None => Err(CoreError::Unreachable {
+                home: ctx.home,
+                candidates: ctx.candidates.to_vec(),
+            }),
+        }
     }
 }
 
@@ -341,6 +370,35 @@ mod tests {
         assert!((report.selection.route.cost() - 1.007117).abs() < 1e-9);
         let xanthi = report.candidate_routes[1].1.as_ref().unwrap();
         assert!((xanthi.cost() - 1.30821).abs() < 1e-5);
+    }
+
+    /// The engine-backed `select` fast path must make the same decision
+    /// as the trace-producing report path, and a warm cache must answer
+    /// repeats without recomputing LVNs or re-running Dijkstra.
+    #[test]
+    fn fast_path_matches_report_path_and_caches() {
+        let grnet = Grnet::new();
+        let mut vra = Vra::default();
+        for time in [TimeOfDay::T0800, TimeOfDay::T1000] {
+            let snap = grnet.snapshot(time);
+            let candidates = [
+                grnet.node(GrnetNode::Thessaloniki),
+                grnet.node(GrnetNode::Xanthi),
+            ];
+            let c = ctx(&grnet, &snap, GrnetNode::Patra, &candidates);
+            let report = vra.select_with_report(&c).unwrap();
+            let fast = vra.select(&c).unwrap();
+            assert_eq!(fast, report.selection, "{}", time.label());
+            let repeat = vra.select(&c).unwrap();
+            assert_eq!(repeat, report.selection);
+        }
+        let stats = vra.engine().stats();
+        // One rebuild + one Dijkstra per snapshot; each repeat was pure
+        // cache (select_with_report never touches the engine).
+        assert_eq!(stats.full_rebuilds, 2);
+        assert_eq!(stats.dijkstra_runs, 2);
+        assert_eq!(stats.path_cache_hits, 2);
+        assert_eq!(stats.weight_cache_hits, 2);
     }
 
     #[test]

@@ -232,6 +232,7 @@ impl<'a> LimitedAccess<'a> {
             used,
             utilization,
         });
+        self.db.bump_traffic_version();
         Ok(())
     }
 
@@ -314,8 +315,12 @@ mod tests {
             Err(DbError::UnknownServer(_))
         ));
         // Adding twice reports false the second time.
-        assert!(la.add_title(grnet.node(GrnetNode::Patra), VideoId::new(0)).unwrap());
-        assert!(!la.add_title(grnet.node(GrnetNode::Patra), VideoId::new(0)).unwrap());
+        assert!(la
+            .add_title(grnet.node(GrnetNode::Patra), VideoId::new(0))
+            .unwrap());
+        assert!(!la
+            .add_title(grnet.node(GrnetNode::Patra), VideoId::new(0))
+            .unwrap());
     }
 
     #[test]
@@ -326,8 +331,10 @@ mod tests {
         la.add_title(patra, VideoId::new(0)).unwrap();
         assert!(la.remove_title(patra, VideoId::new(0)).unwrap());
         assert!(!la.remove_title(patra, VideoId::new(0)).unwrap());
-        drop(la);
-        assert!(db.full_access().servers_with_title(VideoId::new(0)).is_empty());
+        assert!(db
+            .full_access()
+            .servers_with_title(VideoId::new(0))
+            .is_empty());
     }
 
     #[test]
@@ -359,7 +366,10 @@ mod tests {
             la.reading_age(link, SimTime::from_secs(180)).unwrap(),
             Some(SimDuration::from_secs(60))
         );
-        assert_eq!(la.reading_age(other, SimTime::from_secs(180)).unwrap(), None);
+        assert_eq!(
+            la.reading_age(other, SimTime::from_secs(180)).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -431,7 +441,6 @@ mod tests {
             Megabytes::new(50.0),
             1.5,
         ));
-        drop(la);
         assert_eq!(db.library().len(), 4);
     }
 }

@@ -17,12 +17,29 @@ use crate::error::DbError;
 /// Reads and writes go through the typed views returned by
 /// [`Database::full_access`] and [`Database::limited_access`]; see the
 /// [crate-level example](crate).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Database {
     servers: BTreeMap<NodeId, ServerEntry>,
     links: BTreeMap<LinkId, LinkEntry>,
     library: VideoLibrary,
     admins: BTreeSet<String>,
+    /// Monotonic counter bumped on every traffic write (SNMP reading),
+    /// letting consumers cache snapshots derived from the link entries.
+    /// Bookkeeping only: not persisted, ignored by equality.
+    #[serde(skip)]
+    traffic_version: u64,
+}
+
+// Two databases are equal iff their *data* is; the traffic-version
+// counter is cache bookkeeping (a deserialized copy restarts at 0 yet
+// must compare equal to its source).
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.servers == other.servers
+            && self.links == other.links
+            && self.library == other.library
+            && self.admins == other.admins
+    }
 }
 
 impl Database {
@@ -36,6 +53,7 @@ impl Database {
             links: BTreeMap::new(),
             library,
             admins,
+            traffic_version: 0,
         }
     }
 
@@ -48,8 +66,10 @@ impl Database {
         let mut db = Database::new(library);
         for node in topology.nodes() {
             if node.is_video_server() {
-                db.servers
-                    .insert(node.id(), ServerEntry::new(node.id(), ServerConfig::default()));
+                db.servers.insert(
+                    node.id(),
+                    ServerEntry::new(node.id(), ServerConfig::default()),
+                );
             }
         }
         for link in topology.links() {
@@ -99,6 +119,19 @@ impl Database {
     /// Number of link entries.
     pub fn link_count(&self) -> usize {
         self.links.len()
+    }
+
+    /// Monotonic version of the stored traffic state, bumped whenever an
+    /// SNMP reading is recorded. Snapshots derived from this database
+    /// stay valid exactly as long as the version does not change, so
+    /// callers can reuse one snapshot instance across requests — which
+    /// keeps epoch-keyed routing caches (see `vod_net::engine`) warm.
+    pub fn traffic_version(&self) -> u64 {
+        self.traffic_version
+    }
+
+    pub(crate) fn bump_traffic_version(&mut self) {
+        self.traffic_version += 1;
     }
 
     // Crate-internal accessors used by the views.

@@ -237,10 +237,7 @@ mod tests {
         assert_eq!(e.history().len(), READING_HISTORY);
         // Oldest entries were dropped; the newest equals last_reading.
         assert_eq!(e.history().last().copied(), e.last_reading());
-        assert!(e
-            .history()
-            .windows(2)
-            .all(|w| w[0].at < w[1].at));
+        assert!(e.history().windows(2).all(|w| w[0].at < w[1].at));
     }
 
     #[test]

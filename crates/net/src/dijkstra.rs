@@ -111,6 +111,26 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable working memory for repeated Dijkstra runs.
+///
+/// [`dijkstra_with_scratch`] keeps its heap and settled-flag buffers
+/// here between runs, so steady-state routing (the engine's per-request
+/// hot path) performs no heap allocation beyond the returned
+/// [`ShortestPaths`] — and none at all once the engine's path cache is
+/// warm.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    heap: BinaryHeap<HeapEntry>,
+    settled: Vec<bool>,
+}
+
+impl DijkstraScratch {
+    /// Creates empty scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs Dijkstra's algorithm from `source` over the given link weights.
 ///
 /// # Errors
@@ -124,6 +144,59 @@ pub fn dijkstra(
     source: NodeId,
 ) -> Result<ShortestPaths, NetError> {
     run(topology, weights, source, None).map(|(paths, _)| paths)
+}
+
+/// Like [`dijkstra`], reusing `scratch`'s internal buffers instead of
+/// allocating fresh ones per run. Produces bit-identical results to
+/// [`dijkstra`] (same relaxation order, same tie-breaking).
+///
+/// # Errors
+///
+/// Same conditions as [`dijkstra`].
+pub fn dijkstra_with_scratch(
+    topology: &Topology,
+    weights: &LinkWeights,
+    source: NodeId,
+    scratch: &mut DijkstraScratch,
+) -> Result<ShortestPaths, NetError> {
+    weights.validate(topology)?;
+    topology.try_node(source)?;
+
+    let n = topology.node_count();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    scratch.settled.clear();
+    scratch.settled.resize(n, false);
+    scratch.heap.clear();
+
+    dist[source.index()] = Some(0.0);
+    scratch.heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+
+    while let Some(HeapEntry { cost, node }) = scratch.heap.pop() {
+        if scratch.settled[node.index()] {
+            continue;
+        }
+        scratch.settled[node.index()] = true;
+
+        for inc in topology.adjacent(node) {
+            let w = weights.weight(inc.link);
+            let next = cost + w;
+            let entry = &mut dist[inc.neighbor.index()];
+            if entry.is_none_or(|d| next < d) {
+                *entry = Some(next);
+                prev[inc.neighbor.index()] = Some((node, inc.link));
+                scratch.heap.push(HeapEntry {
+                    cost: next,
+                    node: inc.neighbor,
+                });
+            }
+        }
+    }
+
+    Ok(ShortestPaths { source, dist, prev })
 }
 
 /// Like [`dijkstra`], but also records a [`DijkstraTrace`] with the label
@@ -175,7 +248,7 @@ fn run(
             let w = weights.weight(inc.link);
             let next = cost + w;
             let entry = &mut dist[inc.neighbor.index()];
-            if entry.map_or(true, |d| next < d) {
+            if entry.is_none_or(|d| next < d) {
                 *entry = Some(next);
                 prev[inc.neighbor.index()] = Some((node, inc.link));
                 heap.push(HeapEntry {
@@ -203,14 +276,7 @@ fn run(
         }
     }
 
-    Ok((
-        ShortestPaths {
-            source,
-            dist,
-            prev,
-        },
-        (),
-    ))
+    Ok((ShortestPaths { source, dist, prev }, ()))
 }
 
 /// Reconstructs the tentative path for the trace table (empty when the
@@ -263,14 +329,14 @@ pub fn bellman_ford(
             let (a, b) = link.endpoints();
             if let Some(da) = dist[a.index()] {
                 let cand = da + w;
-                if dist[b.index()].map_or(true, |d| cand < d) {
+                if dist[b.index()].is_none_or(|d| cand < d) {
                     dist[b.index()] = Some(cand);
                     changed = true;
                 }
             }
             if let Some(db) = dist[b.index()] {
                 let cand = db + w;
-                if dist[a.index()].map_or(true, |d| cand < d) {
+                if dist[a.index()].is_none_or(|d| cand < d) {
                     dist[a.index()] = Some(cand);
                     changed = true;
                 }
@@ -398,10 +464,35 @@ mod tests {
         let last = trace.steps().last().unwrap();
         let label = &last.labels[t.index()];
         assert_eq!(label.dist, paths.distance_to(t));
-        assert_eq!(
-            label.path,
-            paths.route_to(t).unwrap().nodes().to_vec()
-        );
+        assert_eq!(label.path, paths.route_to(t).unwrap().nodes().to_vec());
+    }
+
+    #[test]
+    fn scratch_variant_matches_plain_dijkstra() {
+        let (topo, [s, a, b, t], links) = diamond();
+        let mut w = LinkWeights::uniform(5, 1.0);
+        for (i, l) in links.iter().enumerate() {
+            w.set_weight(*l, 0.25 + i as f64 * 0.5);
+        }
+        let mut scratch = DijkstraScratch::new();
+        for src in [s, a, b, t] {
+            let plain = dijkstra(&topo, &w, src).unwrap();
+            let scratched = dijkstra_with_scratch(&topo, &w, src, &mut scratch).unwrap();
+            assert_eq!(plain, scratched);
+        }
+        // Scratch adapts when reused across topologies of other sizes.
+        let mut builder = TopologyBuilder::new();
+        let x = builder.add_node("x");
+        let y = builder.add_node("y");
+        builder.add_link(x, y, Mbps::new(1.0)).unwrap();
+        let small = builder.build();
+        let w1 = LinkWeights::uniform(1, 2.0);
+        let p = dijkstra_with_scratch(&small, &w1, x, &mut scratch).unwrap();
+        assert_eq!(p.distance_to(y), Some(2.0));
+        assert!(matches!(
+            dijkstra_with_scratch(&small, &w1, NodeId::new(9), &mut scratch),
+            Err(NetError::UnknownNode(..))
+        ));
     }
 
     #[test]

@@ -1,0 +1,868 @@
+//! The epoch-cached routing engine — the per-request hot path of the VRA.
+//!
+//! [`LvnComputer`](crate::lvn::LvnComputer) and
+//! [`dijkstra_with_trace`](crate::dijkstra::dijkstra_with_trace) recompute
+//! everything from scratch on every call; that is the right shape for
+//! reproducing the paper's tables, but a service answering a stream of
+//! video requests recomputes identical state over and over: the traffic
+//! snapshot only changes every 1–2 minutes (the paper's SNMP poll
+//! interval), while requests arrive continuously.
+//!
+//! [`RoutingEngine`] memoizes every derived artefact and keys the cache on
+//! the snapshot's [`SnapshotEpoch`]:
+//!
+//! * **node validations and link weights** are cached per epoch; when the
+//!   snapshot advances by `k` journaled link mutations, only the ≤ `2k`
+//!   nodes adjacent to those links have their NV re-derived (and only the
+//!   links incident to them re-weighted) — bit-identical to a full
+//!   recompute because each NV is re-summed in the same adjacency order;
+//! * **shortest-path trees** are cached per home server in an
+//!   [`Arc<ShortestPaths>`], so repeated requests from the same edge of
+//!   the network skip Dijkstra entirely;
+//! * cold Dijkstra runs reuse a [`DijkstraScratch`], so the steady state
+//!   allocates nothing beyond the cached trees themselves.
+//!
+//! [`RoutingEngine::select_batch`] additionally fans independent Dijkstra
+//! runs for distinct home servers out over scoped threads (feature
+//! `parallel`, on by default).
+//!
+//! The engine's results are bit-identical to the slow reference path —
+//! the property test `engine_vs_reference` and the unit tests below pin
+//! this against [`LvnComputer`](crate::lvn::LvnComputer) +
+//! [`dijkstra`](crate::dijkstra::dijkstra).
+//!
+//! # Examples
+//!
+//! ```
+//! use vod_net::engine::RoutingEngine;
+//! use vod_net::lvn::LvnParams;
+//! use vod_net::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};
+//!
+//! # fn main() -> Result<(), vod_net::NetError> {
+//! let grnet = Grnet::new();
+//! let snapshot = grnet.snapshot(TimeOfDay::T1000);
+//! let mut engine = RoutingEngine::new(LvnParams::default());
+//! let home = grnet.node(GrnetNode::Patra);
+//! let candidates = [grnet.node(GrnetNode::Thessaloniki), grnet.node(GrnetNode::Xanthi)];
+//!
+//! let first = engine.select(grnet.topology(), &snapshot, home, &candidates)?.unwrap();
+//! assert_eq!(first.server, grnet.node(GrnetNode::Thessaloniki));
+//!
+//! // Same epoch, same home: served entirely from cache.
+//! let again = engine.select(grnet.topology(), &snapshot, home, &candidates)?.unwrap();
+//! assert_eq!(again.server, first.server);
+//! assert_eq!(engine.stats().dijkstra_runs, 1);
+//! assert_eq!(engine.stats().path_cache_hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::dijkstra::{dijkstra_with_scratch, DijkstraScratch, ShortestPaths};
+use crate::error::NetError;
+use crate::ids::{LinkId, NodeId};
+use crate::lvn::{LinkWeights, LvnParams};
+use crate::route::Route;
+use crate::snapshot::{SnapshotEpoch, TrafficSnapshot};
+use crate::topology::Topology;
+use crate::units::Mbps;
+
+/// Identity of a [`Topology`] instance, used to detect cache invalidation
+/// across topology swaps. The engine compares the *instance* (address +
+/// dimensions), so callers must keep one `Topology` value alive across the
+/// calls that should share cached state — which is the natural shape of a
+/// long-running service anyway.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+struct TopologyKey {
+    addr: usize,
+    nodes: usize,
+    links: usize,
+}
+
+impl TopologyKey {
+    fn of(topology: &Topology) -> Self {
+        TopologyKey {
+            addr: topology as *const Topology as usize,
+            nodes: topology.node_count(),
+            links: topology.link_count(),
+        }
+    }
+}
+
+/// Counters describing how the engine answered its requests so far.
+///
+/// Useful for tests ("the warm path must not run Dijkstra") and for
+/// operational visibility; see [`RoutingEngine::stats`].
+#[derive(Debug, Copy, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total [`RoutingEngine::select`] calls (batch requests included).
+    pub requests: u64,
+    /// Requests answered by the home server itself (the VRA's "IF the
+    /// adjacent video server can provide the requested video" short
+    /// circuit) — no weights, no Dijkstra.
+    pub local_hits: u64,
+    /// Calls that found the weight cache already at the snapshot's epoch.
+    pub weight_cache_hits: u64,
+    /// Weight tables rebuilt from scratch (cold cache, topology change,
+    /// snapshot instance change, or journal overflow).
+    pub full_rebuilds: u64,
+    /// Weight tables patched incrementally from the snapshot's mutation
+    /// journal.
+    pub incremental_rebuilds: u64,
+    /// Dijkstra executions (cache misses on the shortest-path cache).
+    pub dijkstra_runs: u64,
+    /// Requests answered from a cached shortest-path tree.
+    pub path_cache_hits: u64,
+}
+
+/// The outcome of one engine selection: the chosen server and the
+/// least-cost route to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSelection {
+    /// The selected video server.
+    pub server: NodeId,
+    /// The least-cost route from the home server to [`Self::server`]
+    /// (trivial when served locally).
+    pub route: Route,
+    /// True when the home server itself held the title and the request
+    /// never reached the routing stage.
+    pub served_locally: bool,
+}
+
+/// One request of a [`RoutingEngine::select_batch`] call.
+#[derive(Debug, Copy, Clone)]
+pub struct BatchRequest<'a> {
+    /// The client's home (directly connected) server.
+    pub home: NodeId,
+    /// The servers holding the requested title.
+    pub candidates: &'a [NodeId],
+}
+
+/// Cached state derived from one (topology, snapshot-epoch) pair.
+#[derive(Debug, Clone)]
+struct EngineCache {
+    key: TopologyKey,
+    epoch: SnapshotEpoch,
+    /// Per-node NV values (equation (2)), in node-id order.
+    nv: Vec<f64>,
+    /// Per-link LVN weights (equation (1)), in link-id order.
+    weights: LinkWeights,
+    /// Shortest-path trees computed at this epoch, keyed by home server.
+    paths: HashMap<NodeId, Arc<ShortestPaths>>,
+}
+
+/// Epoch-cached implementation of the paper's Virtual Routing Algorithm
+/// hot path. See the [module docs](self) for the caching model.
+#[derive(Debug)]
+pub struct RoutingEngine {
+    params: LvnParams,
+    cache: Option<EngineCache>,
+    scratch: DijkstraScratch,
+    stats: EngineStats,
+}
+
+impl Default for RoutingEngine {
+    fn default() -> Self {
+        RoutingEngine::new(LvnParams::default())
+    }
+}
+
+impl Clone for RoutingEngine {
+    fn clone(&self) -> Self {
+        RoutingEngine {
+            params: self.params,
+            cache: self.cache.clone(),
+            // Scratch buffers are cheap to regrow; don't clone the heap.
+            scratch: DijkstraScratch::new(),
+            stats: self.stats,
+        }
+    }
+}
+
+impl RoutingEngine {
+    /// Creates an engine with the given LVN parameters and a cold cache.
+    pub fn new(params: LvnParams) -> Self {
+        RoutingEngine {
+            params,
+            cache: None,
+            scratch: DijkstraScratch::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The LVN parameters in use.
+    pub fn params(&self) -> LvnParams {
+        self.params
+    }
+
+    /// Counters of cache hits, rebuilds and Dijkstra runs so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (the cache is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Drops all cached state; the next call rebuilds from scratch.
+    pub fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// Ensures the weight cache matches `snapshot`'s current epoch,
+    /// rebuilding as little as possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::WeightCountMismatch`] when the snapshot does
+    /// not cover `topology`'s links.
+    pub fn prepare(
+        &mut self,
+        topology: &Topology,
+        snapshot: &TrafficSnapshot,
+    ) -> Result<(), NetError> {
+        snapshot.check_matches(topology)?;
+        let key = TopologyKey::of(topology);
+        let epoch = snapshot.epoch();
+
+        if let Some(cache) = self.cache.as_mut() {
+            if cache.key == key {
+                if cache.epoch == epoch {
+                    self.stats.weight_cache_hits += 1;
+                    return Ok(());
+                }
+                if let Some(dirty) = collect_dirty(snapshot, cache.epoch) {
+                    // Patching beats a full pass only while the affected
+                    // neighbourhood is small relative to the graph.
+                    if 2 * dirty.len() < topology.node_count().max(1) {
+                        patch_cache(cache, topology, snapshot, self.params, &dirty);
+                        cache.epoch = epoch;
+                        cache.paths.clear();
+                        self.stats.incremental_rebuilds += 1;
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        self.rebuild_full(topology, snapshot, key, epoch);
+        Ok(())
+    }
+
+    /// The cached per-link weight table for `snapshot`'s current epoch —
+    /// bit-identical to
+    /// [`LvnComputer::weights`](crate::lvn::LvnComputer::weights).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoutingEngine::prepare`].
+    pub fn weights(
+        &mut self,
+        topology: &Topology,
+        snapshot: &TrafficSnapshot,
+    ) -> Result<&LinkWeights, NetError> {
+        self.prepare(topology, snapshot)?;
+        Ok(&self
+            .cache
+            .as_ref()
+            .expect("prepare populates the cache")
+            .weights)
+    }
+
+    /// The shortest-path tree from `home` at `snapshot`'s current epoch,
+    /// computed at most once per (epoch, home) pair.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoutingEngine::prepare`], plus
+    /// [`NetError::UnknownNode`] for a foreign `home`.
+    pub fn paths_from(
+        &mut self,
+        topology: &Topology,
+        snapshot: &TrafficSnapshot,
+        home: NodeId,
+    ) -> Result<Arc<ShortestPaths>, NetError> {
+        self.prepare(topology, snapshot)?;
+        topology.try_node(home)?;
+        let cache = self.cache.as_mut().expect("prepare populates the cache");
+        if let Some(paths) = cache.paths.get(&home) {
+            self.stats.path_cache_hits += 1;
+            return Ok(Arc::clone(paths));
+        }
+        let paths = Arc::new(dijkstra_with_scratch(
+            topology,
+            &cache.weights,
+            home,
+            &mut self.scratch,
+        )?);
+        self.stats.dijkstra_runs += 1;
+        cache.paths.insert(home, Arc::clone(&paths));
+        Ok(paths)
+    }
+
+    /// Runs the VRA selection for one request: local short circuit, then
+    /// cheapest candidate by (cost, node id) over the cached tree.
+    /// Returns `None` when no candidate is reachable (including an empty
+    /// candidate list) — identical decisions, costs and tie-breaks to the
+    /// trace-producing slow path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoutingEngine::paths_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate id is out of range for `topology`.
+    pub fn select(
+        &mut self,
+        topology: &Topology,
+        snapshot: &TrafficSnapshot,
+        home: NodeId,
+        candidates: &[NodeId],
+    ) -> Result<Option<EngineSelection>, NetError> {
+        self.stats.requests += 1;
+        if candidates.contains(&home) {
+            self.stats.local_hits += 1;
+            return Ok(Some(local_selection(home)));
+        }
+        let paths = self.paths_from(topology, snapshot, home)?;
+        Ok(pick_candidate(&paths, candidates))
+    }
+
+    /// Answers a batch of requests against one prepared epoch, running
+    /// Dijkstra for the distinct uncached home servers in parallel
+    /// (feature `parallel`; sequential otherwise). Uses one worker per
+    /// available CPU, capped at the number of homes to solve.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoutingEngine::select`].
+    pub fn select_batch(
+        &mut self,
+        topology: &Topology,
+        snapshot: &TrafficSnapshot,
+        requests: &[BatchRequest<'_>],
+    ) -> Result<Vec<Option<EngineSelection>>, NetError> {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.select_batch_with_threads(topology, snapshot, requests, threads)
+    }
+
+    /// [`RoutingEngine::select_batch`] with an explicit worker count
+    /// (clamped to at least 1; `1` forces the sequential path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoutingEngine::select`].
+    pub fn select_batch_with_threads(
+        &mut self,
+        topology: &Topology,
+        snapshot: &TrafficSnapshot,
+        requests: &[BatchRequest<'_>],
+        threads: usize,
+    ) -> Result<Vec<Option<EngineSelection>>, NetError> {
+        self.prepare(topology, snapshot)?;
+
+        // Distinct home servers that actually need a Dijkstra run.
+        let mut homes: Vec<NodeId> = requests
+            .iter()
+            .filter(|r| !r.candidates.contains(&r.home))
+            .map(|r| r.home)
+            .collect();
+        homes.sort_unstable();
+        homes.dedup();
+        for &home in &homes {
+            topology.try_node(home)?;
+        }
+        {
+            let cache = self.cache.as_ref().expect("prepare populates the cache");
+            homes.retain(|h| !cache.paths.contains_key(h));
+        }
+
+        let solved = {
+            let cache = self.cache.as_ref().expect("prepare populates the cache");
+            solve_homes(topology, &cache.weights, &homes, threads, &mut self.scratch)?
+        };
+        self.stats.dijkstra_runs += homes.len() as u64;
+        let cache = self.cache.as_mut().expect("prepare populates the cache");
+        for (home, paths) in homes.into_iter().zip(solved) {
+            cache.paths.insert(home, Arc::new(paths));
+        }
+
+        Ok(requests
+            .iter()
+            .map(|r| {
+                self.stats.requests += 1;
+                if r.candidates.contains(&r.home) {
+                    self.stats.local_hits += 1;
+                    return Some(local_selection(r.home));
+                }
+                self.stats.path_cache_hits += 1;
+                let paths = &cache.paths[&r.home];
+                pick_candidate(paths, r.candidates)
+            })
+            .collect())
+    }
+
+    /// Rebuilds the whole cache for (`key`, `epoch`), reusing the path
+    /// map's allocation when possible.
+    fn rebuild_full(
+        &mut self,
+        topology: &Topology,
+        snapshot: &TrafficSnapshot,
+        key: TopologyKey,
+        epoch: SnapshotEpoch,
+    ) {
+        let nv: Vec<f64> = (0..topology.node_count())
+            .map(|i| node_validation(topology, snapshot, NodeId::new(i as u32)))
+            .collect();
+        let weights: LinkWeights = topology
+            .link_ids()
+            .map(|l| link_weight(topology, snapshot, self.params, &nv, l))
+            .collect();
+        let paths = match self.cache.take() {
+            Some(old) => {
+                let mut paths = old.paths;
+                paths.clear();
+                paths
+            }
+            None => HashMap::new(),
+        };
+        self.cache = Some(EngineCache {
+            key,
+            epoch,
+            nv,
+            weights,
+            paths,
+        });
+        self.stats.full_rebuilds += 1;
+    }
+}
+
+/// Equation (2) re-derived for one node — the exact summation order of
+/// [`LvnComputer::node_validation`](crate::lvn::LvnComputer::node_validation)
+/// (adjacency order, i.e. link-id order), so full and incremental rebuilds
+/// produce bit-identical floats.
+fn node_validation(topology: &Topology, snapshot: &TrafficSnapshot, node: NodeId) -> f64 {
+    let mut used = Mbps::ZERO;
+    let mut capacity = Mbps::ZERO;
+    for inc in topology.adjacent(node) {
+        used += snapshot.used(inc.link);
+        capacity += topology.link(inc.link).capacity();
+    }
+    if capacity.is_zero() {
+        0.0
+    } else {
+        used / capacity
+    }
+}
+
+/// Equation (1) from cached NV values — the exact operation order of
+/// [`LvnComputer::lvn`](crate::lvn::LvnComputer::lvn).
+fn link_weight(
+    topology: &Topology,
+    snapshot: &TrafficSnapshot,
+    params: LvnParams,
+    nv: &[f64],
+    link: LinkId,
+) -> f64 {
+    let l = topology.link(link);
+    let combined = params
+        .combiner
+        .combine(nv[l.a().index()], nv[l.b().index()]);
+    let link_value = l.capacity().as_f64() / params.normalization_constant;
+    combined + snapshot.utilization(topology, link).get() * link_value
+}
+
+/// The deduplicated dirty-link set since `since`, or `None` when the
+/// journal window was exceeded and a full rebuild is required.
+fn collect_dirty(snapshot: &TrafficSnapshot, since: SnapshotEpoch) -> Option<Vec<LinkId>> {
+    let mut dirty: Vec<LinkId> = snapshot.dirty_links_since(since)?.collect();
+    dirty.sort_unstable();
+    dirty.dedup();
+    Some(dirty)
+}
+
+/// Patches `cache` for the `dirty` links: re-derive NV for their ≤ 2k
+/// endpoint nodes, then re-weight every link incident to an affected node
+/// (which covers the dirty links themselves — their endpoints are
+/// affected by construction).
+fn patch_cache(
+    cache: &mut EngineCache,
+    topology: &Topology,
+    snapshot: &TrafficSnapshot,
+    params: LvnParams,
+    dirty: &[LinkId],
+) {
+    let mut affected: Vec<NodeId> = Vec::with_capacity(2 * dirty.len());
+    for &link in dirty {
+        let l = topology.link(link);
+        affected.push(l.a());
+        affected.push(l.b());
+    }
+    affected.sort_unstable();
+    affected.dedup();
+
+    for &node in &affected {
+        cache.nv[node.index()] = node_validation(topology, snapshot, node);
+    }
+    // Links incident to two affected nodes are re-weighted twice; both
+    // passes write the same value, so no dedup pass is needed.
+    for &node in &affected {
+        for inc in topology.adjacent(node) {
+            let w = link_weight(topology, snapshot, params, &cache.nv, inc.link);
+            cache.weights.set_weight(inc.link, w);
+        }
+    }
+}
+
+/// The trivial selection for a locally-served request.
+fn local_selection(home: NodeId) -> EngineSelection {
+    EngineSelection {
+        server: home,
+        route: Route::trivial(home),
+        served_locally: true,
+    }
+}
+
+/// The cheapest reachable candidate by (cost, node id) — the exact
+/// tie-break of the slow reference path.
+fn pick_candidate(paths: &ShortestPaths, candidates: &[NodeId]) -> Option<EngineSelection> {
+    let mut best: Option<(NodeId, f64)> = None;
+    for &candidate in candidates {
+        if let Some(dist) = paths.distance_to(candidate) {
+            let better = match best {
+                None => true,
+                Some((best_node, best_dist)) => match dist.total_cmp(&best_dist) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => candidate < best_node,
+                    std::cmp::Ordering::Greater => false,
+                },
+            };
+            if better {
+                best = Some((candidate, dist));
+            }
+        }
+    }
+    best.map(|(server, _)| EngineSelection {
+        server,
+        route: paths
+            .route_to(server)
+            .expect("reachable candidate has a route"),
+        served_locally: false,
+    })
+}
+
+/// Runs Dijkstra from every home, splitting the homes across scoped
+/// worker threads when the `parallel` feature is enabled and more than
+/// one worker is requested.
+fn solve_homes(
+    topology: &Topology,
+    weights: &LinkWeights,
+    homes: &[NodeId],
+    threads: usize,
+    scratch: &mut DijkstraScratch,
+) -> Result<Vec<ShortestPaths>, NetError> {
+    if homes.is_empty() {
+        return Ok(Vec::new());
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let threads = threads.clamp(1, homes.len());
+        if threads > 1 {
+            let chunk = homes.len().div_ceil(threads);
+            let mut out: Vec<Option<Result<ShortestPaths, NetError>>> =
+                (0..homes.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (home_chunk, out_chunk) in homes.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        let mut scratch = DijkstraScratch::new();
+                        for (&home, slot) in home_chunk.iter().zip(out_chunk.iter_mut()) {
+                            *slot =
+                                Some(dijkstra_with_scratch(topology, weights, home, &mut scratch));
+                        }
+                    });
+                }
+            });
+            return out
+                .into_iter()
+                .map(|slot| slot.expect("every home chunk was solved"))
+                .collect();
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = threads;
+    homes
+        .iter()
+        .map(|&home| dijkstra_with_scratch(topology, weights, home, scratch))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::lvn::LvnComputer;
+    use crate::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};
+    use crate::topology::TopologyBuilder;
+
+    fn grnet_fixture() -> (Grnet, TrafficSnapshot) {
+        let grnet = Grnet::new();
+        let snap = grnet.snapshot(TimeOfDay::T1000);
+        (grnet, snap)
+    }
+
+    #[test]
+    fn engine_weights_match_lvn_computer_exactly() {
+        let (grnet, snap) = grnet_fixture();
+        let reference = LvnComputer::new(grnet.topology(), &snap, LvnParams::default()).weights();
+        let mut engine = RoutingEngine::new(LvnParams::default());
+        let weights = engine.weights(grnet.topology(), &snap).unwrap();
+        assert_eq!(weights, &reference);
+    }
+
+    #[test]
+    fn warm_epoch_serves_from_cache() {
+        let (grnet, snap) = grnet_fixture();
+        let mut engine = RoutingEngine::default();
+        let home = grnet.node(GrnetNode::Patra);
+        let candidates = [
+            grnet.node(GrnetNode::Thessaloniki),
+            grnet.node(GrnetNode::Xanthi),
+        ];
+        let first = engine
+            .select(grnet.topology(), &snap, home, &candidates)
+            .unwrap()
+            .unwrap();
+        let second = engine
+            .select(grnet.topology(), &snap, home, &candidates)
+            .unwrap()
+            .unwrap();
+        assert_eq!(first, second);
+        let stats = engine.stats();
+        assert_eq!(stats.full_rebuilds, 1);
+        assert_eq!(stats.incremental_rebuilds, 0);
+        assert_eq!(stats.dijkstra_runs, 1);
+        assert_eq!(stats.path_cache_hits, 1);
+        assert_eq!(stats.weight_cache_hits, 1);
+    }
+
+    #[test]
+    fn incremental_patch_is_bit_identical_to_full_rebuild() {
+        let (grnet, mut snap) = grnet_fixture();
+        let mut engine = RoutingEngine::default();
+        engine.prepare(grnet.topology(), &snap).unwrap();
+
+        // Nudge two links, then compare the patched table against a cold
+        // engine's full rebuild — float-for-float.
+        snap.add_used(LinkId::new(0), Mbps::new(3.5));
+        snap.add_used(LinkId::new(4), Mbps::new(1.25));
+        let patched = engine.weights(grnet.topology(), &snap).unwrap().clone();
+        assert_eq!(engine.stats().incremental_rebuilds, 1);
+        assert_eq!(engine.stats().full_rebuilds, 1);
+
+        let mut cold = RoutingEngine::default();
+        let full = cold.weights(grnet.topology(), &snap).unwrap();
+        assert_eq!(&patched, full);
+        let reference = LvnComputer::new(grnet.topology(), &snap, LvnParams::default()).weights();
+        assert_eq!(patched, reference);
+    }
+
+    #[test]
+    fn epoch_change_invalidates_path_cache() {
+        let (grnet, mut snap) = grnet_fixture();
+        let mut engine = RoutingEngine::default();
+        let home = grnet.node(GrnetNode::Athens);
+        let candidates = [grnet.node(GrnetNode::Ioannina)];
+        engine
+            .select(grnet.topology(), &snap, home, &candidates)
+            .unwrap();
+        snap.add_used(LinkId::new(2), Mbps::new(9.0));
+        engine
+            .select(grnet.topology(), &snap, home, &candidates)
+            .unwrap();
+        assert_eq!(engine.stats().dijkstra_runs, 2);
+        assert_eq!(engine.stats().path_cache_hits, 0);
+    }
+
+    #[test]
+    fn local_hit_short_circuits_without_touching_the_cache() {
+        let (grnet, snap) = grnet_fixture();
+        let mut engine = RoutingEngine::default();
+        let home = grnet.node(GrnetNode::Patra);
+        let sel = engine
+            .select(grnet.topology(), &snap, home, &[home])
+            .unwrap()
+            .unwrap();
+        assert!(sel.served_locally);
+        assert_eq!(sel.server, home);
+        assert_eq!(sel.route.hops(), 0);
+        assert_eq!(engine.stats().local_hits, 1);
+        assert_eq!(engine.stats().full_rebuilds, 0);
+    }
+
+    #[test]
+    fn snapshot_instance_change_forces_full_rebuild() {
+        let (grnet, snap) = grnet_fixture();
+        let mut engine = RoutingEngine::default();
+        engine.prepare(grnet.topology(), &snap).unwrap();
+        // A clone is a distinct instance: equal traffic, foreign token.
+        let clone = snap.clone();
+        engine.prepare(grnet.topology(), &clone).unwrap();
+        assert_eq!(engine.stats().full_rebuilds, 2);
+        assert_eq!(engine.stats().incremental_rebuilds, 0);
+    }
+
+    #[test]
+    fn topology_swap_forces_full_rebuild() {
+        let (grnet, snap) = grnet_fixture();
+        let other = Grnet::new();
+        let mut engine = RoutingEngine::default();
+        engine.prepare(grnet.topology(), &snap).unwrap();
+        let other_snap = other.snapshot(TimeOfDay::T1000);
+        engine.prepare(other.topology(), &other_snap).unwrap();
+        assert_eq!(engine.stats().full_rebuilds, 2);
+    }
+
+    #[test]
+    fn select_matches_reference_dijkstra_on_grnet() {
+        let (grnet, snap) = grnet_fixture();
+        let mut engine = RoutingEngine::default();
+        let home = grnet.node(GrnetNode::Patra);
+        let candidates = [
+            grnet.node(GrnetNode::Thessaloniki),
+            grnet.node(GrnetNode::Xanthi),
+        ];
+        let sel = engine
+            .select(grnet.topology(), &snap, home, &candidates)
+            .unwrap()
+            .unwrap();
+
+        let weights = LvnComputer::new(grnet.topology(), &snap, LvnParams::default()).weights();
+        let reference = dijkstra(grnet.topology(), &weights, home).unwrap();
+        assert_eq!(sel.server, grnet.node(GrnetNode::Thessaloniki));
+        assert_eq!(Some(sel.route.clone()), reference.route_to(sel.server));
+        assert_eq!(sel.route.cost(), reference.distance_to(sel.server).unwrap());
+    }
+
+    #[test]
+    fn unreachable_and_empty_candidates_yield_none() {
+        let mut b = TopologyBuilder::new();
+        let home = b.add_node("home");
+        let island = b.add_node("island");
+        let other = b.add_node("other");
+        b.add_link(home, other, Mbps::new(2.0)).unwrap();
+        let topo = b.build();
+        let snap = TrafficSnapshot::zero(&topo);
+        let mut engine = RoutingEngine::default();
+        assert!(engine
+            .select(&topo, &snap, home, &[island])
+            .unwrap()
+            .is_none());
+        assert!(engine.select(&topo, &snap, home, &[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_node_id() {
+        let mut b = TopologyBuilder::new();
+        let home = b.add_node("home");
+        let c1 = b.add_node("c1");
+        let c2 = b.add_node("c2");
+        b.add_link(home, c1, Mbps::new(2.0)).unwrap();
+        b.add_link(home, c2, Mbps::new(2.0)).unwrap();
+        let topo = b.build();
+        let snap = TrafficSnapshot::zero(&topo);
+        let mut engine = RoutingEngine::default();
+        let sel = engine
+            .select(&topo, &snap, home, &[c2, c1])
+            .unwrap()
+            .unwrap();
+        assert_eq!(sel.server, c1);
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_an_error() {
+        let (grnet, _) = grnet_fixture();
+        let mut b = TopologyBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.add_link(x, y, Mbps::new(1.0)).unwrap();
+        let foreign = TrafficSnapshot::zero(&b.build());
+        let mut engine = RoutingEngine::default();
+        assert!(matches!(
+            engine.prepare(grnet.topology(), &foreign),
+            Err(NetError::WeightCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_matches_sequential_selects_across_thread_counts() {
+        let (grnet, snap) = grnet_fixture();
+        let nodes = [
+            GrnetNode::Patra,
+            GrnetNode::Athens,
+            GrnetNode::Thessaloniki,
+            GrnetNode::Xanthi,
+            GrnetNode::Ioannina,
+            GrnetNode::Heraklio,
+        ];
+        let candidates: Vec<NodeId> = [GrnetNode::Thessaloniki, GrnetNode::Xanthi]
+            .iter()
+            .map(|&n| grnet.node(n))
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = nodes
+            .iter()
+            .map(|&n| BatchRequest {
+                home: grnet.node(n),
+                candidates: &candidates,
+            })
+            .collect();
+
+        let mut sequential = RoutingEngine::default();
+        let expected: Vec<Option<EngineSelection>> = requests
+            .iter()
+            .map(|r| {
+                sequential
+                    .select(grnet.topology(), &snap, r.home, r.candidates)
+                    .unwrap()
+            })
+            .collect();
+
+        for threads in [1, 2, 4, 8] {
+            let mut engine = RoutingEngine::default();
+            let got = engine
+                .select_batch_with_threads(grnet.topology(), &snap, &requests, threads)
+                .unwrap();
+            assert_eq!(got, expected, "threads={threads}");
+            // One Dijkstra per distinct non-local home, cached thereafter.
+            let again = engine
+                .select_batch_with_threads(grnet.topology(), &snap, &requests, threads)
+                .unwrap();
+            assert_eq!(again, expected);
+            assert_eq!(
+                engine.stats().dijkstra_runs,
+                requests
+                    .iter()
+                    .filter(|r| !r.candidates.contains(&r.home))
+                    .map(|r| r.home)
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn journal_overflow_falls_back_to_full_rebuild() {
+        let (grnet, mut snap) = grnet_fixture();
+        let mut engine = RoutingEngine::default();
+        engine.prepare(grnet.topology(), &snap).unwrap();
+        for _ in 0..600 {
+            snap.add_used(LinkId::new(0), Mbps::new(0.001));
+        }
+        engine.prepare(grnet.topology(), &snap).unwrap();
+        assert_eq!(engine.stats().full_rebuilds, 2);
+        assert_eq!(engine.stats().incremental_rebuilds, 0);
+    }
+}

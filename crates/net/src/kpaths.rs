@@ -90,9 +90,7 @@ pub fn k_shortest_paths(
                 }
             }
 
-            let spur = match dijkstra_infinity_ok(topology, &masked, spur_node)?
-                .route_to(target)
-            {
+            let spur = match dijkstra_infinity_ok(topology, &masked, spur_node)?.route_to(target) {
                 Some(r) if r.cost().is_finite() => r,
                 _ => continue,
             };
@@ -168,16 +166,10 @@ mod tests {
         .unwrap();
         assert!(paths.len() >= 2);
         // Best = the Table 5 route.
-        assert_eq!(
-            paths[0].display_with(g.topology()).to_string(),
-            "U2,U3,U4"
-        );
+        assert_eq!(paths[0].display_with(g.topology()).to_string(), "U2,U3,U4");
         assert!((paths[0].cost() - 1.007117).abs() < 1e-9);
         // Second best: via Athens (0.632 + 1.1075 = 1.7395).
-        assert_eq!(
-            paths[1].display_with(g.topology()).to_string(),
-            "U2,U1,U4"
-        );
+        assert_eq!(paths[1].display_with(g.topology()).to_string(), "U2,U1,U4");
         assert!((paths[1].cost() - 1.7395).abs() < 1e-9);
         // Monotone, loopless, valid.
         for w in paths.windows(2) {

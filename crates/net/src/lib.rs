@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod dijkstra;
+pub mod engine;
 pub mod error;
 pub mod ids;
 pub mod kpaths;
@@ -59,12 +60,13 @@ pub mod topology;
 pub mod trace;
 pub mod units;
 
+pub use engine::{BatchRequest, EngineSelection, EngineStats, RoutingEngine};
 pub use error::NetError;
 pub use ids::{LinkId, NodeId};
 pub use link::Link;
 pub use node::Node;
 pub use route::Route;
-pub use snapshot::TrafficSnapshot;
+pub use snapshot::{SnapshotEpoch, TrafficSnapshot};
 pub use topology::{Topology, TopologyBuilder};
 pub use trace::DijkstraTrace;
 pub use units::Mbps;

@@ -73,7 +73,12 @@ mod tests {
     use super::*;
 
     fn link() -> Link {
-        Link::new(LinkId::new(0), NodeId::new(1), NodeId::new(2), Mbps::new(2.0))
+        Link::new(
+            LinkId::new(0),
+            NodeId::new(1),
+            NodeId::new(2),
+            Mbps::new(2.0),
+        )
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub enum NodeCombiner {
 }
 
 impl NodeCombiner {
-    fn combine(self, a: f64, b: f64) -> f64 {
+    pub(crate) fn combine(self, a: f64, b: f64) -> f64 {
         match self {
             NodeCombiner::Max => a.max(b),
             NodeCombiner::Avg => (a + b) / 2.0,
@@ -230,17 +230,32 @@ impl<'a> LvnComputer<'a> {
     /// # Panics
     ///
     /// Panics if the snapshot was built for a topology with a different
-    /// number of links.
+    /// number of links. Use [`LvnComputer::try_new`] to handle the
+    /// mismatch as a [`NetError`] instead.
     pub fn new(topology: &'a Topology, snapshot: &'a TrafficSnapshot, params: LvnParams) -> Self {
-        snapshot
-            .check_matches(topology)
-            .expect("snapshot must match topology");
-        LvnComputer {
+        Self::try_new(topology, snapshot, params).expect("snapshot must match topology")
+    }
+
+    /// Fallible variant of [`LvnComputer::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::WeightCountMismatch`] if the snapshot covers a
+    /// different number of links than `topology` — the same error
+    /// [`LinkWeights::validate`] reports, so callers can treat topology /
+    /// snapshot / weight-table mismatches uniformly.
+    pub fn try_new(
+        topology: &'a Topology,
+        snapshot: &'a TrafficSnapshot,
+        params: LvnParams,
+    ) -> Result<Self, NetError> {
+        snapshot.check_matches(topology)?;
+        Ok(LvnComputer {
             topology,
             snapshot,
             params,
             node_workload: None,
-        }
+        })
     }
 
     /// Adds per-node workload penalties to the node validation — the
@@ -292,10 +307,7 @@ impl<'a> LvnComputer<'a> {
         } else {
             used / capacity
         };
-        base + self
-            .node_workload
-            .as_ref()
-            .map_or(0.0, |w| w[node.index()])
+        base + self.node_workload.as_ref().map_or(0.0, |w| w[node.index()])
     }
 
     /// Equation (4): link value — capacity in Mbps over the normalization
@@ -483,6 +495,36 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_snapshot_mismatch_as_error() {
+        let (topo, ..) = figure4_fixture();
+        let mut other = TopologyBuilder::new();
+        let x = other.add_node("x");
+        let y = other.add_node("y");
+        other.add_link(x, y, Mbps::new(1.0)).unwrap();
+        let foreign = TrafficSnapshot::zero(&other.build());
+        assert!(matches!(
+            LvnComputer::try_new(&topo, &foreign, LvnParams::default()),
+            Err(NetError::WeightCountMismatch {
+                expected: 3,
+                actual: 1
+            })
+        ));
+        // The matching case still succeeds.
+        let snap = TrafficSnapshot::zero(&topo);
+        assert!(LvnComputer::try_new(&topo, &snap, LvnParams::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot must match topology")]
+    fn new_still_panics_on_mismatch() {
+        let (topo, ..) = figure4_fixture();
+        let mut other = TopologyBuilder::new();
+        other.add_node("solo");
+        let foreign = TrafficSnapshot::zero(&other.build());
+        let _ = LvnComputer::new(&topo, &foreign, LvnParams::default());
+    }
+
+    #[test]
     fn node_workload_shifts_validation() {
         let (topo, snap, link_i) = figure4_fixture();
         let plain = LvnComputer::new(&topo, &snap, LvnParams::default());
@@ -490,9 +532,7 @@ mod tests {
             .with_node_workload(vec![0.5, 0.0, 0.0, 0.0]);
         // Node a (index 0) carries extra CPU load; the link's max(NV) rises.
         assert!(
-            (loaded.node_validation(NodeId::new(0))
-                - plain.node_validation(NodeId::new(0))
-                - 0.5)
+            (loaded.node_validation(NodeId::new(0)) - plain.node_validation(NodeId::new(0)) - 0.5)
                 .abs()
                 < 1e-12
         );
@@ -508,7 +548,6 @@ mod tests {
     #[should_panic(expected = "one workload entry per node")]
     fn workload_length_validated() {
         let (topo, snap, _) = figure4_fixture();
-        let _ = LvnComputer::new(&topo, &snap, LvnParams::default())
-            .with_node_workload(vec![0.1]);
+        let _ = LvnComputer::new(&topo, &snap, LvnParams::default()).with_node_workload(vec![0.1]);
     }
 }

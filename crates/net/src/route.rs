@@ -104,8 +104,7 @@ impl Route {
             topology
                 .try_link(link)
                 .map(|l| {
-                    l.touches(self.nodes[i])
-                        && l.opposite(self.nodes[i]) == Some(self.nodes[i + 1])
+                    l.touches(self.nodes[i]) && l.opposite(self.nodes[i]) == Some(self.nodes[i + 1])
                 })
                 .unwrap_or(false)
         })

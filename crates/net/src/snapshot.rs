@@ -5,12 +5,41 @@
 //! SNMP statistics module writes into the limited-access database every
 //! 1–2 minutes.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::NetError;
 use crate::ids::LinkId;
 use crate::topology::Topology;
 use crate::units::{Fraction, Mbps};
+
+/// Capacity of the per-snapshot mutation journal. Consumers that fall
+/// more than this many mutations behind get `None` from
+/// [`TrafficSnapshot::dirty_links_since`] and must rebuild fully.
+const JOURNAL_CAPACITY: usize = 512;
+
+/// Process-wide counter handing each snapshot instance a unique token.
+static NEXT_SNAPSHOT_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_token() -> u64 {
+    NEXT_SNAPSHOT_TOKEN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Identity + mutation count of a [`TrafficSnapshot`] at one instant.
+///
+/// The `token` is unique per snapshot *instance* (clones and
+/// deserialized copies get fresh tokens), and `version` counts
+/// mutations of that instance. Together they let a cache decide whether
+/// memoized derived state (link weights, shortest-path trees) is still
+/// valid: equal epoch ⇒ byte-identical traffic state.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub struct SnapshotEpoch {
+    /// Unique id of the snapshot instance.
+    pub token: u64,
+    /// Number of mutations applied to that instance.
+    pub version: u64,
+}
 
 /// Traffic state of every link of a topology at one instant.
 ///
@@ -40,10 +69,85 @@ use crate::units::{Fraction, Mbps};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct TrafficSnapshot {
     used: Vec<Mbps>,
     explicit_utilization: Vec<Option<Fraction>>,
+    /// Instance identity for epoch-keyed caching (fresh on clone).
+    token: u64,
+    /// Mutation counter; mutation `k` (0-based) is journaled at
+    /// `journal[k % JOURNAL_CAPACITY]`.
+    version: u64,
+    /// Ring buffer of the links touched by the most recent mutations.
+    journal: Vec<LinkId>,
+}
+
+// Equality and cloning ignore the caching bookkeeping: two snapshots
+// are equal iff their traffic state is, and a clone is a *new instance*
+// (fresh token, version 0) so caches never confuse it with the
+// original.
+impl PartialEq for TrafficSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.used == other.used && self.explicit_utilization == other.explicit_utilization
+    }
+}
+
+impl Clone for TrafficSnapshot {
+    fn clone(&self) -> Self {
+        TrafficSnapshot {
+            used: self.used.clone(),
+            explicit_utilization: self.explicit_utilization.clone(),
+            token: fresh_token(),
+            version: 0,
+            journal: Vec::new(),
+        }
+    }
+}
+
+impl Serialize for TrafficSnapshot {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("used".to_string(), self.used.to_value()),
+            (
+                "explicit_utilization".to_string(),
+                self.explicit_utilization.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for TrafficSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let used: Vec<Mbps> = match v.get_field("used") {
+            Some(f) => Deserialize::from_value(f)?,
+            None => {
+                return Err(serde::Error::custom(
+                    "missing field `used` of `TrafficSnapshot`",
+                ))
+            }
+        };
+        let explicit_utilization: Vec<Option<Fraction>> = match v.get_field("explicit_utilization")
+        {
+            Some(f) => Deserialize::from_value(f)?,
+            None => {
+                return Err(serde::Error::custom(
+                    "missing field `explicit_utilization` of `TrafficSnapshot`",
+                ))
+            }
+        };
+        if used.len() != explicit_utilization.len() {
+            return Err(serde::Error::custom(
+                "TrafficSnapshot field lengths disagree",
+            ));
+        }
+        Ok(TrafficSnapshot {
+            used,
+            explicit_utilization,
+            token: fresh_token(),
+            version: 0,
+            journal: Vec::new(),
+        })
+    }
 }
 
 impl TrafficSnapshot {
@@ -52,7 +156,50 @@ impl TrafficSnapshot {
         TrafficSnapshot {
             used: vec![Mbps::ZERO; topology.link_count()],
             explicit_utilization: vec![None; topology.link_count()],
+            token: fresh_token(),
+            version: 0,
+            journal: Vec::new(),
         }
+    }
+
+    /// The snapshot's current epoch (instance token + mutation count).
+    pub fn epoch(&self) -> SnapshotEpoch {
+        SnapshotEpoch {
+            token: self.token,
+            version: self.version,
+        }
+    }
+
+    /// Links mutated between `since` and the current epoch, oldest
+    /// first, or `None` when the journal window was exceeded (or
+    /// `since` belongs to a different instance) and the caller must
+    /// rebuild from scratch. The same link may appear multiple times.
+    pub fn dirty_links_since(
+        &self,
+        since: SnapshotEpoch,
+    ) -> Option<impl Iterator<Item = LinkId> + '_> {
+        if since.token != self.token || since.version > self.version {
+            return None;
+        }
+        let behind = self.version - since.version;
+        if behind as usize > JOURNAL_CAPACITY {
+            return None;
+        }
+        Some(
+            (since.version..self.version)
+                .map(|k| self.journal[(k % JOURNAL_CAPACITY as u64) as usize]),
+        )
+    }
+
+    /// Records `link` in the mutation journal and bumps the version.
+    fn note_mutation(&mut self, link: LinkId) {
+        let slot = (self.version % JOURNAL_CAPACITY as u64) as usize;
+        if slot == self.journal.len() {
+            self.journal.push(link);
+        } else {
+            self.journal[slot] = link;
+        }
+        self.version += 1;
     }
 
     /// Number of links covered by this snapshot.
@@ -68,6 +215,7 @@ impl TrafficSnapshot {
     /// created from.
     pub fn set_used(&mut self, link: LinkId, used: Mbps) {
         self.used[link.index()] = used;
+        self.note_mutation(link);
     }
 
     /// Adds traffic on `link` (e.g. when a new flow is admitted).
@@ -77,6 +225,7 @@ impl TrafficSnapshot {
     /// Panics if `link` is out of range.
     pub fn add_used(&mut self, link: LinkId, delta: Mbps) {
         self.used[link.index()] += delta;
+        self.note_mutation(link);
     }
 
     /// Removes traffic from `link`, clamping at zero.
@@ -86,6 +235,7 @@ impl TrafficSnapshot {
     /// Panics if `link` is out of range.
     pub fn remove_used(&mut self, link: LinkId, delta: Mbps) {
         self.used[link.index()] = self.used[link.index()].saturating_sub(delta);
+        self.note_mutation(link);
     }
 
     /// Records an explicit utilization reading for `link`, overriding the
@@ -97,6 +247,7 @@ impl TrafficSnapshot {
     /// Panics if `link` is out of range.
     pub fn set_explicit_utilization(&mut self, link: LinkId, utilization: Fraction) {
         self.explicit_utilization[link.index()] = Some(utilization);
+        self.note_mutation(link);
     }
 
     /// Clears an explicit utilization reading, reverting to the derived
@@ -107,6 +258,7 @@ impl TrafficSnapshot {
     /// Panics if `link` is out of range.
     pub fn clear_explicit_utilization(&mut self, link: LinkId) {
         self.explicit_utilization[link.index()] = None;
+        self.note_mutation(link);
     }
 
     /// Returns the combined in+out traffic currently recorded on `link`.
@@ -240,6 +392,64 @@ mod tests {
         assert_eq!(link, l0);
         assert!((frac.get() - 0.5).abs() < 1e-12);
         assert!((snap.mean_utilization(&topo).get() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_advances_per_mutation() {
+        let (topo, l0, l1) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        let e0 = snap.epoch();
+        snap.set_used(l0, Mbps::new(1.0));
+        snap.add_used(l1, Mbps::new(0.5));
+        let e2 = snap.epoch();
+        assert_eq!(e2.token, e0.token);
+        assert_eq!(e2.version, e0.version + 2);
+        let dirty: Vec<LinkId> = snap.dirty_links_since(e0).unwrap().collect();
+        assert_eq!(dirty, vec![l0, l1]);
+        // Caught-up consumers see an empty delta.
+        assert_eq!(snap.dirty_links_since(e2).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn clones_and_distinct_snapshots_get_fresh_tokens() {
+        let (topo, l0, _) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        snap.set_used(l0, Mbps::new(1.0));
+        let clone = snap.clone();
+        assert_eq!(snap, clone);
+        assert_ne!(snap.epoch().token, clone.epoch().token);
+        assert_eq!(clone.epoch().version, 0);
+        // A foreign epoch yields no dirty delta.
+        assert!(clone.dirty_links_since(snap.epoch()).is_none());
+    }
+
+    #[test]
+    fn dirty_journal_overflow_forces_full_rebuild() {
+        let (topo, l0, _) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        let e0 = snap.epoch();
+        for _ in 0..(super::JOURNAL_CAPACITY + 1) {
+            snap.add_used(l0, Mbps::new(0.001));
+        }
+        assert!(snap.dirty_links_since(e0).is_none());
+        // But a recent epoch still has a valid window.
+        let recent = snap.epoch();
+        snap.set_used(l0, Mbps::new(0.5));
+        let dirty: Vec<LinkId> = snap.dirty_links_since(recent).unwrap().collect();
+        assert_eq!(dirty, vec![l0]);
+    }
+
+    #[test]
+    fn serde_drops_cache_bookkeeping() {
+        let (topo, l0, _) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        snap.set_used(l0, Mbps::new(1.25));
+        snap.set_explicit_utilization(l0, Fraction::from_percent(9.4));
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TrafficSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_ne!(back.epoch().token, snap.epoch().token);
+        assert_eq!(back.epoch().version, 0);
     }
 
     #[test]

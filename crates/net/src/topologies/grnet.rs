@@ -292,13 +292,13 @@ pub const TABLE2: [[Table2Cell; 4]; 7] = {
 /// few cells differ from the exact equations (1)–(4) by up to ~0.006 (see
 /// DESIGN.md §5 and EXPERIMENTS.md).
 pub const TABLE3_LVN: [[f64; 4]; 7] = [
-    [0.083, 0.632, 0.687, 0.697],          // Patra-Athens
-    [0.07501, 0.450017, 0.535, 0.539],     // Patra-Ioannina
-    [0.2819, 1.1075, 1.5433, 1.4824],      // Thessaloniki-Athens
-    [0.168, 0.4611, 0.6391, 0.583],        // Thessaloniki-Xanthi
-    [0.1427, 0.5571, 0.7501, 0.653],       // Thessaloniki-Ioannina
-    [0.1116, 0.5462, 0.999, 1.0574],       // Athens-Heraklio
-    [0.1201, 0.13001, 0.275015, 0.3],      // Xanthi-Heraklio
+    [0.083, 0.632, 0.687, 0.697],      // Patra-Athens
+    [0.07501, 0.450017, 0.535, 0.539], // Patra-Ioannina
+    [0.2819, 1.1075, 1.5433, 1.4824],  // Thessaloniki-Athens
+    [0.168, 0.4611, 0.6391, 0.583],    // Thessaloniki-Xanthi
+    [0.1427, 0.5571, 0.7501, 0.653],   // Thessaloniki-Ioannina
+    [0.1116, 0.5462, 0.999, 1.0574],   // Athens-Heraklio
+    [0.1201, 0.13001, 0.275015, 0.3],  // Xanthi-Heraklio
 ];
 
 /// The GRNET backbone topology plus id lookup tables.

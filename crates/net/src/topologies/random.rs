@@ -81,13 +81,7 @@ pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Topology {
     waxman_once(n, alpha, beta, &mut rng, true)
 }
 
-fn waxman_once(
-    n: usize,
-    alpha: f64,
-    beta: f64,
-    rng: &mut StdRng,
-    force_tree: bool,
-) -> Topology {
+fn waxman_once(n: usize, alpha: f64, beta: f64, rng: &mut StdRng, force_tree: bool) -> Topology {
     let mut b = TopologyBuilder::new();
     let nodes: Vec<_> = (0..n).map(|i| b.add_node(format!("w{i}"))).collect();
     let positions: Vec<(f64, f64)> = (0..n)

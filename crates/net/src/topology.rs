@@ -45,14 +45,69 @@ pub struct Incidence {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Adjacency is stored in CSR (compressed sparse row) form: the
+/// incidences of node `i` are the contiguous slice
+/// `adj_entries[adj_offsets[i] .. adj_offsets[i + 1]]`, in link-id
+/// order. The flat layout keeps the Dijkstra/LVN hot loops on one
+/// cache-friendly array instead of chasing per-node `Vec` pointers.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    adjacency: Vec<Vec<Incidence>>,
+    adj_offsets: Vec<u32>,
+    adj_entries: Vec<Incidence>,
+}
+
+/// Builds the CSR arrays from a link list. Filling scans links in id
+/// order, so each node's incidences come out sorted by link id — the
+/// same order the old per-node `Vec<Incidence>` lists had, which keeps
+/// relaxation order (and therefore float summation and tie-breaking)
+/// bit-identical.
+fn build_csr(node_count: usize, links: &[Link]) -> (Vec<u32>, Vec<Incidence>) {
+    let mut offsets = vec![0u32; node_count + 1];
+    for link in links {
+        offsets[link.a().index() + 1] += 1;
+        offsets[link.b().index() + 1] += 1;
+    }
+    for i in 0..node_count {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor: Vec<u32> = offsets[..node_count].to_vec();
+    let mut entries = vec![
+        Incidence {
+            link: LinkId::new(0),
+            neighbor: NodeId::new(0),
+        };
+        links.len() * 2
+    ];
+    for link in links {
+        let a = link.a().index();
+        let b = link.b().index();
+        entries[cursor[a] as usize] = Incidence {
+            link: link.id(),
+            neighbor: link.b(),
+        };
+        cursor[a] += 1;
+        entries[cursor[b] as usize] = Incidence {
+            link: link.id(),
+            neighbor: link.a(),
+        };
+        cursor[b] += 1;
+    }
+    (offsets, entries)
 }
 
 impl Topology {
+    fn from_parts(nodes: Vec<Node>, links: Vec<Link>) -> Self {
+        let (adj_offsets, adj_entries) = build_csr(nodes.len(), &links);
+        Topology {
+            nodes,
+            links,
+            adj_offsets,
+            adj_entries,
+        }
+    }
+
     /// Returns the number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -118,7 +173,9 @@ impl Topology {
     ///
     /// Panics if `node` does not belong to this topology.
     pub fn adjacent(&self, node: NodeId) -> &[Incidence] {
-        &self.adjacency[node.index()]
+        let start = self.adj_offsets[node.index()] as usize;
+        let end = self.adj_offsets[node.index() + 1] as usize;
+        &self.adj_entries[start..end]
     }
 
     /// Returns the degree (number of incident links) of `node`.
@@ -127,7 +184,7 @@ impl Topology {
     ///
     /// Panics if `node` does not belong to this topology.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency[node.index()].len()
+        self.adjacent(node).len()
     }
 
     /// Finds a node by its name.
@@ -137,8 +194,10 @@ impl Topology {
 
     /// Returns the link connecting `a` and `b`, if one exists.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.adjacency
-            .get(a.index())?
+        if a.index() >= self.nodes.len() {
+            return None;
+        }
+        self.adjacent(a)
             .iter()
             .find(|inc| inc.neighbor == b)
             .map(|inc| inc.link)
@@ -250,11 +309,7 @@ impl TopologyBuilder {
         if a == b {
             return Err(NetError::SelfLoop(a));
         }
-        if self
-            .links
-            .iter()
-            .any(|l| l.touches(a) && l.touches(b))
-        {
+        if self.links.iter().any(|l| l.touches(a) && l.touches(b)) {
             return Err(NetError::DuplicateLink(a, b));
         }
         let id = LinkId::new(self.links.len() as u32);
@@ -272,24 +327,35 @@ impl TopologyBuilder {
         self.links.len()
     }
 
-    /// Finalizes the topology, computing adjacency lists.
+    /// Finalizes the topology, computing the CSR adjacency arrays.
     pub fn build(self) -> Topology {
-        let mut adjacency = vec![Vec::new(); self.nodes.len()];
-        for link in &self.links {
-            adjacency[link.a().index()].push(Incidence {
-                link: link.id(),
-                neighbor: link.b(),
-            });
-            adjacency[link.b().index()].push(Incidence {
-                link: link.id(),
-                neighbor: link.a(),
-            });
-        }
-        Topology {
-            nodes: self.nodes,
-            links: self.links,
-            adjacency,
-        }
+        Topology::from_parts(self.nodes, self.links)
+    }
+}
+
+// Manual serde impls: only nodes and links are persisted; the CSR
+// adjacency is derived data and is rebuilt on deserialize, so a stored
+// topology can never carry inconsistent adjacency.
+impl Serialize for Topology {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("links".to_string(), self.links.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let nodes: Vec<Node> = match v.get_field("nodes") {
+            Some(f) => Deserialize::from_value(f)?,
+            None => return Err(serde::Error::custom("missing field `nodes` of `Topology`")),
+        };
+        let links: Vec<Link> = match v.get_field("links") {
+            Some(f) => Deserialize::from_value(f)?,
+            None => return Err(serde::Error::custom("missing field `links` of `Topology`")),
+        };
+        Ok(Topology::from_parts(nodes, links))
     }
 }
 
@@ -348,10 +414,7 @@ mod tests {
     fn self_loops_rejected() {
         let mut b = TopologyBuilder::new();
         let n = b.add_node("solo");
-        assert_eq!(
-            b.add_link(n, n, Mbps::new(1.0)),
-            Err(NetError::SelfLoop(n))
-        );
+        assert_eq!(b.add_link(n, n, Mbps::new(1.0)), Err(NetError::SelfLoop(n)));
     }
 
     #[test]

@@ -71,10 +71,7 @@ impl DijkstraTrace {
     ///
     /// Node names are taken from `topology`; unreached nodes show `R`.
     pub fn render(&self, topology: &Topology) -> String {
-        let targets: Vec<NodeId> = topology
-            .node_ids()
-            .filter(|&n| n != self.source)
-            .collect();
+        let targets: Vec<NodeId> = topology.node_ids().filter(|&n| n != self.source).collect();
 
         let mut header = vec!["Step".to_string(), "Nodes".to_string()];
         for &t in &targets {

@@ -74,7 +74,11 @@ impl<M: Model> Simulation<M> {
     pub fn step(&mut self) -> bool {
         match self.scheduler.pop() {
             Some((at, event)) => {
-                assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
+                assert!(
+                    at >= self.now,
+                    "event scheduled in the past: {at} < {}",
+                    self.now
+                );
                 self.now = at;
                 self.processed += 1;
                 self.model.handle(at, event, &mut self.scheduler);

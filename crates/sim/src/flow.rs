@@ -27,9 +27,7 @@ use crate::time::SimDuration;
 const COMPLETION_EPSILON_MBIT: f64 = 1e-9;
 
 /// Identifier of a flow within a [`FlowNetwork`].
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct FlowId(u64);
 
@@ -335,10 +333,33 @@ impl FlowNetwork {
     /// consumes.
     pub fn snapshot(&self) -> TrafficSnapshot {
         let mut snap = TrafficSnapshot::zero(&self.topology);
-        for link in self.topology.link_ids() {
-            snap.set_used(link, self.link_total_load(link));
-        }
+        self.snapshot_into(&mut snap);
         snap
+    }
+
+    /// Refreshes an existing snapshot with the current total loads
+    /// instead of allocating a new one. Because the snapshot *instance*
+    /// is preserved, its epoch token stays stable and only the mutated
+    /// links advance its version — epoch-keyed consumers (see
+    /// `vod_net::engine`) can then patch their caches incrementally
+    /// rather than rebuilding per call. Links whose load is unchanged
+    /// are left untouched (no journal noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was built for a different topology.
+    pub fn snapshot_into(&self, snap: &mut TrafficSnapshot) {
+        assert_eq!(
+            snap.link_count(),
+            self.topology.link_count(),
+            "snapshot must match the flow network's topology"
+        );
+        for link in self.topology.link_ids() {
+            let load = self.link_total_load(link);
+            if snap.used(link) != load {
+                snap.set_used(link, load);
+            }
+        }
     }
 
     /// Recomputes max-min fair rates (progressive filling).
@@ -415,10 +436,7 @@ impl FlowNetwork {
                         count[l.index()] -= 1;
                     }
                     let rate = Mbps::new(level.max(0.0));
-                    self.flows
-                        .get_mut(&id)
-                        .expect("flow exists")
-                        .rate = rate;
+                    self.flows.get_mut(&id).expect("flow exists").rate = rate;
                 }
             }
             if !froze_any {
@@ -485,6 +503,31 @@ mod tests {
         assert_eq!(net.rate(f).unwrap(), Mbps::new(2.0));
         assert_eq!(net.link_flow_load(l0), Mbps::new(2.0));
         assert_eq!(net.link_flow_load(l1), Mbps::new(2.0));
+    }
+
+    #[test]
+    fn snapshot_into_keeps_instance_and_journals_only_changes() {
+        let (t, l0, l1) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let mut snap = net.snapshot();
+        let token = snap.epoch().token;
+        let before = snap.epoch();
+
+        // Load one link only: the refresh touches just that link.
+        net.add_flow(vec![l0], 10.0).unwrap();
+        net.snapshot_into(&mut snap);
+        assert_eq!(snap.epoch().token, token, "instance is preserved");
+        assert_eq!(snap.used(l0), Mbps::new(2.0));
+        assert_eq!(snap.used(l1), Mbps::ZERO);
+        let dirty: Vec<LinkId> = snap.dirty_links_since(before).unwrap().collect();
+        assert_eq!(dirty, vec![l0]);
+
+        // An unchanged network refreshes with zero journal noise.
+        let quiet = snap.epoch();
+        net.snapshot_into(&mut snap);
+        assert_eq!(snap.epoch(), quiet);
+        // Refreshing matches a freshly-built snapshot's data.
+        assert_eq!(snap, net.snapshot());
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl TimeSeries {
     /// Panics in debug builds if timestamps go backwards.
     pub fn push(&mut self, at: SimTime, value: f64) {
         debug_assert!(
-            self.samples.last().map_or(true, |&(t, _)| t <= at),
+            self.samples.last().is_none_or(|&(t, _)| t <= at),
             "time series samples must be time-ordered"
         );
         self.samples.push((at, value));
@@ -212,7 +212,8 @@ impl RunningStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
     }

@@ -236,7 +236,9 @@ mod tests {
         assert!(SimTime::from_micros(u64::MAX)
             .checked_add(SimDuration::from_micros(1))
             .is_none());
-        assert!(SimTime::ZERO.checked_add(SimDuration::from_secs(1)).is_some());
+        assert!(SimTime::ZERO
+            .checked_add(SimDuration::from_secs(1))
+            .is_some());
     }
 
     #[test]

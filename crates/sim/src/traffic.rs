@@ -247,10 +247,7 @@ mod tests {
         let p = DiurnalProfile::new(vec![(0.0, Mbps::new(0.0)), (12.0, Mbps::new(12.0))]);
         assert_eq!(p.sample_at(SimTime::from_secs(6 * 3600)), Mbps::new(6.0));
         // A day later, same hour.
-        assert_eq!(
-            p.sample_at(SimTime::from_secs(30 * 3600)),
-            Mbps::new(6.0)
-        );
+        assert_eq!(p.sample_at(SimTime::from_secs(30 * 3600)), Mbps::new(6.0));
     }
 
     #[test]

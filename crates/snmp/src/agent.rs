@@ -74,7 +74,10 @@ mod tests {
         let agents = ServerAgent::all_servers(g.topology());
         assert_eq!(agents.len(), 6);
         // Union of responsibilities covers all 7 links.
-        let mut covered: Vec<LinkId> = agents.iter().flat_map(|a| a.links().iter().copied()).collect();
+        let mut covered: Vec<LinkId> = agents
+            .iter()
+            .flat_map(|a| a.links().iter().copied())
+            .collect();
         covered.sort();
         covered.dedup();
         assert_eq!(covered.len(), 7);

@@ -196,9 +196,7 @@ mod tests {
         assert!(snmp.due(t));
         snmp.poll(grnet.topology(), &mut db, t).unwrap();
 
-        let admin = db
-            .limited_access(&AdminCredential::new("root"))
-            .unwrap();
+        let admin = db.limited_access(&AdminCredential::new("root")).unwrap();
         let entry = admin.link(link).unwrap();
         let reading = entry.last_reading().unwrap();
         assert!((reading.used.as_f64() - 0.5).abs() < 1e-9);

@@ -78,7 +78,9 @@ impl DiskArray {
     ///
     /// Returns [`StorageError::UnknownDisk`] for an out-of-range index.
     pub fn disk(&self, index: usize) -> Result<&Disk, StorageError> {
-        self.disks.get(index).ok_or(StorageError::UnknownDisk(index))
+        self.disks
+            .get(index)
+            .ok_or(StorageError::UnknownDisk(index))
     }
 
     /// Total capacity across all disks.

@@ -181,7 +181,8 @@ impl DmaCache {
     ///
     /// Returns [`StorageError::NoDisks`] when `config.disk_count` is zero.
     pub fn new(config: DmaConfig) -> Result<Self, StorageError> {
-        let array = DiskArray::uniform(config.disk_count, config.disk_capacity, config.cluster_size)?;
+        let array =
+            DiskArray::uniform(config.disk_count, config.disk_capacity, config.cluster_size)?;
         Ok(DmaCache {
             config,
             array,
@@ -417,12 +418,9 @@ mod tests {
         c.on_request(&video(1, 200.0)); // 1 point
         c.on_request(&video(2, 200.0)); // 1 point
         c.on_request(&video(2, 200.0)); // hit → 2 points
-        // Two requests for v3: first rejected (1 pt vs 1 pt), second evicts v1.
+                                        // Two requests for v3: first rejected (1 pt vs 1 pt), second evicts v1.
         let v3 = video(3, 200.0);
-        assert!(matches!(
-            c.on_request(&v3),
-            DmaDecision::NotAdmitted { .. }
-        ));
+        assert!(matches!(c.on_request(&v3), DmaDecision::NotAdmitted { .. }));
         let d = c.on_request(&v3);
         assert_eq!(
             d,
@@ -508,10 +506,7 @@ mod tests {
                 reason: RejectReason::BelowThreshold
             }
         );
-        assert!(matches!(
-            c.on_request(&v),
-            DmaDecision::NotAdmitted { .. }
-        ));
+        assert!(matches!(c.on_request(&v), DmaDecision::NotAdmitted { .. }));
         // Third request: points (3) > threshold (2).
         assert!(matches!(c.on_request(&v), DmaDecision::Admitted { .. }));
     }

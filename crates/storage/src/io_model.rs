@@ -72,11 +72,7 @@ impl DiskIoModel {
     }
 
     /// Effective sustained throughput (MB/s) reading a striped video.
-    pub fn striped_throughput_mb_per_s(
-        &self,
-        layout: &StripeLayout,
-        video_size: Megabytes,
-    ) -> f64 {
+    pub fn striped_throughput_mb_per_s(&self, layout: &StripeLayout, video_size: Megabytes) -> f64 {
         let t = self.striped_read_secs(layout, video_size);
         if t <= 0.0 {
             0.0
@@ -106,8 +102,7 @@ mod tests {
         assert!((serial - 40.0).abs() < 1e-9);
         assert!((parallel - 10.0).abs() < 1e-9);
         assert!(
-            (io.striped_throughput_mb_per_s(&StripeLayout::cyclic(4, 4), size) - 40.0).abs()
-                < 1e-9
+            (io.striped_throughput_mb_per_s(&StripeLayout::cyclic(4, 4), size) - 40.0).abs() < 1e-9
         );
     }
 

@@ -46,9 +46,7 @@ impl PopularityTracker {
     where
         I: IntoIterator<Item = VideoId>,
     {
-        candidates
-            .into_iter()
-            .min_by_key(|&v| (self.points(v), v))
+        candidates.into_iter().min_by_key(|&v| (self.points(v), v))
     }
 
     /// The most popular titles in descending point order (ties by id).

@@ -90,9 +90,7 @@ impl std::iter::Sum for Megabytes {
 }
 
 /// Identifier of a video title, unique across the whole service.
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct VideoId(u32);
 
@@ -321,7 +319,10 @@ mod tests {
         assert_eq!(lib.get(VideoId::new(9)), None);
         assert_eq!(lib.total_size().as_f64(), 350.0);
         assert_eq!(lib.find_by_title("t2").unwrap().id(), VideoId::new(2));
-        assert_eq!(lib.ids().collect::<Vec<_>>(), vec![VideoId::new(1), VideoId::new(2)]);
+        assert_eq!(
+            lib.ids().collect::<Vec<_>>(),
+            vec![VideoId::new(1), VideoId::new(2)]
+        );
     }
 
     #[test]

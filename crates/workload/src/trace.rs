@@ -81,8 +81,7 @@ impl RequestTrace {
     /// Returns any I/O error from creating or writing the file.
     pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        serde_json::to_writer(std::io::BufWriter::new(file), self)
-            .map_err(std::io::Error::other)
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
     }
 
     /// Loads a trace previously written by [`RequestTrace::save_json`].
@@ -190,11 +189,7 @@ impl TraceConfig {
     }
 }
 
-fn pick_weighted<R: Rng + ?Sized>(
-    origins: &[(NodeId, f64)],
-    total: f64,
-    rng: &mut R,
-) -> NodeId {
+fn pick_weighted<R: Rng + ?Sized>(origins: &[(NodeId, f64)], total: f64, rng: &mut R) -> NodeId {
     let mut x: f64 = rng.gen::<f64>() * total;
     for &(node, w) in origins {
         if x < w {
@@ -208,8 +203,8 @@ fn pick_weighted<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vod_net::topologies::grnet::{Grnet, GrnetNode};
     use crate::library::{LibraryConfig, LibraryGenerator};
+    use vod_net::topologies::grnet::{Grnet, GrnetNode};
 
     fn fixture() -> (Grnet, VideoLibrary) {
         let grnet = Grnet::new();
@@ -278,7 +273,10 @@ mod tests {
         let counts = trace.counts_per_video();
         let hottest = counts.get(&VideoId::new(0)).copied().unwrap_or(0);
         let coldest = counts.get(&VideoId::new(49)).copied().unwrap_or(0);
-        assert!(hottest > coldest * 5, "hottest {hottest} vs coldest {coldest}");
+        assert!(
+            hottest > coldest * 5,
+            "hottest {hottest} vs coldest {coldest}"
+        );
     }
 
     #[test]
@@ -335,10 +333,7 @@ mod tests {
             ..TraceConfig::default()
         }
         .generate(grnet.topology(), &lib, 13);
-        let path = std::env::temp_dir().join(format!(
-            "vod-trace-test-{}.json",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("vod-trace-test-{}.json", std::process::id()));
         trace.save_json(&path).unwrap();
         let loaded = RequestTrace::load_json(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -347,10 +342,8 @@ mod tests {
 
     #[test]
     fn load_rejects_garbage() {
-        let path = std::env::temp_dir().join(format!(
-            "vod-trace-garbage-{}.json",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("vod-trace-garbage-{}.json", std::process::id()));
         std::fs::write(&path, b"not json at all").unwrap();
         assert!(RequestTrace::load_json(&path).is_err());
         std::fs::remove_file(&path).ok();

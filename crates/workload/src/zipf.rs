@@ -158,8 +158,8 @@ mod tests {
         for _ in 0..draws {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..10 {
-            let freq = counts[k] as f64 / draws as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / draws as f64;
             let expect = z.pmf(k);
             assert!(
                 (freq - expect).abs() < 0.01,

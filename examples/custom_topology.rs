@@ -50,7 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 5, step one: determine the home server from the client IP.
     let mut resolver = HomeResolver::new();
     for (i, &leaf) in leaves.iter().enumerate() {
-        resolver.add(Ipv4Addr::new(10, i as u8, 0, 0), 16, leaf).map_err(std::io::Error::other)?;
+        resolver
+            .add(Ipv4Addr::new(10, i as u8, 0, 0), 16, leaf)
+            .map_err(std::io::Error::other)?;
     }
     let client_ip = Ipv4Addr::new(10, 2, 14, 7);
     let home = resolver.resolve(client_ip).expect("prefix configured");

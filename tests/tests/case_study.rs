@@ -58,8 +58,7 @@ fn table4_trace_has_expected_shape_and_erratum() {
 fn table5_reproduces_exactly() {
     let g = grnet();
     let weights = g.paper_table3_weights(TimeOfDay::T1000);
-    let (paths, _) =
-        dijkstra_with_trace(g.topology(), &weights, g.node(GrnetNode::Patra)).unwrap();
+    let (paths, _) = dijkstra_with_trace(g.topology(), &weights, g.node(GrnetNode::Patra)).unwrap();
     let route4 = paths.route_to(g.node(GrnetNode::Thessaloniki)).unwrap();
     let route5 = paths.route_to(g.node(GrnetNode::Xanthi)).unwrap();
     assert_eq!(route4.display_with(g.topology()).to_string(), "U2,U3,U4");
@@ -68,7 +67,11 @@ fn table5_reproduces_exactly() {
     assert!((route5.cost() - 1.30821).abs() < 1e-9);
 }
 
-fn run_experiment(time: TimeOfDay, home: GrnetNode, candidates: &[GrnetNode]) -> (GrnetNode, f64, String) {
+fn run_experiment(
+    time: TimeOfDay,
+    home: GrnetNode,
+    candidates: &[GrnetNode],
+) -> (GrnetNode, f64, String) {
     let g = grnet();
     let snap = g.snapshot(time);
     let ids: Vec<NodeId> = candidates.iter().map(|&c| g.node(c)).collect();
@@ -82,15 +85,18 @@ fn run_experiment(time: TimeOfDay, home: GrnetNode, candidates: &[GrnetNode]) ->
     (
         g.grnet_node(report.selection.server).unwrap(),
         report.selection.route.cost(),
-        report.selection.route.display_with(g.topology()).to_string(),
+        report
+            .selection
+            .route
+            .display_with(g.topology())
+            .to_string(),
     )
 }
 
 #[test]
 fn experiment_a_corrected_choice() {
     use GrnetNode::*;
-    let (choice, cost, route) =
-        run_experiment(TimeOfDay::T0800, Patra, &[Thessaloniki, Xanthi]);
+    let (choice, cost, route) = run_experiment(TimeOfDay::T0800, Patra, &[Thessaloniki, Xanthi]);
     assert_eq!(choice, Thessaloniki); // paper says Xanthi; see erratum
     assert_eq!(route, "U2,U3,U4");
     assert!((cost - 0.2177).abs() < 0.002);
@@ -105,20 +111,14 @@ fn experiments_b_c_d_match_paper() {
     assert_eq!(b_route, "U2,U3,U4");
     assert!((b_cost - 1.007).abs() < 0.01);
 
-    let (c_choice, c_cost, c_route) = run_experiment(
-        TimeOfDay::T1600,
-        Athens,
-        &[Thessaloniki, Xanthi, Ioannina],
-    );
+    let (c_choice, c_cost, c_route) =
+        run_experiment(TimeOfDay::T1600, Athens, &[Thessaloniki, Xanthi, Ioannina]);
     assert_eq!(c_choice, Ioannina);
     assert_eq!(c_route, "U1,U2,U3");
     assert!((c_cost - 1.222).abs() < 0.01);
 
-    let (d_choice, d_cost, d_route) = run_experiment(
-        TimeOfDay::T1800,
-        Athens,
-        &[Thessaloniki, Xanthi, Ioannina],
-    );
+    let (d_choice, d_cost, d_route) =
+        run_experiment(TimeOfDay::T1800, Athens, &[Thessaloniki, Xanthi, Ioannina]);
     assert_eq!(d_choice, Ioannina);
     assert_eq!(d_route, "U1,U2,U3");
     assert!((d_cost - 1.236).abs() < 0.01);

@@ -86,7 +86,7 @@ fn stepped_and_continuous_runs_agree() {
     );
     let mut deadline = SimTime::ZERO;
     for _ in 0..50 {
-        deadline = deadline + SimDuration::from_secs(30 * 60);
+        deadline += SimDuration::from_secs(30 * 60);
         stepped.run_until(deadline);
     }
     assert!(stepped.now() >= deadline);

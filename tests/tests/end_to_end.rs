@@ -75,7 +75,10 @@ fn accounting_is_conserved_across_selectors() {
         for r in &report.completed {
             assert!(r.completed_at >= r.requested_at, "{name}");
             assert!(r.local_clusters <= r.clusters, "{name}");
-            assert!(r.stall_count == 0 || r.stall_time > SimDuration::ZERO, "{name}");
+            assert!(
+                r.stall_count == 0 || r.stall_time > SimDuration::ZERO,
+                "{name}"
+            );
             assert!(r.local_fraction() >= 0.0 && r.local_fraction() <= 1.0);
         }
         // DMA saw exactly the admitted requests.

@@ -1,0 +1,134 @@
+//! Property test: the epoch-cached routing engine is bit-identical to the
+//! slow reference pipeline (LvnComputer + dijkstra_with_trace) and agrees
+//! with Bellman–Ford, on randomized connected topologies with randomized
+//! traffic — including after incremental (journal-driven) weight patches.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use vod_core::selection::{SelectionContext, ServerSelector};
+use vod_core::vra::Vra;
+use vod_net::dijkstra::{bellman_ford, dijkstra_with_trace};
+use vod_net::engine::RoutingEngine;
+use vod_net::lvn::{LvnComputer, LvnParams};
+use vod_net::topologies::random::connected_gnp;
+use vod_net::units::Fraction;
+use vod_net::{NodeId, Topology, TrafficSnapshot};
+
+/// Randomized traffic: every link carries a random fraction of its
+/// capacity; a few links additionally get explicit (rounded) utilization
+/// readings, as the paper's Table 2 does.
+fn random_snapshot(topology: &Topology, rng: &mut StdRng) -> TrafficSnapshot {
+    let mut snap = TrafficSnapshot::zero(topology);
+    for link in topology.link_ids() {
+        let capacity = topology.link(link).capacity();
+        snap.set_used(link, capacity * rng.gen_range(0.0..0.95));
+        if rng.gen_bool(0.2) {
+            snap.set_explicit_utilization(link, Fraction::new(rng.gen_range(0.0..1.0)));
+        }
+    }
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_matches_references_on_random_topologies(
+        n in 4usize..32,
+        seed in any::<u64>(),
+        mutations in 1usize..6,
+    ) {
+        let topology = connected_gnp(n, 0.2, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let mut snapshot = random_snapshot(&topology, &mut rng);
+        let params = LvnParams::default();
+        let mut engine = RoutingEngine::new(params);
+
+        // 1. Cached weight table == the reference computation, float for
+        //    float.
+        let reference = LvnComputer::new(&topology, &snapshot, params).weights();
+        {
+            let weights = engine.weights(&topology, &snapshot).unwrap();
+            prop_assert_eq!(weights, &reference);
+        }
+
+        // 2. Engine shortest paths == dijkstra_with_trace (identical
+        //    distances, predecessors and tie-breaks) and Bellman–Ford
+        //    agrees on every distance.
+        let home = NodeId::new(rng.gen_range(0..n as u32));
+        let engine_paths = engine.paths_from(&topology, &snapshot, home).unwrap();
+        let (trace_paths, _) = dijkstra_with_trace(&topology, &reference, home).unwrap();
+        prop_assert_eq!(&*engine_paths, &trace_paths);
+        let bf = bellman_ford(&topology, &reference, home).unwrap();
+        for node in topology.node_ids() {
+            match (engine_paths.distance_to(node), bf[node.index()]) {
+                (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                (None, None) => {}
+                other => prop_assert!(false, "reachability mismatch: {:?}", other),
+            }
+        }
+
+        // 3. Engine selection == the trace-producing Vra report path
+        //    (same server, same route, same tie-breaks).
+        let candidate_count = rng.gen_range(1..=3usize.min(n - 1));
+        let candidates: Vec<NodeId> = (0..candidate_count)
+            .map(|_| NodeId::new(rng.gen_range(0..n as u32)))
+            .collect();
+        let ctx = SelectionContext {
+            topology: &topology,
+            snapshot: &snapshot,
+            home,
+            candidates: &candidates,
+        };
+        let report = Vra::new(params).select_with_report(&ctx).unwrap();
+        let engine_sel = engine
+            .select(&topology, &snapshot, home, &candidates)
+            .unwrap()
+            .unwrap();
+        prop_assert_eq!(engine_sel.server, report.selection.server);
+        prop_assert_eq!(&engine_sel.route, &report.selection.route);
+
+        // 4. After journaled mutations the incrementally-patched table is
+        //    still bit-identical to a cold recompute.
+        for _ in 0..mutations {
+            let link = vod_net::LinkId::new(rng.gen_range(0..topology.link_count() as u32));
+            let capacity = topology.link(link).capacity();
+            snapshot.set_used(link, capacity * rng.gen_range(0.0..0.95));
+        }
+        let patched = engine.weights(&topology, &snapshot).unwrap().clone();
+        let recomputed = LvnComputer::new(&topology, &snapshot, params).weights();
+        prop_assert_eq!(&patched, &recomputed);
+        let after = engine.paths_from(&topology, &snapshot, home).unwrap();
+        let (trace_after, _) = dijkstra_with_trace(&topology, &recomputed, home).unwrap();
+        prop_assert_eq!(&*after, &trace_after);
+    }
+}
+
+/// The Vra fast path (ServerSelector::select) and the report path agree
+/// on 100+ seeded random cases — the selector-level variant of the
+/// engine property above.
+#[test]
+fn vra_fast_path_matches_report_on_seeded_cases() {
+    for case in 0u64..110 {
+        let n = 4 + (case as usize % 24);
+        let topology = connected_gnp(n, 0.25, case * 7 + 1);
+        let mut rng = StdRng::seed_from_u64(case.wrapping_mul(0x5851_f42d_4c95_7f2d));
+        let snapshot = random_snapshot(&topology, &mut rng);
+        let home = NodeId::new(rng.gen_range(0..n as u32));
+        let candidates: Vec<NodeId> = (0..1 + case as usize % 3)
+            .map(|_| NodeId::new(rng.gen_range(0..n as u32)))
+            .collect();
+        let ctx = SelectionContext {
+            topology: &topology,
+            snapshot: &snapshot,
+            home,
+            candidates: &candidates,
+        };
+        let mut vra = Vra::default();
+        let report = vra.select_with_report(&ctx).unwrap();
+        let fast = vra.select(&ctx).unwrap();
+        assert_eq!(fast, report.selection, "case {case}");
+    }
+}

@@ -2,9 +2,9 @@
 //! checking that the routing algorithm really operates on the database's
 //! (stale) view, as the paper prescribes.
 
-use vod_db::{AdminCredential, Database};
 use vod_core::selection::{SelectionContext, ServerSelector};
 use vod_core::vra::Vra;
+use vod_db::{AdminCredential, Database};
 use vod_integration_tests::grnet;
 use vod_net::topologies::grnet::{GrnetLink, GrnetNode, TimeOfDay};
 use vod_net::Mbps;

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use vod_core::selection::{SelectionContext, ServerSelector};
+use vod_core::selection::SelectionContext;
 use vod_core::vra::Vra;
 use vod_net::topologies::random::connected_gnp;
 use vod_net::{Mbps, NodeId, TrafficSnapshot};

@@ -33,17 +33,15 @@ fn front_end() -> (UserPortal, Database) {
         let mut la = db.limited_access(&admin).unwrap();
         la.add_title(g.node(GrnetNode::Thessaloniki), VideoId::new(0))
             .unwrap();
-        la.add_title(g.node(GrnetNode::Xanthi), VideoId::new(0)).unwrap();
-        la.add_title(g.node(GrnetNode::Athens), VideoId::new(1)).unwrap();
+        la.add_title(g.node(GrnetNode::Xanthi), VideoId::new(0))
+            .unwrap();
+        la.add_title(g.node(GrnetNode::Athens), VideoId::new(1))
+            .unwrap();
     }
     let mut resolver = HomeResolver::new();
     for (i, node) in GrnetNode::ALL.iter().enumerate() {
         resolver
-            .add(
-                Ipv4Addr::new(150, 140 + i as u8, 0, 0),
-                16,
-                g.node(*node),
-            )
+            .add(Ipv4Addr::new(150, 140 + i as u8, 0, 0), 16, g.node(*node))
             .unwrap();
     }
     (UserPortal::new(resolver), db)
@@ -58,7 +56,11 @@ fn user_journey_browse_search_request_route() {
     let catalog = portal.browse(&db);
     assert_eq!(catalog.len(), 3);
     assert_eq!(
-        catalog.iter().find(|e| e.title == "Zorba").unwrap().replicas,
+        catalog
+            .iter()
+            .find(|e| e.title == "Zorba")
+            .unwrap()
+            .replicas,
         2
     );
 
@@ -69,7 +71,12 @@ fn user_journey_browse_search_request_route() {
 
     // Request from a Patra address (prefix 150.141/16 → U2).
     let request = portal
-        .place_request(&db, Ipv4Addr::new(150, 141, 7, 9), zorba, SimTime::from_secs(60))
+        .place_request(
+            &db,
+            Ipv4Addr::new(150, 141, 7, 9),
+            zorba,
+            SimTime::from_secs(60),
+        )
         .unwrap();
     assert_eq!(request.home, g.node(GrnetNode::Patra));
 
@@ -152,9 +159,19 @@ fn users_cannot_reach_the_limited_access_module() {
 fn unknown_requests_fail_cleanly() {
     let (portal, db) = front_end();
     assert!(portal
-        .place_request(&db, Ipv4Addr::new(150, 141, 1, 1), VideoId::new(99), SimTime::ZERO)
+        .place_request(
+            &db,
+            Ipv4Addr::new(150, 141, 1, 1),
+            VideoId::new(99),
+            SimTime::ZERO
+        )
         .is_err());
     assert!(portal
-        .place_request(&db, Ipv4Addr::new(9, 9, 9, 9), VideoId::new(0), SimTime::ZERO)
+        .place_request(
+            &db,
+            Ipv4Addr::new(9, 9, 9, 9),
+            VideoId::new(0),
+            SimTime::ZERO
+        )
         .is_err());
 }

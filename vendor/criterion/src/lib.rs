@@ -1,0 +1,378 @@
+//! Offline vendored micro-benchmark harness.
+//!
+//! API-compatible with the subset of `criterion 0.5` this workspace
+//! uses: `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is calibrated with a few warmup
+//! runs, then timed over `sample_size` samples of batched iterations;
+//! the per-iteration mean/min/max are printed. When the binary is run
+//! with `--test` (as `cargo test` does for `harness = false` bench
+//! targets) every benchmark executes exactly once, unmeasured. If the
+//! `CRITERION_JSON` environment variable names a file, a JSON summary
+//! of all results is written there on `final_summary`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter (group name supplies the rest).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One benchmark's measured statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/bench/param`).
+    pub id: String,
+    /// Minimum observed sample mean.
+    pub min_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+    /// Maximum observed sample mean.
+    pub max_ns: f64,
+}
+
+/// Runs one benchmark routine (see [`Bencher::iter`]).
+pub struct Bencher<'a> {
+    test_mode: bool,
+    sample_size: usize,
+    result: &'a mut Option<(f64, f64, f64)>,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, storing per-iteration statistics.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.test_mode {
+            black_box(routine());
+            *self.result = Some((0.0, 0.0, 0.0));
+            return;
+        }
+        // Calibrate: aim for ~2 ms per sample.
+        let calib_start = Instant::now();
+        black_box(routine());
+        let once = calib_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        // Warmup.
+        let warmup_until = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warmup_until {
+            black_box(routine());
+        }
+
+        let mut means = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            means.push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = means.iter().cloned().fold(0.0f64, f64::max);
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        *self.result = Some((min, mean, max));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    default_sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                filters.push(arg);
+            }
+        }
+        Criterion {
+            test_mode,
+            filters,
+            default_sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn matches_filter(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one(&mut self, id: String, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.matches_filter(&id) {
+            return;
+        }
+        let mut result = None;
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{id}: ok (test mode)");
+            return;
+        }
+        match result {
+            Some((min, mean, max)) => {
+                println!(
+                    "{id:<50} time: [{} {} {}]",
+                    format_ns(min),
+                    format_ns(mean),
+                    format_ns(max)
+                );
+                self.results.push(Measurement {
+                    id,
+                    min_ns: min,
+                    mean_ns: mean,
+                    max_ns: max,
+                });
+            }
+            None => println!("{id}: no measurement (Bencher::iter never called)"),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.to_string(), sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints the run summary and, if `CRITERION_JSON` is set, writes a
+    /// JSON report of all measurements to that path.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            return;
+        }
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let mut out = String::from("[\n");
+            for (i, m) in self.results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&format!(
+                    "  {{\"id\": \"{}\", \"min_ns\": {:.2}, \"mean_ns\": {:.2}, \"max_ns\": {:.2}}}",
+                    m.id.replace('"', "\\\""),
+                    m.min_ns,
+                    m.mean_ns,
+                    m.max_ns
+                ));
+            }
+            out.push_str("\n]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("criterion: failed to write {path}: {e}");
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(full, sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion
+            .run_one(full, sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`] for `bench_function`-style calls.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion {
+            test_mode: false,
+            filters: Vec::new(),
+            default_sample_size: 5,
+            results: Vec::new(),
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        assert_eq!(c.measurements().len(), 1);
+        let m = &c.measurements()[0];
+        assert_eq!(m.id, "spin");
+        assert!(m.min_ns <= m.mean_ns && m.mean_ns <= m.max_ns);
+        assert!(m.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_respect_filters() {
+        let mut c = Criterion {
+            test_mode: false,
+            filters: vec!["keep".to_string()],
+            default_sample_size: 5,
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(5);
+            g.bench_with_input(BenchmarkId::from_parameter("keep_me"), &3u32, |b, &x| {
+                b.iter(|| black_box(x) * 2)
+            });
+            g.bench_function("dropped", |b| b.iter(|| 1u32));
+            g.finish();
+        }
+        assert_eq!(c.measurements().len(), 1);
+        assert_eq!(c.measurements()[0].id, "grp/keep_me");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+        assert_eq!(BenchmarkId::from_parameter(12).id, "12");
+    }
+}

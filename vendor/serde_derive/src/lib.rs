@@ -1,0 +1,525 @@
+//! Derive macros for the vendored mini-serde.
+//!
+//! Generates impls of `serde::Serialize`/`serde::Deserialize` (the
+//! Value-tree based traits of the vendored `serde` crate) for structs and
+//! enums. Because the offline build environment has neither `syn` nor
+//! `quote`, the item is parsed directly from its token stream and the
+//! impls are emitted as formatted source text.
+//!
+//! Supported shapes (everything this workspace uses):
+//!
+//! * named-field structs, tuple structs (1-field tuples serialize as their
+//!   inner value, like serde newtypes), unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged);
+//! * `#[serde(transparent)]` on containers, `#[serde(skip)]` /
+//!   `#[serde(default)]` on fields (skipped fields round-trip through
+//!   `Default`).
+//!
+//! Generics are intentionally unsupported — no serialized type in the
+//! workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name (None for tuple fields), skip flag.
+struct Field {
+    name: Option<String>,
+    skip: bool,
+    default_when_missing: bool,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+    named: bool,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+        named: bool,
+        unit: bool,
+        transparent: bool,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Extracts `(transparent, skip, default)` flags from one `#[serde(...)]`
+/// attribute body.
+fn serde_flags(group: &proc_macro::Group) -> (bool, bool, bool) {
+    let mut tokens = group.stream().into_iter();
+    let head = match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => id,
+        _ => return (false, false, false),
+    };
+    let _ = head;
+    let mut transparent = false;
+    let mut skip = false;
+    let mut default = false;
+    for tok in tokens {
+        if let TokenTree::Group(inner) = tok {
+            for t in inner.stream() {
+                if let TokenTree::Ident(id) = t {
+                    match id.to_string().as_str() {
+                        "transparent" => transparent = true,
+                        "skip" => skip = true,
+                        "default" => default = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    (transparent, skip, default)
+}
+
+/// Consumes leading `#[...]` attributes, returning combined serde flags.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> (bool, bool, bool) {
+    let mut flags = (false, false, false);
+    loop {
+        match (tokens.get(*pos), tokens.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let (t, s, d) = serde_flags(g);
+                flags.0 |= t;
+                flags.1 |= s;
+                flags.2 |= d;
+                *pos += 2;
+            }
+            _ => return flags,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(crate)` visibility.
+fn eat_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Splits a token list on top-level commas. Commas inside generic
+/// angle brackets (`BTreeMap<K, V>`) are not split points, so `<`/`>`
+/// nesting depth is tracked (angle brackets are bare puncts, not
+/// `Group`s).
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    for tok in tokens {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(tok);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+                current.push(tok);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(tok),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parses the fields of a braced (named) or parenthesised (tuple) group.
+fn parse_fields(group: &proc_macro::Group, named: bool) -> Vec<Field> {
+    split_commas(group.stream().into_iter().collect())
+        .into_iter()
+        .filter(|toks| !toks.is_empty())
+        .map(|toks| {
+            let mut pos = 0;
+            let (_, skip, default) = eat_attrs(&toks, &mut pos);
+            eat_visibility(&toks, &mut pos);
+            let name = if named {
+                match toks.get(pos) {
+                    Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                    other => panic!("expected field name, found {other:?}"),
+                }
+            } else {
+                None
+            };
+            Field {
+                name,
+                skip,
+                default_when_missing: default,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let (transparent, ..) = eat_attrs(&tokens, &mut pos);
+    eat_visibility(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("mini-serde derive does not support generic type `{name}`");
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_fields(g, true),
+                named: true,
+                unit: false,
+                transparent,
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                fields: parse_fields(g, false),
+                named: false,
+                unit: false,
+                transparent,
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                fields: Vec::new(),
+                named: false,
+                unit: true,
+                transparent: false,
+            },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            let variants = split_commas(body.stream().into_iter().collect())
+                .into_iter()
+                .filter(|toks| !toks.is_empty())
+                .map(|toks| {
+                    let mut vpos = 0;
+                    eat_attrs(&toks, &mut vpos);
+                    let vname = match toks.get(vpos) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("expected variant name, found {other:?}"),
+                    };
+                    vpos += 1;
+                    match toks.get(vpos) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Variant {
+                            name: vname,
+                            fields: Some(parse_fields(g, true)),
+                            named: true,
+                        },
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Variant {
+                                name: vname,
+                                fields: Some(parse_fields(g, false)),
+                                named: false,
+                            }
+                        }
+                        _ => Variant {
+                            name: vname,
+                            fields: None,
+                            named: false,
+                        },
+                    }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ---- codegen ----------------------------------------------------------
+
+fn gen_struct_serialize(
+    name: &str,
+    fields: &[Field],
+    named: bool,
+    unit: bool,
+    transparent: bool,
+) -> String {
+    let active: Vec<(usize, &Field)> = fields.iter().enumerate().filter(|(_, f)| !f.skip).collect();
+    let body = if unit {
+        "::serde::Value::Null".to_string()
+    } else if transparent || (!named && active.len() == 1) {
+        // Newtype / transparent: serialize as the single active field.
+        let (idx, field) = active
+            .first()
+            .expect("transparent container needs one unskipped field");
+        let access = match &field.name {
+            Some(n) => n.clone(),
+            None => idx.to_string(),
+        };
+        format!("::serde::Serialize::to_value(&self.{access})")
+    } else if named {
+        let pushes: String = active
+            .iter()
+            .map(|(_, f)| {
+                let n = f.name.as_ref().unwrap();
+                format!(
+                    "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n"
+                )
+            })
+            .collect();
+        format!(
+            "{{ let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(fields) }}"
+        )
+    } else {
+        let pushes: String = active
+            .iter()
+            .map(|(idx, _)| format!("items.push(::serde::Serialize::to_value(&self.{idx}));\n"))
+            .collect();
+        format!(
+            "{{ let mut items: Vec<::serde::Value> = Vec::new();\n{pushes}::serde::Value::Array(items) }}"
+        )
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+    )
+}
+
+/// Emits the expression that reconstructs one field from `source` (an
+/// expression yielding `Option<&::serde::Value>`).
+fn field_expr(container: &str, label: &str, field: &Field, source: &str) -> String {
+    if field.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    if field.default_when_missing {
+        format!(
+            "match {source} {{ Some(fv) => ::serde::Deserialize::from_value(fv)?, None => ::std::default::Default::default() }}"
+        )
+    } else {
+        format!(
+            "match {source} {{ Some(fv) => ::serde::Deserialize::from_value(fv)?, None => return Err(::serde::Error::custom(\"missing field `{label}` of `{container}`\")) }}"
+        )
+    }
+}
+
+fn gen_struct_deserialize(
+    name: &str,
+    fields: &[Field],
+    named: bool,
+    unit: bool,
+    transparent: bool,
+) -> String {
+    let active: Vec<(usize, &Field)> = fields.iter().enumerate().filter(|(_, f)| !f.skip).collect();
+    let body = if unit {
+        format!("Ok({name})")
+    } else if transparent || (!named && active.len() == 1) {
+        let (idx, _field) = active.first().unwrap();
+        let inner = "::serde::Deserialize::from_value(v)?".to_string();
+        if named {
+            let mut inits: Vec<String> = Vec::new();
+            for f in fields {
+                let n = f.name.as_ref().unwrap();
+                if f.skip {
+                    inits.push(format!("{n}: ::std::default::Default::default()"));
+                } else {
+                    inits.push(format!("{n}: {inner}"));
+                }
+            }
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        } else {
+            let mut inits: Vec<String> = Vec::new();
+            for (i, f) in fields.iter().enumerate() {
+                if f.skip {
+                    inits.push("::std::default::Default::default()".to_string());
+                } else {
+                    debug_assert_eq!(i, *idx);
+                    inits.push(inner.clone());
+                }
+            }
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+    } else if named {
+        let inits: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                let n = f.name.as_ref().unwrap();
+                let source = format!("v.get_field(\"{n}\")");
+                format!("{n}: {}", field_expr(name, n, f, &source))
+            })
+            .collect();
+        format!(
+            "if v.as_object().is_none() {{ return Err(::serde::Error::custom(\"expected object for `{name}`\")); }}\nOk({name} {{ {} }})",
+            inits.join(", ")
+        )
+    } else {
+        let inits: Vec<String> = active
+            .iter()
+            .enumerate()
+            .map(|(pos, (idx, f))| {
+                let source = format!("items.get({pos})");
+                field_expr(name, &idx.to_string(), f, &source)
+            })
+            .collect();
+        format!(
+            "let items = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for `{name}`\"))?;\nOk({name}({}))",
+            inits.join(", ")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                None => format!(
+                    "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                ),
+                Some(fields) if v.named => {
+                    let binders: Vec<String> =
+                        fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                    let pushes: String = fields
+                        .iter()
+                        .filter(|f| !f.skip)
+                        .map(|f| {
+                            let n = f.name.as_ref().unwrap();
+                            format!(
+                                "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value({n})));\n"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {} }} => {{ let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(fields))]) }},\n",
+                        binders.join(", ")
+                    )
+                }
+                Some(fields) => {
+                    let binders: Vec<String> =
+                        (0..fields.len()).map(|i| format!("f{i}")).collect();
+                    let inner = if fields.len() == 1 {
+                        "::serde::Serialize::to_value(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                        binders.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{ match self {{\n{arms} }} }}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| v.fields.is_none())
+        .map(|v| {
+            let vname = &v.name;
+            format!("\"{vname}\" => return Ok({name}::{vname}),\n")
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            let fields = v.fields.as_ref()?;
+            let body = if v.named {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let n = f.name.as_ref().unwrap();
+                        let source = format!("payload.get_field(\"{n}\")");
+                        format!("{n}: {}", field_expr(name, n, f, &source))
+                    })
+                    .collect();
+                format!("return Ok({name}::{vname} {{ {} }});", inits.join(", "))
+            } else if fields.len() == 1 {
+                format!(
+                    "return Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?));"
+                )
+            } else {
+                let inits: Vec<String> = (0..fields.len())
+                    .map(|i| {
+                        format!(
+                            "match items.get({i}) {{ Some(fv) => ::serde::Deserialize::from_value(fv)?, None => return Err(::serde::Error::custom(\"missing tuple element\")) }}"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let items = payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload\"))?; return Ok({name}::{vname}({}));",
+                    inits.join(", ")
+                )
+            };
+            Some(format!("\"{vname}\" => {{ {body} }},\n"))
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         if let Some(tag) = v.as_str() {{ match tag {{\n{unit_arms} _ => return Err(::serde::Error::custom(\"unknown variant of `{name}`\")), }} }}\n\
+         if let Some(fields) = v.as_object() {{ if fields.len() == 1 {{ let (tag, payload) = &fields[0]; match tag.as_str() {{\n{data_arms} _ => return Err(::serde::Error::custom(\"unknown variant of `{name}`\")), }} }} }}\n\
+         Err(::serde::Error::custom(\"expected enum value for `{name}`\"))\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct {
+            name,
+            fields,
+            named,
+            unit,
+            transparent,
+        } => gen_struct_serialize(&name, &fields, named, unit, transparent),
+        Item::Enum { name, variants } => gen_enum_serialize(&name, &variants),
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct {
+            name,
+            fields,
+            named,
+            unit,
+            transparent,
+        } => gen_struct_deserialize(&name, &fields, named, unit, transparent),
+        Item::Enum { name, variants } => gen_enum_deserialize(&name, &variants),
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
