@@ -19,4 +19,10 @@ cargo test -q
 echo "==> vod-net without the 'parallel' feature"
 cargo test -q -p vod-net --no-default-features
 
+echo "==> benches compile (cargo bench --no-run)"
+cargo bench --no-run
+
+echo "==> trace determinism (golden JSONL test)"
+cargo test -q -p vod-integration-tests --test observability
+
 echo "CI OK"

@@ -1,0 +1,79 @@
+//! Criterion bench: event-emission overhead of the observability sinks.
+//!
+//! Every instrumentation site in the service is guarded by
+//! `sink.enabled()`; this bench measures what one guarded emission costs
+//! per sink. [`NullSink`]'s constant-false guard lets the whole site
+//! fold away under monomorphization, so its row should read as ~0 ns —
+//! the number that justifies leaving the instrumentation compiled into
+//! the paper-exact binaries.
+//!
+//! Run with `CRITERION_JSON=BENCH_obs.json cargo bench --bench obs` to
+//! regenerate the committed results file.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vod_net::NodeId;
+use vod_obs::{Event, EventSink, JsonlWriter, NullSink, RingRecorder};
+use vod_sim::SimTime;
+
+/// One guarded emission site, exactly as the service is instrumented.
+fn emit<S: EventSink>(sink: &mut S, at: SimTime, event: &Event) {
+    if sink.enabled() {
+        sink.record(at, event);
+    }
+}
+
+/// A representative mid-size event (the most frequent kind in a trace).
+fn sample_event() -> Event {
+    Event::VraSelect {
+        session: 42,
+        cluster: 7,
+        home: NodeId::new(1),
+        server: NodeId::new(4),
+        cost: 0.21771,
+        cache_hit: true,
+        local: false,
+    }
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let at = SimTime::from_secs(12 * 3600);
+    let event = sample_event();
+    let mut group = c.benchmark_group("obs/emit");
+
+    let mut null = NullSink;
+    group.bench_function("null_sink", |b| {
+        b.iter(|| emit(&mut null, black_box(at), black_box(&event)))
+    });
+
+    let mut ring = RingRecorder::new(4096);
+    group.bench_function("ring_recorder", |b| {
+        b.iter(|| emit(&mut ring, black_box(at), black_box(&event)))
+    });
+
+    let mut jsonl = JsonlWriter::new(std::io::sink());
+    group.bench_function("jsonl_writer", |b| {
+        b.iter(|| emit(&mut jsonl, black_box(at), black_box(&event)))
+    });
+
+    group.finish();
+}
+
+/// Serialization alone (no sink dispatch): one event rendered to JSON
+/// into a reused buffer.
+fn bench_serialize(c: &mut Criterion) {
+    let at = SimTime::from_secs(12 * 3600);
+    let event = sample_event();
+    let mut buf = String::with_capacity(256);
+    c.bench_function("obs/serialize/write_json", |b| {
+        b.iter(|| {
+            buf.clear();
+            black_box(&event).write_json(black_box(at), &mut buf);
+            black_box(buf.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_emit, bench_serialize);
+criterion_main!(benches);

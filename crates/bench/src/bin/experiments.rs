@@ -3,15 +3,64 @@
 //! and our exactly-computed LVNs.
 //!
 //! Run with: `cargo run -p vod-bench --bin experiments`
+//!
+//! Optional observability flags (the default output stays byte-identical
+//! when none are given):
+//!
+//! - `--trace <path>`: run the full GRNET case-study service and write
+//!   its deterministic JSONL event trace to `path`.
+//! - `--metrics <path>`: write the same run's aggregated `RunReport`
+//!   JSON (histograms + subsystem counters) to `path`.
+//! - `--stats`: append the run's routing-engine and per-server DMA
+//!   counters to stdout.
 
 use vod_bench::expected::{experiments, PAPER_WEIGHT_COST_TOLERANCE};
-use vod_bench::Table;
+use vod_bench::{obs_cli, Table};
 use vod_core::selection::SelectionContext;
 use vod_core::vra::Vra;
 use vod_net::topologies::grnet::Grnet;
 use vod_net::NodeId;
 
+/// Observability options; everything is off by default.
+#[derive(Default)]
+struct ObsOptions {
+    trace: Option<String>,
+    metrics: Option<String>,
+    stats: bool,
+}
+
+fn parse_obs_options() -> ObsOptions {
+    let mut opts = ObsOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => match args.next() {
+                Some(path) => opts.trace = Some(path),
+                None => {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--metrics" => match args.next() {
+                Some(path) => opts.metrics = Some(path),
+                None => {
+                    eprintln!("--metrics requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--stats" => opts.stats = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: experiments [--trace <path>] [--metrics <path>] [--stats]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
 fn main() {
+    let obs = parse_obs_options();
     let grnet = Grnet::new();
     let vra = Vra::default();
     let mut all_ok = true;
@@ -102,5 +151,27 @@ fn main() {
         "\nall regenerated decisions consistent: {}",
         if all_ok { "YES" } else { "NO" }
     );
+
+    if obs.trace.is_some() || obs.metrics.is_some() || obs.stats {
+        let (report, run_report) =
+            obs_cli::case_study_run(obs.trace.as_deref()).unwrap_or_else(|e| {
+                eprintln!("observability run failed: {e}");
+                std::process::exit(1);
+            });
+        if let Some(path) = &obs.trace {
+            eprintln!("trace written to {path}");
+        }
+        if let Some(path) = &obs.metrics {
+            if let Err(e) = std::fs::write(path, run_report.to_json() + "\n") {
+                eprintln!("failed to write metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("metrics written to {path}");
+        }
+        if obs.stats {
+            println!();
+            obs_cli::print_stats(&report);
+        }
+    }
     std::process::exit(if all_ok { 0 } else { 1 });
 }

@@ -3,7 +3,12 @@
 //! erratum it uncovers: the published table misses the U3→U4 relaxation.
 //!
 //! Run with: `cargo run -p vod-bench --bin table4`
+//!
+//! Pass `--stats` to additionally run the GRNET case-study service and
+//! append its routing-engine and per-server DMA counters (the default
+//! output is unchanged without the flag).
 
+use vod_bench::obs_cli;
 use vod_net::dijkstra::dijkstra_with_trace;
 use vod_net::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};
 
@@ -61,4 +66,10 @@ fn main() {
         "D4 should be the corrected cost"
     );
     println!("\nchecks passed: D5 matches the paper, D4 is the corrected value");
+
+    if obs_cli::stats_flag() {
+        let (report, _) = obs_cli::case_study_run(None).expect("no trace file involved");
+        println!();
+        obs_cli::print_stats(&report);
+    }
 }

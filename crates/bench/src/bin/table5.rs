@@ -2,7 +2,12 @@
 //! at Patra) from the paper's own Table 3 weights — an exact match.
 //!
 //! Run with: `cargo run -p vod-bench --bin table5`
+//!
+//! Pass `--stats` to additionally run the GRNET case-study service and
+//! append its routing-engine and per-server DMA counters (the default
+//! output is unchanged without the flag).
 
+use vod_bench::obs_cli;
 use vod_net::dijkstra::dijkstra_with_trace;
 use vod_net::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};
 
@@ -56,4 +61,10 @@ fn main() {
         "U2,U1,U6,U5"
     );
     println!("\nchecks passed: Table 5 reproduced exactly (to the paper's printed precision)");
+
+    if obs_cli::stats_flag() {
+        let (report, _) = obs_cli::case_study_run(None).expect("no trace file involved");
+        println!();
+        obs_cli::print_stats(&report);
+    }
 }

@@ -34,6 +34,7 @@
 pub mod caches;
 pub mod cli;
 pub mod expected;
+pub mod obs_cli;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,83 @@
+//! Shared observability plumbing for the regeneration binaries.
+//!
+//! Every paper-table binary prints byte-identical output by default; the
+//! opt-in flags here add diagnostics without touching that contract:
+//!
+//! - `--stats` appends the routing-engine and per-server DMA counters of
+//!   a full GRNET case-study service run to stdout.
+//! - `--trace <path>` (experiments only) writes the run's JSONL event
+//!   trace to `path`.
+//! - `--metrics <path>` (experiments only) writes the run's
+//!   [`RunReport`] JSON to `path`.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use vod_core::service::{ServiceConfig, VodService};
+use vod_core::vra::Vra;
+use vod_core::ServiceReport;
+use vod_obs::{JsonlWriter, RunReport};
+use vod_workload::scenario::Scenario;
+
+/// Returns true when `--stats` appears in the process arguments.
+/// Unknown arguments are left for the binary's own parser to reject.
+pub fn stats_flag() -> bool {
+    std::env::args().skip(1).any(|a| a == "--stats")
+}
+
+/// Runs the GRNET case study (seed 42, the VRA selector) and returns
+/// both reports, streaming the JSONL trace to `trace` when given.
+pub fn case_study_run(trace: Option<&str>) -> std::io::Result<(ServiceReport, RunReport)> {
+    let scenario = Scenario::grnet_case_study(42);
+    let selector = Box::new(Vra::default());
+    let config = ServiceConfig::default();
+    Ok(match trace {
+        Some(path) => {
+            let sink = JsonlWriter::new(BufWriter::new(File::create(path)?));
+            let (report, run_report, sink) =
+                VodService::with_sink(&scenario, selector, config, sink).run_full();
+            let mut writer = sink.into_inner();
+            writer.flush()?;
+            (report, run_report)
+        }
+        None => {
+            let (report, run_report, _) = VodService::new(&scenario, selector, config).run_full();
+            (report, run_report)
+        }
+    })
+}
+
+/// Prints the subsystem counters of a service run: the epoch-cached
+/// routing engine's cache behaviour and each server's DMA counters.
+pub fn print_stats(report: &ServiceReport) {
+    println!(
+        "Service statistics (GRNET case study, seed {}):",
+        report.seed
+    );
+    match &report.engine {
+        Some(e) => {
+            println!(
+                "  engine: {} requests, {} local hits, {} path-cache hits, {} dijkstra runs",
+                e.requests, e.local_hits, e.path_cache_hits, e.dijkstra_runs
+            );
+            println!(
+                "          {} weight-cache hits, {} incremental rebuilds, {} full rebuilds",
+                e.weight_cache_hits, e.incremental_rebuilds, e.full_rebuilds
+            );
+        }
+        None => println!("  engine: n/a (selector is not engine-backed)"),
+    }
+    println!("  snmp:   {} polling rounds", report.snmp_polls);
+    for (server, dma) in &report.per_server_dma {
+        println!(
+            "  dma U{}: {} requests, {} hits ({:.1}%), {} admissions, {} evictions, {} rejections",
+            server.index() + 1,
+            dma.requests,
+            dma.hits,
+            100.0 * dma.hit_ratio(),
+            dma.admissions,
+            dma.evictions,
+            dma.rejections
+        );
+    }
+}

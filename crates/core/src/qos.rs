@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use vod_net::NodeId;
+use vod_net::{EngineStats, NodeId};
 use vod_sim::metrics::Summary;
 use vod_sim::{SimDuration, SimTime};
 use vod_storage::dma::DmaStats;
@@ -94,6 +94,15 @@ pub struct ServiceReport {
     pub mean_link_utilization: Summary,
     /// Aggregated DMA statistics over all servers.
     pub dma: DmaStats,
+    /// Per-server DMA statistics at the end of the run, ascending by
+    /// node id. Servers that were down at the end are absent (their
+    /// counters are folded into [`ServiceReport::dma`] only).
+    pub per_server_dma: Vec<(NodeId, DmaStats)>,
+    /// Routing-engine cache/rebuild counters, for selectors backed by
+    /// the epoch-cached engine (`None` for the baselines).
+    pub engine: Option<EngineStats>,
+    /// SNMP polling rounds executed during the run.
+    pub snmp_polls: u64,
 }
 
 impl ServiceReport {
@@ -211,6 +220,9 @@ mod tests {
             max_link_utilization: Summary::from_values(std::iter::empty()),
             mean_link_utilization: Summary::from_values(std::iter::empty()),
             dma: DmaStats::default(),
+            per_server_dma: Vec::new(),
+            engine: None,
+            snmp_polls: 0,
         }
     }
 

@@ -79,6 +79,15 @@ pub trait ServerSelector {
     /// can be reached, or [`CoreError::Net`] for malformed inputs. An
     /// empty candidate slice is reported as [`CoreError::Unreachable`].
     fn select(&mut self, ctx: &SelectionContext<'_>) -> Result<Selection, CoreError>;
+
+    /// Cumulative routing-engine counters, for policies backed by the
+    /// epoch-cached [`RoutingEngine`](vod_net::RoutingEngine). The
+    /// service reads this around each `select` call to tag trace events
+    /// with a cache-hit flag and to surface the counters in its report.
+    /// Baselines that never touch the engine keep the default `None`.
+    fn engine_stats(&self) -> Option<vod_net::EngineStats> {
+        None
+    }
 }
 
 /// Shared guard for empty candidate sets.

@@ -18,11 +18,20 @@
 //!
 //! The simulation is a deterministic discrete-event program: same
 //! scenario + same selector + same config → identical report.
+//!
+//! The service is additionally generic over an [`EventSink`]: with the
+//! default [`NullSink`] every emission site folds away at compile time;
+//! with a recording sink ([`vod_obs::RingRecorder`],
+//! [`vod_obs::JsonlWriter`]) each DMA decision, VRA selection, session
+//! incident and SNMP poll produces a typed, sim-time-stamped
+//! [`vod_obs::Event`]. Traces inherit the determinism guarantee: same
+//! inputs → byte-identical JSONL.
 
 use std::collections::BTreeMap;
 
 use vod_db::{AdminCredential, Database};
 use vod_net::{Mbps, NodeId, Route, Topology};
+use vod_obs::{Event as ObsEvent, EventSink, MetricsRegistry, NullSink, RunReport, RunSummary};
 use vod_sim::engine::{Model, Simulation};
 use vod_sim::flow::{FlowId, FlowNetwork};
 use vod_sim::metrics::{Summary, TimeSeries};
@@ -132,7 +141,7 @@ enum Event {
 }
 
 /// The simulation model (internal state of a [`VodService`] run).
-struct ServiceModel {
+struct ServiceModel<S: EventSink> {
     topology: Topology,
     config: ServiceConfig,
     flows: FlowNetwork,
@@ -170,12 +179,23 @@ struct ServiceModel {
     max_util_series: TimeSeries,
     mean_util_series: TimeSeries,
     seed: u64,
+    /// Where trace events go; [`NullSink`] compiles the emission sites
+    /// away entirely.
+    sink: S,
+    /// Always-on distribution bookkeeping feeding [`RunReport`].
+    registry: MetricsRegistry,
 }
 
-impl ServiceModel {
+impl<S: EventSink> ServiceModel<S> {
     /// Advances the fluid network and SNMP counters to `now`, processing
     /// any flow completions that occurred in between.
     fn advance_to(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        // Events scheduled before the trace window opens (e.g. an outage
+        // configured ahead of the first arrival) fire while `last_sync`
+        // still sits at the window start; no fluid time has passed.
+        if now <= self.last_sync {
+            return;
+        }
         let dt = now.duration_since(self.last_sync);
         if dt.is_zero() {
             return;
@@ -239,12 +259,14 @@ impl ServiceModel {
     }
 
     /// Runs the selector for `video` on behalf of a client homed at
-    /// `home`.
+    /// `home`. The second element reports whether the selector's routing
+    /// engine answered from cache (always `false` for engine-less
+    /// baselines) — it tags the `vra_select` trace events.
     fn select_source(
         &mut self,
         home: NodeId,
         video: vod_storage::video::VideoId,
-    ) -> Option<crate::selection::Selection> {
+    ) -> Option<(crate::selection::Selection, bool)> {
         let candidates = self.db.full_access().servers_with_title(video);
         if candidates.is_empty() {
             return None;
@@ -263,12 +285,20 @@ impl ServiceModel {
             home,
             candidates: &candidates,
         };
-        selector.select(&ctx).ok()
+        let before = selector.engine_stats();
+        let selection = selector.select(&ctx).ok()?;
+        let cache_hit = match (before, selector.engine_stats()) {
+            (Some(b), Some(a)) => {
+                a.path_cache_hits > b.path_cache_hits || a.local_hits > b.local_hits
+            }
+            _ => false,
+        };
+        Some((selection, cache_hit))
     }
 
     /// Starts fetching the next cluster of `sid`, re-running the selector
     /// when dynamic re-routing is enabled.
-    fn start_cluster_fetch(&mut self, sid: SessionId) {
+    fn start_cluster_fetch(&mut self, now: SimTime, sid: SessionId) {
         let (home, video, idx) = {
             let sess = match self.sessions.get(&sid) {
                 Some(s) => s,
@@ -282,12 +312,32 @@ impl ServiceModel {
 
         let route = if self.config.dynamic_rerouting || !self.session_routes.contains_key(&sid) {
             match self.select_source(home, video) {
-                Some(sel) => sel.route,
+                Some((sel, cache_hit)) => {
+                    if self.sink.enabled() {
+                        self.sink.record(
+                            now,
+                            &ObsEvent::VraSelect {
+                                session: sid.0,
+                                cluster: idx as u64,
+                                home,
+                                server: sel.server,
+                                cost: sel.route.cost(),
+                                cache_hit,
+                                local: sel.is_local(),
+                            },
+                        );
+                    }
+                    sel.route
+                }
                 None => {
                     // Mid-stream loss of every replica: abort the session.
                     self.sessions.remove(&sid);
                     self.session_routes.remove(&sid);
                     self.aborted_sessions += 1;
+                    if self.sink.enabled() {
+                        self.sink
+                            .record(now, &ObsEvent::SessionAborted { session: sid.0 });
+                    }
                     return;
                 }
             }
@@ -295,9 +345,25 @@ impl ServiceModel {
             self.session_routes[&sid].clone()
         };
 
+        self.registry.record_fetch_cost(route.cost());
         let volume = {
             let sess = self.sessions.get_mut(&sid).expect("session exists");
-            sess.assign_server(route.target(), route.hops() == 0);
+            let from = sess.current_server();
+            let switched = sess.assign_server(route.target(), route.hops() == 0);
+            if switched {
+                self.registry.record_switch();
+                if self.sink.enabled() {
+                    self.sink.record(
+                        now,
+                        &ObsEvent::Switch {
+                            session: sid.0,
+                            cluster: idx as u64,
+                            from: from.expect("a switch implies a previous server"),
+                            to: route.target(),
+                        },
+                    );
+                }
+            }
             sess.cluster_volume_mbit(idx)
         };
         let flow = self.launch_flow(home, video, &route, volume);
@@ -371,13 +437,34 @@ impl ServiceModel {
         if first {
             let sess = self.sessions.get_mut(&sid).expect("session exists");
             sess.start_playing();
+            let startup = sess.startup_delay().unwrap_or(SimDuration::ZERO);
             let dt = sess.cluster_play_time(0);
             sched.schedule(now + dt, Event::PlayoutTick(sid));
+            self.registry.record_startup(startup);
+            if self.sink.enabled() {
+                self.sink.record(
+                    now,
+                    &ObsEvent::SessionStart {
+                        session: sid.0,
+                        startup,
+                    },
+                );
+            }
         } else if stalled {
             let sess = self.sessions.get_mut(&sid).expect("session exists");
-            sess.resume(now);
+            let stalled_for = sess.resume(now);
             let dt = sess.cluster_play_time(played);
             sched.schedule(now + dt, Event::PlayoutTick(sid));
+            self.registry.record_stall(stalled_for);
+            if self.sink.enabled() {
+                self.sink.record(
+                    now,
+                    &ObsEvent::SessionResume {
+                        session: sid.0,
+                        stalled: stalled_for,
+                    },
+                );
+            }
         }
 
         if fetch_complete {
@@ -402,22 +489,32 @@ impl ServiceModel {
                 }
             }
         } else {
-            self.start_cluster_fetch(sid);
+            self.start_cluster_fetch(now, sid);
         }
     }
 
     fn on_arrival(&mut self, now: SimTime, idx: usize) {
         self.arrivals_remaining = self.arrivals_remaining.saturating_sub(1);
         let request = self.trace.requests()[idx];
+        if self.sink.enabled() {
+            self.sink.record(
+                now,
+                &ObsEvent::RequestArrival {
+                    request: idx as u64,
+                    client: request.client,
+                    video: request.video,
+                },
+            );
+        }
         // A client whose home server is down cannot reach the service.
         if self.down.contains(&request.client) {
-            self.failed_requests += 1;
+            self.fail_request(now, idx, request.client);
             return;
         }
         let meta: VideoMeta = match self.db.library().get(request.video) {
             Some(m) => m.clone(),
             None => {
-                self.failed_requests += 1;
+                self.fail_request(now, idx, request.client);
                 return;
             }
         };
@@ -425,9 +522,15 @@ impl ServiceModel {
         // The Disk Manipulation Algorithm runs at the home server on
         // every request.
         let mut cache_later = false;
-        if let Some(cache) = self.caches.get_mut(&request.client) {
-            let was_resident = cache.contains(meta.id());
-            match cache.on_request(&meta) {
+        let decision = self
+            .caches
+            .get_mut(&request.client)
+            .map(|cache| cache.on_request(&meta));
+        if let Some(decision) = decision {
+            if self.sink.enabled() {
+                self.emit_dma_decision(now, request.client, meta.id(), &decision);
+            }
+            match decision {
                 DmaDecision::Hit => {}
                 DmaDecision::Admitted { .. } => {
                     cache_later = true;
@@ -458,11 +561,10 @@ impl ServiceModel {
                 // treated as "no catalog change".
                 _ => {}
             }
-            let _ = was_resident;
         }
 
-        let Some(selection) = self.select_source(request.client, meta.id()) else {
-            self.failed_requests += 1;
+        let Some((selection, cache_hit)) = self.select_source(request.client, meta.id()) else {
+            self.fail_request(now, idx, request.client);
             return;
         };
 
@@ -480,12 +582,37 @@ impl ServiceModel {
                 .is_admit()
             {
                 self.rejected_requests += 1;
+                if self.sink.enabled() {
+                    self.sink.record(
+                        now,
+                        &ObsEvent::RequestRejected {
+                            request: idx as u64,
+                            client: request.client,
+                            video: request.video,
+                        },
+                    );
+                }
                 return;
             }
         }
 
         let sid = SessionId(self.next_session);
         self.next_session += 1;
+        if self.sink.enabled() {
+            self.sink.record(
+                now,
+                &ObsEvent::VraSelect {
+                    session: sid.0,
+                    cluster: 0,
+                    home: request.client,
+                    server: selection.server,
+                    cost: selection.route.cost(),
+                    cache_hit,
+                    local: selection.is_local(),
+                },
+            );
+        }
+        self.registry.record_fetch_cost(selection.route.cost());
         let session = Session::new(sid, &meta, request.client, self.config.cluster, now);
         self.sessions.insert(sid, session);
         self.cache_on_complete.insert(sid, cache_later);
@@ -502,6 +629,88 @@ impl ServiceModel {
         self.flow_sessions.insert(flow, sid);
     }
 
+    /// Counts and traces an unservable request.
+    fn fail_request(&mut self, now: SimTime, idx: usize, client: NodeId) {
+        self.failed_requests += 1;
+        if self.sink.enabled() {
+            self.sink.record(
+                now,
+                &ObsEvent::RequestFailed {
+                    request: idx as u64,
+                    client,
+                },
+            );
+        }
+    }
+
+    /// Translates a DMA decision into its trace events (hit, admit with
+    /// per-victim evictions, or reject). Only called when the sink is
+    /// enabled.
+    fn emit_dma_decision(
+        &mut self,
+        now: SimTime,
+        server: NodeId,
+        video: vod_storage::video::VideoId,
+        decision: &DmaDecision,
+    ) {
+        use vod_obs::DmaRejectKind;
+        use vod_storage::dma::RejectReason;
+        match decision {
+            DmaDecision::Hit => {
+                self.sink.record(now, &ObsEvent::DmaHit { server, video });
+            }
+            DmaDecision::Admitted { .. } => {
+                self.sink.record(
+                    now,
+                    &ObsEvent::DmaAdmit {
+                        server,
+                        video,
+                        after_eviction: false,
+                    },
+                );
+            }
+            DmaDecision::AdmittedAfterEviction { evicted, .. } => {
+                for &victim in evicted {
+                    self.sink
+                        .record(now, &ObsEvent::DmaEvict { server, victim });
+                }
+                self.sink.record(
+                    now,
+                    &ObsEvent::DmaAdmit {
+                        server,
+                        video,
+                        after_eviction: true,
+                    },
+                );
+            }
+            DmaDecision::NotAdmitted { reason } => {
+                let kind = match reason {
+                    RejectReason::BelowThreshold => DmaRejectKind::BelowThreshold,
+                    RejectReason::NotPopularEnough => DmaRejectKind::NotPopularEnough,
+                    RejectReason::DoesNotFit { evicted } => {
+                        for &victim in evicted {
+                            self.sink
+                                .record(now, &ObsEvent::DmaEvict { server, victim });
+                        }
+                        DmaRejectKind::DoesNotFit
+                    }
+                    // RejectReason is #[non_exhaustive].
+                    _ => return,
+                };
+                self.sink.record(
+                    now,
+                    &ObsEvent::DmaReject {
+                        server,
+                        video,
+                        reason: kind,
+                    },
+                );
+            }
+            // DmaDecision is #[non_exhaustive].
+            _ => {}
+        }
+    }
+
     fn on_playout_tick(&mut self, now: SimTime, sid: SessionId, sched: &mut Scheduler<Event>) {
         let Some(sess) = self.sessions.get_mut(&sid) else {
             return;
@@ -509,6 +718,17 @@ impl ServiceModel {
         sess.on_cluster_played();
         if sess.playback_complete() {
             let record = sess.finish(now);
+            if self.sink.enabled() {
+                self.sink.record(
+                    now,
+                    &ObsEvent::SessionComplete {
+                        session: sid.0,
+                        stalls: record.stall_count,
+                        stall_time: record.stall_time,
+                        switches: record.switches,
+                    },
+                );
+            }
             self.records.push(record);
             self.sessions.remove(&sid);
             self.session_routes.remove(&sid);
@@ -518,15 +738,23 @@ impl ServiceModel {
             sched.schedule(now + dt, Event::PlayoutTick(sid));
         } else {
             sess.stall(now);
+            if self.sink.enabled() {
+                self.sink
+                    .record(now, &ObsEvent::SessionStall { session: sid.0 });
+            }
         }
     }
 
     /// A server dies: its catalog entries are withdrawn, its cache is
     /// lost, sessions homed there are dropped, and transfers sourced from
     /// it are re-routed to surviving replicas.
-    fn on_server_down(&mut self, node: NodeId) {
+    fn on_server_down(&mut self, now: SimTime, node: NodeId) {
         if !self.down.insert(node) {
             return; // already down
+        }
+        if self.sink.enabled() {
+            self.sink
+                .record(now, &ObsEvent::ServerDown { server: node });
         }
         // Withdraw the catalog and retire the cache.
         if let Some(cache) = self.caches.remove(&node) {
@@ -567,6 +795,10 @@ impl ServiceModel {
         for sid in homed {
             self.drop_session(sid);
             self.aborted_sessions += 1;
+            if self.sink.enabled() {
+                self.sink
+                    .record(now, &ObsEvent::SessionAborted { session: sid.0 });
+            }
         }
 
         // Transfers sourced from the dead server re-route mid-cluster.
@@ -587,15 +819,18 @@ impl ServiceModel {
             self.session_routes.remove(&sid);
             // Re-select a source for the same cluster; aborts the session
             // if no replica survives.
-            self.start_cluster_fetch(sid);
+            self.start_cluster_fetch(now, sid);
         }
     }
 
     /// A failed server rejoins with empty disks; the DMA repopulates it
     /// from future demand.
-    fn on_server_up(&mut self, node: NodeId) {
+    fn on_server_up(&mut self, now: SimTime, node: NodeId) {
         if !self.down.remove(&node) {
             return;
+        }
+        if self.sink.enabled() {
+            self.sink.record(now, &ObsEvent::ServerUp { server: node });
         }
         let cache = DmaCache::new(DmaConfig {
             disk_count: self.config.disk_count,
@@ -626,9 +861,22 @@ impl ServiceModel {
     }
 
     fn on_snmp_poll(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
-        self.snmp
+        // Age of the traffic view this poll replaces — the staleness
+        // every routing decision since the previous poll worked with.
+        let staleness = now.duration_since(self.snmp.last_poll_at());
+        let readings = self
+            .snmp
             .poll(&self.topology, &mut self.db, now)
             .expect("topology links are registered");
+        if self.sink.enabled() {
+            self.sink.record(
+                now,
+                &ObsEvent::SnmpPoll {
+                    readings: readings as u64,
+                    staleness,
+                },
+            );
+        }
         // Sample true instantaneous utilization for the report, reusing
         // the buffer instead of allocating a snapshot per poll.
         self.flows.snapshot_into(&mut self.live_snap);
@@ -642,6 +890,9 @@ impl ServiceModel {
 
     fn on_background_update(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
         self.background.apply(&mut self.flows, now);
+        if self.sink.enabled() {
+            self.sink.record(now, &ObsEvent::BackgroundUpdate);
+        }
         self.reschedule_recurring(
             now,
             self.config.background_interval,
@@ -650,17 +901,24 @@ impl ServiceModel {
         );
     }
 
-    fn into_report(self) -> ServiceReport {
+    /// Builds the final [`ServiceReport`] and hands back the metric
+    /// registry and the sink for callers that want the full picture
+    /// ([`VodService::run_full`]).
+    fn into_report_full(self) -> (ServiceReport, MetricsRegistry, S, u64) {
         let mut dma = self.retired_dma;
-        for cache in self.caches.values() {
-            let s = cache.stats();
+        let per_server_dma: Vec<(NodeId, DmaStats)> = self
+            .caches
+            .iter()
+            .map(|(&node, cache)| (node, cache.stats()))
+            .collect();
+        for (_, s) in &per_server_dma {
             dma.requests += s.requests;
             dma.hits += s.hits;
             dma.admissions += s.admissions;
             dma.evictions += s.evictions;
             dma.rejections += s.rejections;
         }
-        ServiceReport {
+        let report = ServiceReport {
             selector: self.selector.name().to_string(),
             seed: self.seed,
             completed: self.records,
@@ -674,11 +932,19 @@ impl ServiceModel {
                 self.mean_util_series.samples().iter().map(|&(_, v)| v),
             ),
             dma,
-        }
+            per_server_dma,
+            engine: self.selector.engine_stats(),
+            snmp_polls: self.snmp.polls(),
+        };
+        (report, self.registry, self.sink, self.aborted_sessions)
+    }
+
+    fn into_report(self) -> ServiceReport {
+        self.into_report_full().0
     }
 }
 
-impl Model for ServiceModel {
+impl<S: EventSink> Model for ServiceModel<S> {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
@@ -693,8 +959,8 @@ impl Model for ServiceModel {
             Event::PlayoutTick(sid) => self.on_playout_tick(now, sid, sched),
             Event::SnmpPoll => self.on_snmp_poll(now, sched),
             Event::BackgroundUpdate => self.on_background_update(now, sched),
-            Event::ServerDown(node) => self.on_server_down(node),
-            Event::ServerUp(node) => self.on_server_up(node),
+            Event::ServerDown(node) => self.on_server_down(now, node),
+            Event::ServerUp(node) => self.on_server_up(now, node),
         }
         self.schedule_flow_check(now, sched);
     }
@@ -714,12 +980,53 @@ impl Model for ServiceModel {
 /// let report = service.run();
 /// println!("{} sessions completed", report.completed.len());
 /// ```
-pub struct VodService {
-    sim: Simulation<ServiceModel>,
+///
+/// With a recording sink the same run additionally yields a trace and a
+/// [`RunReport`]:
+///
+/// ```no_run
+/// use vod_core::service::{ServiceConfig, VodService};
+/// use vod_core::vra::Vra;
+/// use vod_obs::RingRecorder;
+/// use vod_workload::scenario::Scenario;
+///
+/// let scenario = Scenario::grnet_case_study(42);
+/// let service = VodService::with_sink(
+///     &scenario,
+///     Box::new(Vra::default()),
+///     ServiceConfig::default(),
+///     RingRecorder::new(4096),
+/// );
+/// let (report, run_report, recorder) = service.run_full();
+/// println!("{} events retained", recorder.len());
+/// println!("{}", run_report.to_prometheus());
+/// # let _ = report;
+/// ```
+pub struct VodService<S: EventSink = NullSink> {
+    sim: Simulation<ServiceModel<S>>,
 }
 
 impl VodService {
-    /// Builds a service over a scenario with the given selector policy.
+    /// Builds an untraced service (the [`NullSink`] compiles every
+    /// emission site away) over a scenario with the given selector
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's topology has no video servers, or if the
+    /// configured per-server disk space cannot hold the seeded titles.
+    pub fn new(
+        scenario: &Scenario,
+        selector: Box<dyn ServerSelector>,
+        config: ServiceConfig,
+    ) -> Self {
+        VodService::with_sink(scenario, selector, config, NullSink)
+    }
+}
+
+impl<S: EventSink> VodService<S> {
+    /// Builds a service over a scenario with the given selector policy,
+    /// recording trace events into `sink`.
     ///
     /// Titles are seeded round-robin ([`ServiceConfig::initial_replicas`]
     /// copies each) across the video servers — the paper's service
@@ -731,10 +1038,11 @@ impl VodService {
     ///
     /// Panics if the scenario's topology has no video servers, or if the
     /// configured per-server disk space cannot hold the seeded titles.
-    pub fn new(
+    pub fn with_sink(
         scenario: &Scenario,
         selector: Box<dyn ServerSelector>,
         config: ServiceConfig,
+        sink: S,
     ) -> Self {
         let topology = scenario.topology().clone();
         let servers = topology.video_server_nodes();
@@ -846,6 +1154,8 @@ impl VodService {
             mean_util_series: TimeSeries::new(),
             seed: scenario.seed(),
             config,
+            sink,
+            registry: MetricsRegistry::new(),
         };
 
         let mut sim = Simulation::new(model);
@@ -882,6 +1192,28 @@ impl VodService {
     pub fn run(mut self) -> ServiceReport {
         self.sim.run();
         self.sim.into_model().into_report()
+    }
+
+    /// Runs the simulation to completion and returns the report, the
+    /// aggregated [`RunReport`] (histograms + every subsystem's
+    /// counters), and the sink with its recorded trace.
+    pub fn run_full(mut self) -> (ServiceReport, RunReport, S) {
+        self.sim.run();
+        let (report, registry, sink, aborted_sessions) = self.sim.into_model().into_report_full();
+        let run_report = registry.finish(RunSummary {
+            selector: report.selector.clone(),
+            seed: report.seed,
+            completed: report.completed.len() as u64,
+            failed_requests: report.failed_requests,
+            rejected_requests: report.rejected_requests,
+            aborted_sessions,
+            unfinished_sessions: report.unfinished_sessions as u64,
+            snmp_polls: report.snmp_polls,
+            dma_total: report.dma,
+            per_server_dma: report.per_server_dma.clone(),
+            engine: report.engine,
+        });
+        (report, run_report, sink)
     }
 
     /// Runs until `deadline` only (for incremental inspection in tests).

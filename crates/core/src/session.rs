@@ -249,13 +249,16 @@ impl Session {
     }
 
     /// Leaves a stall at `now`, accumulating the stalled duration.
+    /// Returns how long this stall lasted.
     ///
     /// # Panics
     ///
     /// Panics if not stalled.
-    pub fn resume(&mut self, now: SimTime) {
+    pub fn resume(&mut self, now: SimTime) -> SimDuration {
         let started = self.stall_started_at.take().expect("resume without stall");
-        self.stall_total += now.duration_since(started);
+        let stalled = now.duration_since(started);
+        self.stall_total += stalled;
+        stalled
     }
 
     /// Startup delay: request → first cluster available.

@@ -231,6 +231,10 @@ impl ServerSelector for Vra {
             }),
         }
     }
+
+    fn engine_stats(&self) -> Option<vod_net::EngineStats> {
+        Some(self.engine.stats())
+    }
 }
 
 #[cfg(test)]

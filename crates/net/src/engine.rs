@@ -60,6 +60,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use serde::{Deserialize, Serialize};
+
 use crate::dijkstra::{dijkstra_with_scratch, DijkstraScratch, ShortestPaths};
 use crate::error::NetError;
 use crate::ids::{LinkId, NodeId};
@@ -95,7 +97,7 @@ impl TopologyKey {
 ///
 /// Useful for tests ("the warm path must not run Dijkstra") and for
 /// operational visibility; see [`RoutingEngine::stats`].
-#[derive(Debug, Copy, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Copy, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Total [`RoutingEngine::select`] calls (batch requests included).
     pub requests: u64,
@@ -335,7 +337,9 @@ impl RoutingEngine {
     /// Answers a batch of requests against one prepared epoch, running
     /// Dijkstra for the distinct uncached home servers in parallel
     /// (feature `parallel`; sequential otherwise). Uses one worker per
-    /// available CPU, capped at the number of homes to solve.
+    /// available CPU, capped at the number of homes to solve; small
+    /// batches run sequentially because thread spawn overhead dwarfs a
+    /// handful of Dijkstra runs.
     ///
     /// # Errors
     ///
@@ -346,12 +350,15 @@ impl RoutingEngine {
         snapshot: &TrafficSnapshot,
         requests: &[BatchRequest<'_>],
     ) -> Result<Vec<Option<EngineSelection>>, NetError> {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        self.select_batch_with_threads(topology, snapshot, requests, threads)
+        self.select_batch_with_threads(topology, snapshot, requests, hardware_parallelism())
     }
 
-    /// [`RoutingEngine::select_batch`] with an explicit worker count
-    /// (clamped to at least 1; `1` forces the sequential path).
+    /// [`RoutingEngine::select_batch`] with an explicit worker count.
+    /// The count is an upper bound, not a demand: it is clamped to the
+    /// machine's available parallelism and to roughly one worker per
+    /// [`HOMES_PER_THREAD`] uncached homes, so small batches always take
+    /// the sequential path regardless of the requested concurrency
+    /// (`1` forces it unconditionally).
     ///
     /// # Errors
     ///
@@ -555,9 +562,27 @@ fn pick_candidate(paths: &ShortestPaths, candidates: &[NodeId]) -> Option<Engine
     })
 }
 
+/// Minimum number of uncached homes each worker thread must have before
+/// [`solve_homes`] fans out. Spawning a scoped thread costs tens of
+/// microseconds while one GRNET-sized Dijkstra run costs a few hundred
+/// nanoseconds, so fanning out a small batch is a large net loss (the
+/// `select_batch/grnet/2` bench row regressed ~50x before this floor).
+pub const HOMES_PER_THREAD: usize = 8;
+
+/// [`std::thread::available_parallelism`], resolved once per process.
+/// The std call re-reads cgroup quota files on Linux (tens of
+/// microseconds), which would dominate a small GRNET batch if paid on
+/// every [`RoutingEngine::select_batch`] call.
+fn hardware_parallelism() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Runs Dijkstra from every home, splitting the homes across scoped
-/// worker threads when the `parallel` feature is enabled and more than
-/// one worker is requested.
+/// worker threads when the `parallel` feature is enabled and the batch
+/// is large enough to amortise thread spawn overhead. The requested
+/// worker count is clamped to the machine's available parallelism and
+/// to one worker per [`HOMES_PER_THREAD`] homes.
 fn solve_homes(
     topology: &Topology,
     weights: &LinkWeights,
@@ -570,7 +595,10 @@ fn solve_homes(
     }
     #[cfg(feature = "parallel")]
     {
-        let threads = threads.clamp(1, homes.len());
+        let threads = threads
+            .min(hardware_parallelism())
+            .min(homes.len().div_ceil(HOMES_PER_THREAD))
+            .max(1);
         if threads > 1 {
             let chunk = homes.len().div_ceil(threads);
             let mut out: Vec<Option<Result<ShortestPaths, NetError>>> =

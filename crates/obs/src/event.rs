@@ -1,0 +1,459 @@
+//! The typed event taxonomy of the service — one variant per decision the
+//! paper's subsystems make at runtime.
+//!
+//! Events carry only plain identifiers and simulated durations, never
+//! wall-clock state, so a trace is a pure function of (scenario, config):
+//! running the same experiment twice yields byte-identical JSONL. The
+//! JSON encoding is hand-rendered (see [`Event::write_json`]) with a
+//! fixed field order and Rust's shortest-roundtrip float formatting,
+//! which pins the byte-level determinism contract independently of any
+//! serializer implementation details.
+
+use std::fmt::Write as _;
+
+use vod_net::NodeId;
+use vod_sim::{SimDuration, SimTime};
+use vod_storage::VideoId;
+
+/// Why the DMA declined to cache a title (mirror of
+/// [`vod_storage::dma::RejectReason`] without the victim payload).
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum DmaRejectKind {
+    /// The title has not yet exceeded the admission threshold.
+    BelowThreshold,
+    /// The title is not more popular than the least popular resident.
+    NotPopularEnough,
+    /// Even after (attempted) eviction the title does not fit.
+    DoesNotFit,
+}
+
+impl DmaRejectKind {
+    /// Stable snake_case label used in the JSONL encoding.
+    pub fn label(self) -> &'static str {
+        match self {
+            DmaRejectKind::BelowThreshold => "below_threshold",
+            DmaRejectKind::NotPopularEnough => "not_popular_enough",
+            DmaRejectKind::DoesNotFit => "does_not_fit",
+        }
+    }
+}
+
+/// One observable incident in a service run.
+///
+/// The taxonomy covers every decision point of the paper's architecture:
+/// request arrivals, the Disk Manipulation Algorithm (admit / evict / hit
+/// / reject), the Virtual Routing Algorithm (chosen server, LVN path
+/// cost, engine cache-hit flag), mid-stream switches, session QoS
+/// incidents (stall / resume / complete), SNMP polls with their measured
+/// staleness, background-traffic refreshes and server outages.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A request from the workload trace arrived.
+    RequestArrival {
+        /// Index of the request in the trace.
+        request: u64,
+        /// The client's home server.
+        client: NodeId,
+        /// The requested title.
+        video: VideoId,
+    },
+    /// A request could not be served (unknown title, dead home server, or
+    /// no reachable replica).
+    RequestFailed {
+        /// Index of the request in the trace.
+        request: u64,
+        /// The client's home server.
+        client: NodeId,
+    },
+    /// Admission control turned the request away to protect the QoS
+    /// floor.
+    RequestRejected {
+        /// Index of the request in the trace.
+        request: u64,
+        /// The client's home server.
+        client: NodeId,
+        /// The requested title.
+        video: VideoId,
+    },
+    /// The DMA served a request from cache.
+    DmaHit {
+        /// The server running the DMA.
+        server: NodeId,
+        /// The resident title.
+        video: VideoId,
+    },
+    /// The DMA wrote a title to the server's disks.
+    DmaAdmit {
+        /// The server running the DMA.
+        server: NodeId,
+        /// The admitted title.
+        video: VideoId,
+        /// True when residents had to be evicted first.
+        after_eviction: bool,
+    },
+    /// The DMA deleted a resident title to make room.
+    DmaEvict {
+        /// The server running the DMA.
+        server: NodeId,
+        /// The deleted title.
+        victim: VideoId,
+    },
+    /// The DMA declined to cache the requested title.
+    DmaReject {
+        /// The server running the DMA.
+        server: NodeId,
+        /// The requested title.
+        video: VideoId,
+        /// Why it was not cached.
+        reason: DmaRejectKind,
+    },
+    /// The VRA (or baseline selector) picked a source server for one
+    /// cluster fetch.
+    VraSelect {
+        /// The session being served.
+        session: u64,
+        /// Index of the cluster about to be fetched.
+        cluster: u64,
+        /// The client's home server.
+        home: NodeId,
+        /// The chosen source server.
+        server: NodeId,
+        /// LVN path cost of the chosen route (0 for a local serve).
+        cost: f64,
+        /// True when the routing engine answered from its cached
+        /// shortest-path tree (no Dijkstra run).
+        cache_hit: bool,
+        /// True when the home server serves its own client.
+        local: bool,
+    },
+    /// Dynamic re-routing moved the session to a different server
+    /// mid-stream — the paper's headline feature.
+    Switch {
+        /// The session that switched.
+        session: u64,
+        /// Index of the first cluster fetched from the new server.
+        cluster: u64,
+        /// The previous source server.
+        from: NodeId,
+        /// The new source server.
+        to: NodeId,
+    },
+    /// First cluster available: playout starts.
+    SessionStart {
+        /// The session.
+        session: u64,
+        /// Request arrival → first cluster available.
+        startup: SimDuration,
+    },
+    /// The playout buffer ran dry.
+    SessionStall {
+        /// The stalled session.
+        session: u64,
+    },
+    /// Data arrived and playout resumed.
+    SessionResume {
+        /// The session.
+        session: u64,
+        /// How long playout was stalled.
+        stalled: SimDuration,
+    },
+    /// Playback finished.
+    SessionComplete {
+        /// The session.
+        session: u64,
+        /// Number of stalls over the session's lifetime.
+        stalls: u32,
+        /// Total stalled time.
+        stall_time: SimDuration,
+        /// Mid-stream server switches.
+        switches: u32,
+    },
+    /// The session was dropped before completing (server failure or loss
+    /// of every replica).
+    SessionAborted {
+        /// The session.
+        session: u64,
+    },
+    /// The SNMP system polled the agents and refreshed the database.
+    SnmpPoll {
+        /// Number of link readings written.
+        readings: u64,
+        /// Age of the view being replaced (time since the previous
+        /// poll) — the staleness the VRA worked with until now.
+        staleness: SimDuration,
+    },
+    /// The diurnal background-traffic model was re-applied.
+    BackgroundUpdate,
+    /// A video server went down.
+    ServerDown {
+        /// The failed server.
+        server: NodeId,
+    },
+    /// A failed video server rejoined (cold cache).
+    ServerUp {
+        /// The recovered server.
+        server: NodeId,
+    },
+}
+
+impl Event {
+    /// Stable snake_case discriminant, also the `"kind"` field of the
+    /// JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RequestArrival { .. } => "request_arrival",
+            Event::RequestFailed { .. } => "request_failed",
+            Event::RequestRejected { .. } => "request_rejected",
+            Event::DmaHit { .. } => "dma_hit",
+            Event::DmaAdmit { .. } => "dma_admit",
+            Event::DmaEvict { .. } => "dma_evict",
+            Event::DmaReject { .. } => "dma_reject",
+            Event::VraSelect { .. } => "vra_select",
+            Event::Switch { .. } => "switch",
+            Event::SessionStart { .. } => "session_start",
+            Event::SessionStall { .. } => "session_stall",
+            Event::SessionResume { .. } => "session_resume",
+            Event::SessionComplete { .. } => "session_complete",
+            Event::SessionAborted { .. } => "session_aborted",
+            Event::SnmpPoll { .. } => "snmp_poll",
+            Event::BackgroundUpdate => "background_update",
+            Event::ServerDown { .. } => "server_down",
+            Event::ServerUp { .. } => "server_up",
+        }
+    }
+
+    /// Appends the event as one JSON object (no trailing newline) with a
+    /// fixed field order: `at_us` (integer microseconds of simulated
+    /// time), `kind`, then the variant's fields in declaration order.
+    /// Durations are rendered as integer microseconds, node and video
+    /// ids as their raw indices.
+    pub fn write_json(&self, at: SimTime, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"at_us\":{},\"kind\":\"{}\"",
+            at.as_micros(),
+            self.kind()
+        );
+        match self {
+            Event::RequestArrival {
+                request,
+                client,
+                video,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"request\":{request},\"client\":{},\"video\":{}",
+                    client.index(),
+                    video.index()
+                );
+            }
+            Event::RequestFailed { request, client } => {
+                let _ = write!(out, ",\"request\":{request},\"client\":{}", client.index());
+            }
+            Event::RequestRejected {
+                request,
+                client,
+                video,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"request\":{request},\"client\":{},\"video\":{}",
+                    client.index(),
+                    video.index()
+                );
+            }
+            Event::DmaHit { server, video } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"video\":{}",
+                    server.index(),
+                    video.index()
+                );
+            }
+            Event::DmaAdmit {
+                server,
+                video,
+                after_eviction,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"video\":{},\"after_eviction\":{after_eviction}",
+                    server.index(),
+                    video.index()
+                );
+            }
+            Event::DmaEvict { server, victim } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"victim\":{}",
+                    server.index(),
+                    victim.index()
+                );
+            }
+            Event::DmaReject {
+                server,
+                video,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"video\":{},\"reason\":\"{}\"",
+                    server.index(),
+                    video.index(),
+                    reason.label()
+                );
+            }
+            Event::VraSelect {
+                session,
+                cluster,
+                home,
+                server,
+                cost,
+                cache_hit,
+                local,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"cluster\":{cluster},\"home\":{},\"server\":{},\"cost\":{cost},\"cache_hit\":{cache_hit},\"local\":{local}",
+                    home.index(),
+                    server.index()
+                );
+            }
+            Event::Switch {
+                session,
+                cluster,
+                from,
+                to,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"cluster\":{cluster},\"from\":{},\"to\":{}",
+                    from.index(),
+                    to.index()
+                );
+            }
+            Event::SessionStart { session, startup } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"startup_us\":{}",
+                    startup.as_micros()
+                );
+            }
+            Event::SessionStall { session } => {
+                let _ = write!(out, ",\"session\":{session}");
+            }
+            Event::SessionResume { session, stalled } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"stalled_us\":{}",
+                    stalled.as_micros()
+                );
+            }
+            Event::SessionComplete {
+                session,
+                stalls,
+                stall_time,
+                switches,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"stalls\":{stalls},\"stall_time_us\":{},\"switches\":{switches}",
+                    stall_time.as_micros()
+                );
+            }
+            Event::SessionAborted { session } => {
+                let _ = write!(out, ",\"session\":{session}");
+            }
+            Event::SnmpPoll {
+                readings,
+                staleness,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"readings\":{readings},\"staleness_us\":{}",
+                    staleness.as_micros()
+                );
+            }
+            Event::BackgroundUpdate => {}
+            Event::ServerDown { server } => {
+                let _ = write!(out, ",\"server\":{}", server.index());
+            }
+            Event::ServerUp { server } => {
+                let _ = write!(out, ",\"server\":{}", server.index());
+            }
+        }
+        out.push('}');
+    }
+
+    /// The event as a standalone JSON string.
+    pub fn to_json(&self, at: SimTime) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(at, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_snake_case() {
+        let e = Event::DmaHit {
+            server: NodeId::new(1),
+            video: VideoId::new(2),
+        };
+        assert_eq!(e.kind(), "dma_hit");
+        assert_eq!(Event::BackgroundUpdate.kind(), "background_update");
+    }
+
+    #[test]
+    fn json_has_fixed_shape() {
+        let e = Event::VraSelect {
+            session: 7,
+            cluster: 3,
+            home: NodeId::new(1),
+            server: NodeId::new(4),
+            cost: 0.5,
+            cache_hit: true,
+            local: false,
+        };
+        assert_eq!(
+            e.to_json(SimTime::from_secs(2)),
+            "{\"at_us\":2000000,\"kind\":\"vra_select\",\"session\":7,\"cluster\":3,\
+             \"home\":1,\"server\":4,\"cost\":0.5,\"cache_hit\":true,\"local\":false}"
+        );
+    }
+
+    #[test]
+    fn json_renders_durations_as_micros() {
+        let e = Event::SessionResume {
+            session: 1,
+            stalled: SimDuration::from_micros(1500),
+        };
+        assert_eq!(
+            e.to_json(SimTime::from_micros(10)),
+            "{\"at_us\":10,\"kind\":\"session_resume\",\"session\":1,\"stalled_us\":1500}"
+        );
+    }
+
+    #[test]
+    fn json_is_idempotent() {
+        let e = Event::SnmpPoll {
+            readings: 14,
+            staleness: SimDuration::from_secs(120),
+        };
+        assert_eq!(e.to_json(SimTime::ZERO), e.to_json(SimTime::ZERO));
+    }
+
+    #[test]
+    fn reject_labels() {
+        assert_eq!(DmaRejectKind::BelowThreshold.label(), "below_threshold");
+        assert_eq!(
+            DmaRejectKind::NotPopularEnough.label(),
+            "not_popular_enough"
+        );
+        assert_eq!(DmaRejectKind::DoesNotFit.label(), "does_not_fit");
+    }
+}

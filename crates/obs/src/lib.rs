@@ -1,0 +1,50 @@
+//! Observability for the distributed VoD service: a deterministic flight
+//! recorder and service-wide metrics.
+//!
+//! The paper's interesting behaviour is *decisions* — the DMA admitting
+//! or evicting a title, the VRA picking (and mid-stream switching) a
+//! server, a session stalling when its buffer runs dry, the SNMP system
+//! refreshing a stale network view. This crate makes those decisions
+//! first-class artifacts:
+//!
+//! * [`Event`] — a typed, sim-time-stamped record of one decision,
+//!   covering every subsystem (requests, DMA, VRA, sessions, SNMP,
+//!   background traffic, server failures);
+//! * [`EventSink`] — where events go, chosen at compile time:
+//!   [`NullSink`] (tracing compiled out, ≈0 ns/event), [`RingRecorder`]
+//!   (bounded in-memory flight recorder), or [`JsonlWriter`] (streaming
+//!   JSON Lines);
+//! * [`MetricsRegistry`] / [`RunReport`] — run-level aggregation:
+//!   startup-latency, stall-duration and fetch-cost
+//!   [`Histogram`](vod_sim::metrics::Histogram)s plus the DMA, routing
+//!   engine and SNMP counters, exposed as JSON or Prometheus text.
+//!
+//! # Determinism contract
+//!
+//! Traces are part of an experiment's output, so they obey the same
+//! rule as the paper tables: **identical scenario + config ⇒
+//! byte-identical JSONL**. Events carry only simulated time (integer
+//! microseconds) and plain identifiers — no wall clock, no addresses,
+//! no hash-iteration order. JSON rendering uses a fixed field order and
+//! Rust's shortest-roundtrip float formatting. The golden test in
+//! `tests/tests/observability.rs` pins this end to end.
+//!
+//! # Zero overhead when disabled
+//!
+//! The service is generic over its sink ([`NullSink`] by default) and
+//! every emission site is guarded by [`EventSink::enabled`], which is a
+//! constant `false` for [`NullSink`]. After monomorphization the guard
+//! folds away — event construction included — so the default service
+//! is byte-for-byte the uninstrumented one (`benches/obs.rs` measures
+//! the guarded path at ≈0 ns/event).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod registry;
+pub mod sink;
+
+pub use event::{DmaRejectKind, Event};
+pub use registry::{MetricsRegistry, RunReport, RunSummary};
+pub use sink::{EventSink, JsonlWriter, NullSink, RingRecorder};

@@ -1,0 +1,263 @@
+//! Event sinks: where emitted [`Event`]s go.
+//!
+//! The service is generic over its sink, so the choice is made at
+//! compile time. With [`NullSink`] — the default — `enabled()` is a
+//! constant `false`, every emission site folds away under
+//! monomorphization, and the instrumented service is byte-for-byte the
+//! uninstrumented one. [`RingRecorder`] keeps the last N events in
+//! memory (a flight recorder for post-mortem inspection); [`JsonlWriter`]
+//! streams every event as one JSON line.
+
+use std::collections::VecDeque;
+use std::io;
+
+use vod_sim::SimTime;
+
+use crate::event::Event;
+
+/// A consumer of service events.
+///
+/// Implementations decide what to retain. Emission sites must guard
+/// event construction with [`EventSink::enabled`] so that disabled
+/// sinks cost nothing:
+///
+/// ```
+/// # use vod_obs::{Event, EventSink, NullSink};
+/// # use vod_sim::SimTime;
+/// # let mut sink = NullSink;
+/// # let (now, server, video) = (SimTime::ZERO, vod_net::NodeId::new(0), vod_storage::VideoId::new(0));
+/// if sink.enabled() {
+///     sink.record(now, &Event::DmaHit { server, video });
+/// }
+/// ```
+pub trait EventSink {
+    /// Whether this sink wants events at all. Defaults to `true`;
+    /// [`NullSink`] overrides it to a constant `false`, letting the
+    /// optimizer delete guarded emission sites entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event stamped with the simulated time it occurred.
+    fn record(&mut self, at: SimTime, event: &Event);
+}
+
+/// The no-op sink: tracing compiled out.
+///
+/// `enabled()` is a constant `false` and `record` does nothing, so a
+/// `VodService<NullSink>` carries zero observability overhead — see
+/// `benches/obs.rs` (`BENCH_obs.json`), which measures the guarded
+/// emission path at ≈0 ns/event.
+#[derive(Debug, Default, Copy, Clone)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _at: SimTime, _event: &Event) {}
+}
+
+/// A bounded in-memory flight recorder.
+///
+/// Keeps the most recent `capacity` events, overwriting the oldest
+/// when full and counting what it dropped. Iteration is chronological.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    capacity: usize,
+    entries: VecDeque<(SimTime, Event)>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        RingRecorder {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Events evicted to make room (total recorded − retained).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, &Event)> {
+        self.entries.iter().map(|(at, e)| (*at, e))
+    }
+
+    /// Renders the retained events as JSONL (one event per line, oldest
+    /// first, trailing newline after each line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 96);
+        for (at, event) in &self.entries {
+            event.write_json(*at, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl EventSink for RingRecorder {
+    fn record(&mut self, at: SimTime, event: &Event) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((at, event.clone()));
+    }
+}
+
+/// Streams events as JSON Lines to any [`io::Write`].
+///
+/// One line per event, formatted by [`Event::write_json`]; given the
+/// same event sequence the byte stream is identical across runs and
+/// platforms. Write errors are counted, not propagated — tracing must
+/// never abort a simulation.
+#[derive(Debug)]
+pub struct JsonlWriter<W: io::Write> {
+    writer: W,
+    buf: String,
+    lines: u64,
+    write_errors: u64,
+}
+
+impl<W: io::Write> JsonlWriter<W> {
+    /// Wraps a writer. Buffer the writer yourself (e.g. with
+    /// [`io::BufWriter`]) when it is a file or socket.
+    pub fn new(writer: W) -> Self {
+        JsonlWriter {
+            writer,
+            buf: String::with_capacity(128),
+            lines: 0,
+            write_errors: 0,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Events whose write failed (the line is lost, the run continues).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: io::Write> EventSink for JsonlWriter<W> {
+    fn record(&mut self, at: SimTime, event: &Event) {
+        self.buf.clear();
+        event.write_json(at, &mut self.buf);
+        self.buf.push('\n');
+        if self.writer.write_all(self.buf.as_bytes()).is_ok() {
+            self.lines += 1;
+        } else {
+            self.write_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_net::NodeId;
+
+    fn event(i: u32) -> Event {
+        Event::ServerDown {
+            server: NodeId::new(i),
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut ring = RingRecorder::new(2);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.record(SimTime::from_secs(i as u64), &event(i));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let kept: Vec<_> = ring.iter().map(|(at, _)| at.as_micros()).collect();
+        assert_eq!(kept, vec![3_000_000, 4_000_000]);
+        let jsonl = ring.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.starts_with("{\"at_us\":3000000,\"kind\":\"server_down\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ring_rejects_zero_capacity() {
+        let _ = RingRecorder::new(0);
+    }
+
+    #[test]
+    fn jsonl_writer_streams_lines() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.record(SimTime::ZERO, &event(1));
+        w.record(SimTime::from_micros(5), &event(2));
+        assert_eq!(w.lines(), 2);
+        assert_eq!(w.write_errors(), 0);
+        let bytes = w.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            text,
+            "{\"at_us\":0,\"kind\":\"server_down\",\"server\":1}\n\
+             {\"at_us\":5,\"kind\":\"server_down\",\"server\":2}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_writer_counts_write_errors() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = JsonlWriter::new(Failing);
+        w.record(SimTime::ZERO, &event(1));
+        assert_eq!(w.lines(), 0);
+        assert_eq!(w.write_errors(), 1);
+    }
+}

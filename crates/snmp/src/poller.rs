@@ -115,6 +115,14 @@ impl SnmpSystem {
         self.counters.accumulate(net, dt);
     }
 
+    /// The instant of the most recent poll (or the epoch start before
+    /// any) — the age of the database's traffic view is `now −
+    /// last_poll_at()`, the staleness the routing application works
+    /// with.
+    pub fn last_poll_at(&self) -> SimTime {
+        self.last_poll
+    }
+
     /// The instant of the next scheduled poll.
     pub fn next_poll_at(&self) -> SimTime {
         self.last_poll + self.interval
