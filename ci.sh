@@ -25,4 +25,13 @@ cargo bench --no-run
 echo "==> trace determinism (golden JSONL test)"
 cargo test -q -p vod-integration-tests --test observability
 
+echo "==> vod-check lint (zero findings, zero stale allowlist entries)"
+cargo run -q --release -p vod-check -- lint
+
+echo "==> vod-check audit (GRNET case-study trace replays clean)"
+cargo run -q --release -p vod-check -- audit --grnet
+
+echo "==> rustdoc (no broken intra-doc links)"
+RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc --no-deps --workspace -q
+
 echo "CI OK"

@@ -16,6 +16,7 @@ use std::hint::black_box;
 use vod_net::NodeId;
 use vod_obs::{Event, EventSink, JsonlWriter, NullSink, RingRecorder};
 use vod_sim::SimTime;
+use vod_storage::video::VideoId;
 
 /// One guarded emission site, exactly as the service is instrumented.
 fn emit<S: EventSink>(sink: &mut S, at: SimTime, event: &Event) {
@@ -29,6 +30,7 @@ fn sample_event() -> Event {
     Event::VraSelect {
         session: 42,
         cluster: 7,
+        video: VideoId::new(19),
         home: NodeId::new(1),
         server: NodeId::new(4),
         cost: 0.21771,

@@ -1,5 +1,5 @@
 //! E8 — reliability under server failures: the paper's "dynamic
-//! adjustment" claim (and its reference [3]'s reliability-on-demand
+//! adjustment" claim (and its reference \[3\]'s reliability-on-demand
 //! theme) measured end-to-end.
 //!
 //! A server hosting popular content dies mid-day and recovers two hours
@@ -9,6 +9,8 @@
 //! until recovery.
 //!
 //! Run with: `cargo run --release -p vod-bench --bin ext_failures [--seed N]`
+
+#![forbid(unsafe_code)]
 
 use vod_bench::cli::Options;
 use vod_bench::Table;

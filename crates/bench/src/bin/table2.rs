@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run -p vod-bench --bin table2`
 
+#![forbid(unsafe_code)]
+
 use vod_bench::Table;
 use vod_db::{AdminCredential, Database};
 use vod_net::topologies::grnet::{Grnet, GrnetLink, TimeOfDay};

@@ -7,6 +7,8 @@
 //! append its routing-engine and per-server DMA counters (the default
 //! output is unchanged without the flag).
 
+#![forbid(unsafe_code)]
+
 use vod_bench::obs_cli;
 use vod_net::dijkstra::dijkstra_with_trace;
 use vod_net::topologies::grnet::{Grnet, GrnetNode, TimeOfDay};

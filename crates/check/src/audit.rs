@@ -1,0 +1,842 @@
+//! The trace invariant auditor: rules `A000`–`A009` over JSONL traces.
+//!
+//! A trace written by `vod-obs`'s `JsonlWriter` is *self-auditing*: it
+//! opens with the topology, the run configuration, each server's DMA
+//! sizing and the initial placement, and then interleaves every link
+//! state the selector worked from plus every catalog mutation. This
+//! module replays that stream with independent re-implementations of
+//! the paper's algorithms and reports every divergence:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | A000 | well-formed stream: parseable JSON, required fields, preamble first, non-decreasing `at_us` |
+//! | A001 | DMA occupancy: resident megabytes match the traced occupancy and never exceed `disks × capacity_mb` |
+//! | A002 | DMA admission threshold: admits only after a title's points exceed the threshold (Figure 2) |
+//! | A003 | DMA eviction victim is the least-popular resident, ties to the lowest id |
+//! | A004 | striping: part `i` lands on disk `i mod n`, and the part count matches `ceil(size/cluster)` (Figure 3) |
+//! | A005 | VRA optimality: each selection matches a reference LVN-weighted Dijkstra over the traced link state (Figure 5) |
+//! | A006 | switches: every server change is announced by a `switch` matching the adjacent selection, and vice versa |
+//! | A007 | sessions: cluster indices start at 0 and step by at most 1 (repeats only after a re-route) |
+//! | A008 | link conservation: traced used bandwidth and utilization are non-negative and leave no negative residual |
+//! | A009 | catalog/residency consistency: hits are resident, selections come from advertising servers, no double add/remove |
+//!
+//! The replayed DMA popularity counter exploits that every `dma_*`
+//! decision event corresponds to exactly one `on_request` call, which
+//! awards exactly one point before deciding — so points are re-derived
+//! from the decision stream itself, with no access to the workload.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vod_net::dijkstra::dijkstra;
+use vod_net::lvn::{LvnComputer, LvnParams};
+use vod_net::node::NodeKind;
+use vod_net::units::Fraction;
+use vod_net::{LinkId, Mbps, NodeId, Topology, TopologyBuilder, TrafficSnapshot};
+
+use serde::Value;
+
+/// One invariant violation, pointing at a trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The violated rule (`"A000"`…`"A009"`).
+    pub rule: &'static str,
+    /// 1-based line number in the trace.
+    pub line: usize,
+    /// What diverged.
+    pub message: String,
+}
+
+/// The outcome of one audit run.
+#[derive(Debug, Default)]
+pub struct AuditSummary {
+    /// Events processed (parseable lines).
+    pub events: usize,
+    /// `vra_select` events re-derived against the reference Dijkstra.
+    pub selections_verified: usize,
+    /// `dma_admit` events checked for occupancy/threshold/striping.
+    pub admits_verified: usize,
+    /// `dma_evict` events checked for victim optimality.
+    pub evictions_verified: usize,
+    /// All violations, in trace order.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditSummary {
+    /// True when every replayed invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Replayed DMA state of one video server.
+#[derive(Debug, Clone, Default)]
+struct ServerState {
+    disks: u64,
+    capacity_mb: f64,
+    cluster_mb: f64,
+    admit_threshold: u64,
+    /// Resident titles and their sizes in MB.
+    residents: BTreeMap<u64, f64>,
+    /// Replayed popularity points (Figure 2's counter).
+    points: BTreeMap<u64, u64>,
+}
+
+impl ServerState {
+    fn total_capacity(&self) -> f64 {
+        self.disks as f64 * self.capacity_mb
+    }
+
+    fn occupancy(&self) -> f64 {
+        self.residents.values().sum()
+    }
+
+    fn award(&mut self, video: u64) -> u64 {
+        let p = self.points.entry(video).or_insert(0);
+        *p += 1;
+        *p
+    }
+
+    fn least_popular(&self) -> Option<u64> {
+        self.residents
+            .keys()
+            .min_by_key(|&&v| (self.points.get(&v).copied().unwrap_or(0), v))
+            .copied()
+    }
+}
+
+/// A selection whose server change must be confirmed by the next event.
+#[derive(Debug, Clone)]
+struct PendingSwitch {
+    line: usize,
+    session: u64,
+    cluster: u64,
+    from: u64,
+    to: u64,
+}
+
+#[derive(Default)]
+struct Auditor {
+    topology: Option<Topology>,
+    link_capacities: Vec<f64>,
+    saw_run_config: bool,
+    lvn_normalization: Option<f64>,
+    servers: BTreeMap<u64, ServerState>,
+    catalog: BTreeSet<(u64, u64)>,
+    snapshot: Option<TrafficSnapshot>,
+    /// session → (current server, last selected cluster, video).
+    sessions: BTreeMap<u64, (u64, u64, u64)>,
+    pending_switch: Option<PendingSwitch>,
+    last_at_us: Option<u64>,
+    summary: AuditSummary,
+}
+
+/// Numeric-comparison slack for replayed f64 accumulations (occupancy
+/// sums and path costs re-derived in a different evaluation order).
+const EPS: f64 = 1e-6;
+
+/// Audits one JSONL trace; never panics on malformed input — every
+/// problem becomes an [`AuditSummary`] violation instead.
+pub fn audit_trace(text: &str) -> AuditSummary {
+    let mut a = Auditor::default();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Value>(line) {
+            Ok(event) => a.on_event(line_no, &event),
+            Err(e) => a.violate("A000", line_no, format!("unparseable JSON: {e}")),
+        }
+    }
+    if let Some(p) = a.pending_switch.take() {
+        a.violate(
+            "A006",
+            p.line,
+            format!(
+                "selection moved session {} to server {} but no switch event followed",
+                p.session, p.to
+            ),
+        );
+    }
+    a.summary
+}
+
+impl Auditor {
+    fn violate(&mut self, rule: &'static str, line: usize, message: String) {
+        self.summary.violations.push(Violation {
+            rule,
+            line,
+            message,
+        });
+    }
+
+    /// Flushes violations collected while a server's replay state was
+    /// mutably borrowed.
+    fn flush(&mut self, line: usize, pending: Vec<(&'static str, String)>) {
+        for (rule, message) in pending {
+            self.violate(rule, line, message);
+        }
+    }
+
+    fn on_event(&mut self, line: usize, event: &Value) {
+        self.summary.events += 1;
+        let Some(at_us) = event.get_field("at_us").and_then(Value::as_u64) else {
+            self.violate("A000", line, "missing integer `at_us`".to_string());
+            return;
+        };
+        if self.last_at_us.is_some_and(|prev| at_us < prev) {
+            self.violate(
+                "A000",
+                line,
+                format!(
+                    "time went backwards: at_us {at_us} after {:?}",
+                    self.last_at_us
+                ),
+            );
+        }
+        self.last_at_us = Some(at_us);
+        let Some(kind) = event.get_field("kind").and_then(Value::as_str) else {
+            self.violate("A000", line, "missing string `kind`".to_string());
+            return;
+        };
+        let kind = kind.to_string();
+
+        if self.topology.is_none() && kind != "topology" {
+            self.violate(
+                "A000",
+                line,
+                format!("`{kind}` before the topology preamble"),
+            );
+            return;
+        }
+
+        // A pending server change must be confirmed by the very next
+        // event (the service emits the switch immediately).
+        if let Some(p) = self.pending_switch.take() {
+            if kind != "switch" {
+                self.violate(
+                    "A006",
+                    line,
+                    format!(
+                        "selection moved session {} from {} to {} but the next event is `{kind}`, not a switch",
+                        p.session, p.from, p.to
+                    ),
+                );
+            } else {
+                self.check_switch(line, event, &p);
+                return;
+            }
+        } else if kind == "switch" {
+            self.violate(
+                "A006",
+                line,
+                "switch without a preceding server-changing selection".to_string(),
+            );
+            return;
+        }
+
+        let handled = match kind.as_str() {
+            "topology" => self.on_topology(line, event),
+            "run_config" => self.on_run_config(event),
+            "cache_config" => self.on_cache_config(event),
+            "dma_seed" => self.on_dma_seed(line, event),
+            "catalog_add" => self.on_catalog(line, event, true),
+            "catalog_remove" => self.on_catalog(line, event, false),
+            "link_state" => self.on_link_state(line, event),
+            "dma_hit" => self.on_dma_hit(line, event),
+            "dma_admit" => self.on_dma_admit(line, event),
+            "dma_evict" => self.on_dma_evict(line, event),
+            "dma_reject" => self.on_dma_reject(line, event),
+            "vra_select" => self.on_vra_select(line, event),
+            "session_complete" | "session_aborted" => {
+                if let Some(s) = event.get_field("session").and_then(Value::as_u64) {
+                    self.sessions.remove(&s);
+                }
+                Some(())
+            }
+            "server_down" => {
+                if let Some(s) = event.get_field("server").and_then(Value::as_u64) {
+                    // The cache is retired with the server; a recovering
+                    // server starts cold (fresh points, empty disks).
+                    if let Some(state) = self.servers.get_mut(&s) {
+                        state.residents.clear();
+                        state.points.clear();
+                    }
+                }
+                Some(())
+            }
+            // Sessions, SNMP and background events carry no replayable
+            // invariant beyond time order; unknown kinds are tolerated
+            // for forward compatibility.
+            _ => Some(()),
+        };
+        if handled.is_none() {
+            self.violate(
+                "A000",
+                line,
+                format!("`{kind}` event is missing required fields"),
+            );
+        }
+    }
+
+    fn on_topology(&mut self, line: usize, event: &Value) -> Option<()> {
+        if self.topology.is_some() {
+            self.violate("A000", line, "duplicate topology preamble".to_string());
+            return Some(());
+        }
+        let nodes = event.get_field("nodes")?.as_array()?;
+        let links = event.get_field("links")?.as_array()?;
+        let mut b = TopologyBuilder::new();
+        for n in nodes {
+            let pair = n.as_array()?;
+            let name = pair.first()?.as_str()?;
+            let is_server = pair.get(1)?.as_bool()?;
+            let kind = if is_server {
+                NodeKind::VideoServer
+            } else {
+                NodeKind::Transit
+            };
+            b.add_node_with_kind(name, kind);
+        }
+        let mut capacities = Vec::with_capacity(links.len());
+        for l in links {
+            let triple = l.as_array()?;
+            let from = triple.first()?.as_u64()?;
+            let to = triple.get(1)?.as_u64()?;
+            let cap = triple.get(2)?.as_f64()?;
+            let (Ok(from), Ok(to)) = (u32::try_from(from), u32::try_from(to)) else {
+                return None;
+            };
+            let mbps = Mbps::try_new(cap)?;
+            if b.add_link(NodeId::new(from), NodeId::new(to), mbps)
+                .is_err()
+            {
+                self.violate("A000", line, "topology link is malformed".to_string());
+                return Some(());
+            }
+            capacities.push(cap);
+        }
+        self.topology = Some(b.build());
+        self.link_capacities = capacities;
+        Some(())
+    }
+
+    fn on_run_config(&mut self, event: &Value) -> Option<()> {
+        self.saw_run_config = true;
+        self.lvn_normalization = event.get_field("lvn_normalization").and_then(Value::as_f64);
+        Some(())
+    }
+
+    fn on_cache_config(&mut self, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let state = ServerState {
+            disks: event.get_field("disks")?.as_u64()?,
+            capacity_mb: event.get_field("capacity_mb")?.as_f64()?,
+            cluster_mb: event.get_field("cluster_mb")?.as_f64()?,
+            admit_threshold: event.get_field("admit_threshold")?.as_u64()?,
+            residents: BTreeMap::new(),
+            points: BTreeMap::new(),
+        };
+        self.servers.insert(server, state);
+        Some(())
+    }
+
+    fn on_dma_seed(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let size_mb = event.get_field("size_mb")?.as_f64()?;
+        let mut pending = Vec::new();
+        let Some(state) = self.servers.get_mut(&server) else {
+            self.violate(
+                "A009",
+                line,
+                format!("seed on unconfigured server {server}"),
+            );
+            return Some(());
+        };
+        if state.residents.insert(video, size_mb).is_some() {
+            pending.push(("A009", format!("video {video} seeded twice on {server}")));
+        }
+        let (occ, cap) = (state.occupancy(), state.total_capacity());
+        if occ > cap + EPS {
+            pending.push((
+                "A001",
+                format!("seeding overflows server {server}: {occ:.3} MB > {cap:.3} MB"),
+            ));
+        }
+        self.flush(line, pending);
+        if !self.catalog.insert((server, video)) {
+            self.violate(
+                "A009",
+                line,
+                format!("seed re-advertises v{video} at {server}"),
+            );
+        }
+        Some(())
+    }
+
+    fn on_catalog(&mut self, line: usize, event: &Value, add: bool) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        if add && !self.catalog.insert((server, video)) {
+            self.violate(
+                "A009",
+                line,
+                format!("catalog_add of already-advertised v{video} at server {server}"),
+            );
+        }
+        if !add && !self.catalog.remove(&(server, video)) {
+            self.violate(
+                "A009",
+                line,
+                format!("catalog_remove of unadvertised v{video} at server {server}"),
+            );
+        }
+        Some(())
+    }
+
+    fn on_link_state(&mut self, line: usize, event: &Value) -> Option<()> {
+        let used = event.get_field("used")?.as_array()?;
+        let utilization = event.get_field("utilization")?.as_array()?;
+        let topo = self.topology.as_ref()?;
+        if used.len() != self.link_capacities.len() || utilization.len() != used.len() {
+            self.violate(
+                "A000",
+                line,
+                format!(
+                    "link_state has {} used / {} utilization entries for {} links",
+                    used.len(),
+                    utilization.len(),
+                    self.link_capacities.len()
+                ),
+            );
+            return Some(());
+        }
+        let mut snap = TrafficSnapshot::zero(topo);
+        let mut violations: Vec<String> = Vec::new();
+        for (i, (u, f)) in used.iter().zip(utilization).enumerate() {
+            let (u, f) = (u.as_f64()?, f.as_f64()?);
+            let cap = self.link_capacities[i];
+            if !u.is_finite() || u < -EPS {
+                violations.push(format!("link {i}: negative used bandwidth {u}"));
+            } else if u > cap + EPS {
+                violations.push(format!(
+                    "link {i}: used {u} Mbps exceeds capacity {cap} Mbps (negative residual)"
+                ));
+            }
+            if !f.is_finite() || f < -EPS {
+                violations.push(format!("link {i}: negative utilization {f}"));
+            }
+            let link = LinkId::new(i as u32);
+            if let Some(mbps) = Mbps::try_new(u.max(0.0)) {
+                snap.set_used(link, mbps);
+            }
+            if let Some(fraction) = Fraction::try_new(f.max(0.0)) {
+                snap.set_explicit_utilization(link, fraction);
+            }
+        }
+        for v in violations {
+            self.violate("A008", line, v);
+        }
+        self.snapshot = Some(snap);
+        Some(())
+    }
+
+    fn on_dma_hit(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let Some(state) = self.servers.get_mut(&server) else {
+            self.violate(
+                "A009",
+                line,
+                format!("dma_hit on unconfigured server {server}"),
+            );
+            return Some(());
+        };
+        state.award(video);
+        let resident = state.residents.contains_key(&video);
+        if !resident {
+            self.violate(
+                "A009",
+                line,
+                format!("dma_hit for v{video} which is not resident on server {server}"),
+            );
+        }
+        Some(())
+    }
+
+    fn on_dma_admit(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let size_mb = event.get_field("size_mb")?.as_f64()?;
+        let parts = event.get_field("parts")?.as_u64()?;
+        let stripe = event.get_field("stripe")?.as_array()?;
+        let occupancy_mb = event.get_field("occupancy_mb")?.as_f64()?;
+        self.summary.admits_verified += 1;
+        let mut pending = Vec::new();
+        let Some(state) = self.servers.get_mut(&server) else {
+            self.violate(
+                "A009",
+                line,
+                format!("dma_admit on unconfigured server {server}"),
+            );
+            return Some(());
+        };
+
+        // Figure 2: the request awards a point first; admission requires
+        // the counter to exceed the threshold.
+        let points = state.award(video);
+        if points <= state.admit_threshold {
+            pending.push((
+                "A002",
+                format!(
+                    "v{video} admitted at server {server} with {points} points (threshold {})",
+                    state.admit_threshold
+                ),
+            ));
+        }
+
+        // Figure 3: `ceil(size/cluster)` parts, part i on disk i mod n.
+        let expected_parts = (size_mb / state.cluster_mb).ceil().max(1.0) as u64;
+        if parts != expected_parts || stripe.len() as u64 != parts {
+            pending.push((
+                "A004",
+                format!(
+                    "v{video} striped into {parts} parts (stripe lists {}), expected {expected_parts}",
+                    stripe.len()
+                ),
+            ));
+        }
+        for (i, disk) in stripe.iter().enumerate() {
+            let Some(disk) = disk.as_u64() else {
+                self.flush(line, pending);
+                return None;
+            };
+            if state.disks > 0 && disk != i as u64 % state.disks {
+                pending.push((
+                    "A004",
+                    format!(
+                        "part {i} of v{video} on disk {disk}, expected {} (i mod {})",
+                        i as u64 % state.disks,
+                        state.disks
+                    ),
+                ));
+                break;
+            }
+        }
+
+        if state.residents.insert(video, size_mb).is_some() {
+            pending.push((
+                "A009",
+                format!("v{video} admitted while already resident on server {server}"),
+            ));
+        }
+        let (occ, cap) = (state.occupancy(), state.total_capacity());
+        if occ > cap + EPS {
+            pending.push((
+                "A001",
+                format!("server {server} over capacity after admit: {occ:.3} MB > {cap:.3} MB"),
+            ));
+        }
+        if (occ - occupancy_mb).abs() > EPS * occ.abs().max(1.0) {
+            pending.push((
+                "A001",
+                format!(
+                    "traced occupancy {occupancy_mb:.3} MB disagrees with replayed {occ:.3} MB on server {server}"
+                ),
+            ));
+        }
+        self.flush(line, pending);
+        Some(())
+    }
+
+    fn on_dma_evict(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let victim = event.get_field("victim")?.as_u64()?;
+        self.summary.evictions_verified += 1;
+        let mut pending = Vec::new();
+        let Some(state) = self.servers.get_mut(&server) else {
+            self.violate(
+                "A009",
+                line,
+                format!("dma_evict on unconfigured server {server}"),
+            );
+            return Some(());
+        };
+        match state.least_popular() {
+            Some(expected) if expected != victim => {
+                let vp = state.points.get(&victim).copied().unwrap_or(0);
+                let ep = state.points.get(&expected).copied().unwrap_or(0);
+                pending.push((
+                    "A003",
+                    format!(
+                        "evicted v{victim} ({vp} points) but v{expected} ({ep} points) is less popular on server {server}"
+                    ),
+                ));
+            }
+            None => {
+                pending.push((
+                    "A003",
+                    format!("eviction from server {server} with no residents"),
+                ));
+            }
+            _ => {}
+        }
+        if state.residents.remove(&victim).is_none() {
+            pending.push((
+                "A009",
+                format!("evicted v{victim} was not resident on server {server}"),
+            ));
+        }
+        self.flush(line, pending);
+        Some(())
+    }
+
+    fn on_dma_reject(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let reason = event.get_field("reason")?.as_str()?.to_string();
+        let Some(state) = self.servers.get_mut(&server) else {
+            self.violate(
+                "A009",
+                line,
+                format!("dma_reject on unconfigured server {server}"),
+            );
+            return Some(());
+        };
+        let points = state.award(video);
+        let threshold = state.admit_threshold;
+        // `state` is no longer needed; the checks below only read the
+        // two values extracted above.
+        // Figure 2's gates run in order: a below-threshold verdict means
+        // the counter had not yet passed, any later verdict means it had.
+        if reason == "below_threshold" && points > threshold {
+            self.violate(
+                "A002",
+                line,
+                format!(
+                    "v{video} rejected below-threshold at {points} points (> threshold {threshold})"
+                ),
+            );
+        }
+        if reason != "below_threshold" && points <= threshold {
+            self.violate(
+                "A002",
+                line,
+                format!(
+                    "v{video} reached the `{reason}` gate with only {points} points (threshold {threshold})"
+                ),
+            );
+        }
+        Some(())
+    }
+
+    fn on_vra_select(&mut self, line: usize, event: &Value) -> Option<()> {
+        let session = event.get_field("session")?.as_u64()?;
+        let cluster = event.get_field("cluster")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let home = event.get_field("home")?.as_u64()?;
+        let server = event.get_field("server")?.as_u64()?;
+        let cost = event.get_field("cost")?.as_f64()?;
+        let local = event.get_field("local")?.as_bool()?;
+
+        // A007: cluster bookkeeping per session.
+        match self.sessions.get(&session) {
+            None => {
+                if cluster != 0 {
+                    self.violate(
+                        "A007",
+                        line,
+                        format!("session {session} opens at cluster {cluster}, expected 0"),
+                    );
+                }
+            }
+            Some(&(_, prev_cluster, prev_video)) => {
+                if cluster != prev_cluster && cluster != prev_cluster + 1 {
+                    self.violate(
+                        "A007",
+                        line,
+                        format!("session {session} jumps from cluster {prev_cluster} to {cluster}"),
+                    );
+                }
+                if video != prev_video {
+                    self.violate(
+                        "A007",
+                        line,
+                        format!(
+                            "session {session} switched title v{prev_video} → v{video} mid-stream"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // A009: the chosen server must advertise the title.
+        if !self.catalog.contains(&(server, video)) {
+            self.violate(
+                "A009",
+                line,
+                format!("selected server {server} does not advertise v{video}"),
+            );
+        }
+        if local && server != home {
+            self.violate(
+                "A005",
+                line,
+                format!("selection flagged local but server {server} != home {home}"),
+            );
+        }
+
+        // A005: re-derive the selection with a reference LVN + Dijkstra.
+        // Selectors that do not route by the LVN argmin leave
+        // `lvn_normalization` null in the preamble, which exempts them.
+        if let Some(norm) = self.lvn_normalization {
+            self.check_selection_optimal(line, video, home, server, cost, local, norm);
+        }
+
+        // A006: a server change must be announced by the next event.
+        let prev_server = self.sessions.get(&session).map(|&(s, _, _)| s);
+        if let Some(prev) = prev_server {
+            if prev != server {
+                self.pending_switch = Some(PendingSwitch {
+                    line,
+                    session,
+                    cluster,
+                    from: prev,
+                    to: server,
+                });
+            }
+        }
+        self.sessions.insert(session, (server, cluster, video));
+        Some(())
+    }
+
+    /// The reference re-derivation of one routed selection (Figure 5):
+    /// LVN weights from the traced link state, Dijkstra from the home
+    /// server, argmin over the advertising servers with ties to the
+    /// lowest node id.
+    #[allow(clippy::too_many_arguments)]
+    fn check_selection_optimal(
+        &mut self,
+        line: usize,
+        video: u64,
+        home: u64,
+        server: u64,
+        cost: f64,
+        local: bool,
+        norm: f64,
+    ) {
+        self.summary.selections_verified += 1;
+        let candidates: Vec<u64> = self
+            .catalog
+            .iter()
+            .filter(|&&(_, v)| v == video)
+            .map(|&(s, _)| s)
+            .collect();
+        if candidates.contains(&home) {
+            if !local || server != home || cost != 0.0 {
+                self.violate(
+                    "A005",
+                    line,
+                    format!(
+                        "home {home} advertises v{video} but the selection went to server {server} (cost {cost}) instead of serving locally"
+                    ),
+                );
+            }
+            return;
+        }
+        if local {
+            self.violate(
+                "A005",
+                line,
+                format!("selection flagged local but home {home} does not advertise v{video}"),
+            );
+            return;
+        }
+        let (Some(topo), Some(snap)) = (self.topology.as_ref(), self.snapshot.as_ref()) else {
+            self.violate(
+                "A000",
+                line,
+                "vra_select before any link_state event".to_string(),
+            );
+            return;
+        };
+        let Ok(src) = u32::try_from(home) else {
+            self.violate("A000", line, format!("home {home} is not a node index"));
+            return;
+        };
+        let params = LvnParams::with_normalization(norm);
+        let weights = LvnComputer::new(topo, snap, params).weights();
+        let paths = match dijkstra(topo, &weights, NodeId::new(src)) {
+            Ok(p) => p,
+            Err(e) => {
+                self.violate("A005", line, format!("reference Dijkstra failed: {e}"));
+                return;
+            }
+        };
+        let best = candidates
+            .iter()
+            .filter_map(|&c| {
+                let id = u32::try_from(c).ok()?;
+                paths.route_to(NodeId::new(id)).map(|r| (c, r.cost()))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        match best {
+            Some((ref_server, ref_cost)) => {
+                let cost_ok = (cost - ref_cost).abs() <= EPS * ref_cost.abs().max(1.0);
+                if server != ref_server || !cost_ok {
+                    self.violate(
+                        "A005",
+                        line,
+                        format!(
+                            "selection (server {server}, cost {cost}) diverges from the reference optimum (server {ref_server}, cost {ref_cost})"
+                        ),
+                    );
+                }
+            }
+            None => {
+                self.violate(
+                    "A005",
+                    line,
+                    format!(
+                        "no advertising server of v{video} is reachable from home {home}, yet server {server} was selected"
+                    ),
+                );
+            }
+        }
+    }
+
+    fn check_switch(&mut self, line: usize, event: &Value, p: &PendingSwitch) {
+        let session = event.get_field("session").and_then(Value::as_u64);
+        let cluster = event.get_field("cluster").and_then(Value::as_u64);
+        let from = event.get_field("from").and_then(Value::as_u64);
+        let to = event.get_field("to").and_then(Value::as_u64);
+        let (Some(session), Some(cluster), Some(from), Some(to)) = (session, cluster, from, to)
+        else {
+            self.violate(
+                "A000",
+                line,
+                "switch event is missing required fields".to_string(),
+            );
+            return;
+        };
+        if session != p.session || cluster != p.cluster || from != p.from || to != p.to {
+            self.violate(
+                "A006",
+                line,
+                format!(
+                    "switch (session {session}, cluster {cluster}, {from} → {to}) does not match the \
+                     selection that caused it (session {}, cluster {}, {} → {})",
+                    p.session, p.cluster, p.from, p.to
+                ),
+            );
+        }
+        if from == to {
+            self.violate(
+                "A006",
+                line,
+                format!("switch of session {session} to the same server {to}"),
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Static analysis for the VoD workspace, in two engines:
+//!
+//! * [`lint`] — a dependency-free source scanner over `crates/*/src`
+//!   enforcing the repo's determinism and panic-hygiene rules
+//!   (`L001`–`L005`): no wall-clock reads or ambient RNG outside
+//!   `vod-bench`, no iteration-order-dependent collections in code that
+//!   feeds reports or traces, no `unwrap`/un-allowlisted `expect` in
+//!   library crates, and `#![forbid(unsafe_code)]` in every crate root.
+//!
+//! * [`audit`] — a JSONL trace replayer verifying the paper's runtime
+//!   invariants (`A000`–`A009`) against independent reference
+//!   implementations: DMA cache occupancy and admission thresholds
+//!   (Figure 2), least-popular eviction victims, `i mod n` striping
+//!   (Figure 3), and VRA selections re-derived by a from-scratch
+//!   LVN-weighted Dijkstra (Figure 5) over the traced link state.
+//!
+//! Both run behind the `vod-check` binary:
+//!
+//! ```text
+//! cargo run -p vod-check -- lint            # zero findings gate
+//! cargo run -p vod-check -- audit --grnet   # replay the GRNET case study
+//! cargo run -p vod-check -- audit run.jsonl # audit a stored trace
+//! ```
+//!
+//! The rule catalog with its mapping to the paper's figures lives in
+//! DESIGN.md §11.
+
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod lint;

@@ -1,0 +1,248 @@
+//! `vod-check` — workspace lint pass and trace invariant auditor.
+//!
+//! ```text
+//! vod-check lint  [--root DIR] [--allowlist FILE] [--json]
+//! vod-check audit [--json] (--grnet | TRACE.jsonl ...)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings/violations, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vod_check::audit::{audit_trace, AuditSummary};
+use vod_check::lint::{lint, workspace_sources, Allowlist, LintOutcome};
+use vod_core::service::{ServiceConfig, VodService};
+use vod_core::vra::Vra;
+use vod_obs::JsonlWriter;
+use vod_workload::scenario::Scenario;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("audit") => run_audit(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: vod-check lint [--root DIR] [--allowlist FILE] [--json]\n\
+                        vod-check audit [--json] (--grnet | TRACE.jsonl ...)"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allowlist = Some(PathBuf::from(v)),
+                None => return usage("--allowlist needs a file"),
+            },
+            "--json" => json = true,
+            other => return usage(&format!("unknown lint option `{other}`")),
+        }
+    }
+    let allow_path = allowlist.unwrap_or_else(|| root.join("crates/check/lint_allow.txt"));
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+    let files = match workspace_sources(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("vod-check: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = lint(&files, &allow);
+    if json {
+        print_lint_json(&outcome);
+    } else {
+        print_lint_human(&outcome, &allow_path);
+    }
+    if outcome.findings.is_empty() && outcome.unused_allow.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn print_lint_human(outcome: &LintOutcome, allow_path: &Path) {
+    for f in &outcome.findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule.code(), f.message);
+    }
+    for e in &outcome.unused_allow {
+        println!(
+            "{}: stale allowlist entry `{} {} {}` granted nothing",
+            allow_path.display(),
+            e.rule,
+            e.path,
+            e.needle
+        );
+    }
+    println!(
+        "vod-check lint: {} findings, {} stale allowlist entries across {} files",
+        outcome.findings.len(),
+        outcome.unused_allow.len(),
+        outcome.files
+    );
+}
+
+fn print_lint_json(outcome: &LintOutcome) {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":{},\"line\":{},\"message\":{}}}",
+            f.rule.code(),
+            json_string(&f.path),
+            f.line,
+            json_string(&f.message)
+        ));
+    }
+    out.push_str("],\"unused_allow\":[");
+    for (i, e) in outcome.unused_allow.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"needle\":{}}}",
+            json_string(&e.rule),
+            json_string(&e.path),
+            json_string(&e.needle)
+        ));
+    }
+    out.push_str(&format!("],\"files\":{}}}", outcome.files));
+    println!("{out}");
+}
+
+fn run_audit(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut grnet = false;
+    let mut traces: Vec<PathBuf> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--grnet" => grnet = true,
+            other if other.starts_with("--") => {
+                return usage(&format!("unknown audit option `{other}`"))
+            }
+            path => traces.push(PathBuf::from(path)),
+        }
+    }
+    if !grnet && traces.is_empty() {
+        return usage("audit needs --grnet or at least one trace file");
+    }
+    let mut clean = true;
+    if grnet {
+        let text = grnet_case_study_trace();
+        clean &= report_audit("grnet-case-study", &audit_trace(&text), json);
+    }
+    for path in traces {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("vod-check: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let label = path.display().to_string();
+        clean &= report_audit(&label, &audit_trace(&text), json);
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Runs the paper's GRNET case study (seed 42, VRA selector) with a
+/// JSONL sink and returns the trace text.
+fn grnet_case_study_trace() -> String {
+    let scenario = Scenario::grnet_case_study(42);
+    let sink = JsonlWriter::new(Vec::new());
+    let service = VodService::with_sink(
+        &scenario,
+        Box::new(Vra::default()),
+        ServiceConfig::default(),
+        sink,
+    );
+    let (_, _, sink) = service.run_full();
+    String::from_utf8(sink.into_inner()).unwrap_or_default()
+}
+
+/// Prints one audit result; returns true when the trace was clean.
+fn report_audit(label: &str, summary: &AuditSummary, json: bool) -> bool {
+    if json {
+        let mut out = format!(
+            "{{\"trace\":{},\"events\":{},\"selections_verified\":{},\"admits_verified\":{},\"evictions_verified\":{},\"violations\":[",
+            json_string(label),
+            summary.events,
+            summary.selections_verified,
+            summary.admits_verified,
+            summary.evictions_verified
+        );
+        for (i, v) in summary.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"line\":{},\"message\":{}}}",
+                v.rule,
+                v.line,
+                json_string(&v.message)
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+    } else {
+        for v in &summary.violations {
+            println!("{label}:{}: [{}] {}", v.line, v.rule, v.message);
+        }
+        println!(
+            "vod-check audit {label}: {} events, {} selections / {} admits / {} evictions verified, {} violations",
+            summary.events,
+            summary.selections_verified,
+            summary.admits_verified,
+            summary.evictions_verified,
+            summary.violations.len()
+        );
+    }
+    summary.is_clean()
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("vod-check: {msg}");
+    ExitCode::from(2)
+}

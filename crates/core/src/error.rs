@@ -27,6 +27,10 @@ pub enum CoreError {
     Net(NetError),
     /// An underlying database error.
     Db(vod_db::DbError),
+    /// The service was constructed with an unusable configuration
+    /// (no video servers, zero disks, seeded titles that do not fit, a
+    /// malformed failure schedule, …).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +45,7 @@ impl fmt::Display for CoreError {
             CoreError::NotAServer(n) => write!(f, "node {n} hosts no video server"),
             CoreError::Net(e) => write!(f, "network model error: {e}"),
             CoreError::Db(e) => write!(f, "database error: {e}"),
+            CoreError::InvalidConfig(why) => write!(f, "invalid service configuration: {why}"),
         }
     }
 }

@@ -88,6 +88,17 @@ pub trait ServerSelector {
     fn engine_stats(&self) -> Option<vod_net::EngineStats> {
         None
     }
+
+    /// The LVN parameters behind this policy's route costs, for policies
+    /// that pick the candidate with the cheapest LVN-weighted Dijkstra
+    /// path (the plain VRA). The service writes the normalization
+    /// constant into the trace preamble so `vod-check audit` can re-derive
+    /// every selection from the traced link state. Policies whose picks
+    /// are not the LVN argmin (baselines, randomized variants) keep the
+    /// default `None`, which exempts their traces from that audit rule.
+    fn lvn_params(&self) -> Option<vod_net::lvn::LvnParams> {
+        None
+    }
 }
 
 /// Shared guard for empty candidate sets.
@@ -229,7 +240,7 @@ impl ServerSelector for LeastUtilizedPath {
 /// The VRA with randomized near-tie breaking — an anti-herding variant in
 /// the spirit of the authors' earlier "Randomized adaptive video on
 /// demand" (Bouras, Kapoulas, Pantziou, Spirakis; PODC '96, the paper's
-/// reference [10]).
+/// reference \[10\]).
 ///
 /// Plain VRA decisions are deterministic functions of the (stale) SNMP
 /// snapshot, so every request issued between two polls picks the *same*

@@ -29,7 +29,7 @@
 
 use std::collections::BTreeMap;
 
-use vod_db::{AdminCredential, Database};
+use vod_db::{AdminCredential, Database, LimitedAccess};
 use vod_net::{Mbps, NodeId, Route, Topology};
 use vod_obs::{Event as ObsEvent, EventSink, MetricsRegistry, NullSink, RunReport, RunSummary};
 use vod_sim::engine::{Model, Simulation};
@@ -41,13 +41,24 @@ use vod_sim::{SimDuration, SimTime};
 use vod_snmp::SnmpSystem;
 use vod_storage::cluster::ClusterSize;
 use vod_storage::dma::{DmaCache, DmaConfig, DmaDecision, DmaStats, EvictionMode};
-use vod_storage::video::{Megabytes, VideoMeta};
+use vod_storage::video::{Megabytes, VideoId, VideoMeta};
 use vod_workload::scenario::Scenario;
 use vod_workload::trace::RequestTrace;
 
+use crate::error::CoreError;
 use crate::qos::{QosRecord, ServiceReport};
 use crate::selection::{SelectionContext, ServerSelector};
 use crate::session::{Session, SessionId};
+
+/// The service's administrative view of the shared database. The
+/// credential is registered at construction and never revoked, so the
+/// access check cannot fail for a live model; this is the one documented
+/// `expect` behind every catalog mutation (allowlisted for `vod-check
+/// lint`).
+fn catalog<'a>(db: &'a mut Database, admin: &AdminCredential) -> LimitedAccess<'a> {
+    db.limited_access(admin)
+        .expect("service admin is registered")
+}
 
 /// Tunables of a service run.
 #[derive(Debug, Clone)]
@@ -242,19 +253,29 @@ impl<S: EventSink> ServiceModel<S> {
     /// actually recorded new readings. The cached *instance* is what
     /// makes the routing engine's epoch cache effective: every request
     /// between two polls sees the same snapshot token and version.
-    fn refresh_db_snapshot(&mut self) {
+    fn refresh_db_snapshot(&mut self, now: SimTime) {
         let version = self.db.traffic_version();
         if matches!(&self.db_snap_cache, Some((v, _)) if *v == version) {
             return;
         }
-        let la = self
-            .db
-            .limited_access(&self.admin)
-            .expect("service admin is registered");
+        let la = catalog(&mut self.db, &self.admin);
         let snap = match self.config.snmp_smoothing {
             Some(alpha) => la.smoothed_snapshot(&self.topology, alpha),
             None => la.snapshot(&self.topology),
         };
+        // Every rebuild is traced: the auditor reconstructs exactly the
+        // view the selector works from until the next rebuild.
+        if self.sink.enabled() {
+            let links = self.topology.link_count();
+            let mut used = Vec::with_capacity(links);
+            let mut utilization = Vec::with_capacity(links);
+            for link in self.topology.link_ids() {
+                used.push(snap.used(link).as_f64());
+                utilization.push(snap.utilization(&self.topology, link).get());
+            }
+            self.sink
+                .record(now, &ObsEvent::LinkState { used, utilization });
+        }
         self.db_snap_cache = Some((version, snap));
     }
 
@@ -264,21 +285,22 @@ impl<S: EventSink> ServiceModel<S> {
     /// baselines) — it tags the `vra_select` trace events.
     fn select_source(
         &mut self,
+        now: SimTime,
         home: NodeId,
-        video: vod_storage::video::VideoId,
+        video: VideoId,
     ) -> Option<(crate::selection::Selection, bool)> {
         let candidates = self.db.full_access().servers_with_title(video);
         if candidates.is_empty() {
             return None;
         }
-        self.refresh_db_snapshot();
+        self.refresh_db_snapshot(now);
         let ServiceModel {
             topology,
             selector,
             db_snap_cache,
             ..
         } = self;
-        let snapshot = &db_snap_cache.as_ref().expect("refreshed above").1;
+        let (_, snapshot) = db_snap_cache.as_ref()?;
         let ctx = SelectionContext {
             topology,
             snapshot,
@@ -311,7 +333,7 @@ impl<S: EventSink> ServiceModel<S> {
         };
 
         let route = if self.config.dynamic_rerouting || !self.session_routes.contains_key(&sid) {
-            match self.select_source(home, video) {
+            match self.select_source(now, home, video) {
                 Some((sel, cache_hit)) => {
                     if self.sink.enabled() {
                         self.sink.record(
@@ -319,6 +341,7 @@ impl<S: EventSink> ServiceModel<S> {
                             &ObsEvent::VraSelect {
                                 session: sid.0,
                                 cluster: idx as u64,
+                                video,
                                 home,
                                 server: sel.server,
                                 cost: sel.route.cost(),
@@ -331,13 +354,7 @@ impl<S: EventSink> ServiceModel<S> {
                 }
                 None => {
                     // Mid-stream loss of every replica: abort the session.
-                    self.sessions.remove(&sid);
-                    self.session_routes.remove(&sid);
-                    self.aborted_sessions += 1;
-                    if self.sink.enabled() {
-                        self.sink
-                            .record(now, &ObsEvent::SessionAborted { session: sid.0 });
-                    }
+                    self.abort_session(now, sid);
                     return;
                 }
             }
@@ -347,48 +364,86 @@ impl<S: EventSink> ServiceModel<S> {
 
         self.registry.record_fetch_cost(route.cost());
         let volume = {
-            let sess = self.sessions.get_mut(&sid).expect("session exists");
+            let Some(sess) = self.sessions.get_mut(&sid) else {
+                return;
+            };
             let from = sess.current_server();
             let switched = sess.assign_server(route.target(), route.hops() == 0);
             if switched {
                 self.registry.record_switch();
                 if self.sink.enabled() {
-                    self.sink.record(
-                        now,
-                        &ObsEvent::Switch {
-                            session: sid.0,
-                            cluster: idx as u64,
-                            from: from.expect("a switch implies a previous server"),
-                            to: route.target(),
-                        },
-                    );
+                    // `from` is always present here: a first assignment is
+                    // not reported as a switch.
+                    if let Some(from) = from {
+                        self.sink.record(
+                            now,
+                            &ObsEvent::Switch {
+                                session: sid.0,
+                                cluster: idx as u64,
+                                from,
+                                to: route.target(),
+                            },
+                        );
+                    }
                 }
             }
             sess.cluster_volume_mbit(idx)
         };
-        let flow = self.launch_flow(home, video, &route, volume);
-        self.flow_sessions.insert(flow, sid);
-        self.session_routes.insert(sid, route);
+        match self.launch_flow(home, video, &route, volume) {
+            Some(flow) => {
+                self.flow_sessions.insert(flow, sid);
+                self.session_routes.insert(sid, route);
+            }
+            None => self.abort_session(now, sid),
+        }
+    }
+
+    /// Drops a session mid-stream, counting and tracing the abort.
+    fn abort_session(&mut self, now: SimTime, sid: SessionId) {
+        self.drop_session(sid);
+        self.aborted_sessions += 1;
+        if self.sink.enabled() {
+            self.sink
+                .record(now, &ObsEvent::SessionAborted { session: sid.0 });
+        }
+    }
+
+    /// Withdraws titles from the shared catalog (evictions, failures),
+    /// tracing each entry that was actually removed.
+    fn withdraw_titles(&mut self, now: SimTime, server: NodeId, victims: &[VideoId]) {
+        for &victim in victims {
+            let removed = catalog(&mut self.db, &self.admin).remove_title(server, victim);
+            if matches!(removed, Ok(true)) && self.sink.enabled() {
+                self.sink.record(
+                    now,
+                    &ObsEvent::CatalogRemove {
+                        server,
+                        video: victim,
+                    },
+                );
+            }
+        }
     }
 
     /// Starts the transfer of one cluster: a network flow along `route`,
-    /// or a disk-limited local flow when the home serves itself.
+    /// or a disk-limited local flow when the home serves itself. `None`
+    /// (an empty cluster or a route foreign to the flow network — neither
+    /// arises for sessions built from library titles) aborts the session
+    /// at the caller.
     fn launch_flow(
         &mut self,
         home: NodeId,
-        video: vod_storage::video::VideoId,
+        video: VideoId,
         route: &Route,
         volume_mbit: f64,
-    ) -> FlowId {
+    ) -> Option<FlowId> {
         if route.hops() == 0 {
             let rate = self.local_serve_rate(home, video);
-            self.flows
-                .add_local_flow(volume_mbit, rate)
-                .expect("clusters are non-empty")
+            self.flows.add_local_flow(volume_mbit, rate).ok()
         } else {
             self.flows
                 .add_flow(route.links().to_vec(), volume_mbit)
-                .expect("route links belong to the topology and clusters are non-empty")
+                .ok()
         }
     }
 
@@ -435,35 +490,37 @@ impl<S: EventSink> ServiceModel<S> {
         };
 
         if first {
-            let sess = self.sessions.get_mut(&sid).expect("session exists");
-            sess.start_playing();
-            let startup = sess.startup_delay().unwrap_or(SimDuration::ZERO);
-            let dt = sess.cluster_play_time(0);
-            sched.schedule(now + dt, Event::PlayoutTick(sid));
-            self.registry.record_startup(startup);
-            if self.sink.enabled() {
-                self.sink.record(
-                    now,
-                    &ObsEvent::SessionStart {
-                        session: sid.0,
-                        startup,
-                    },
-                );
+            if let Some(sess) = self.sessions.get_mut(&sid) {
+                sess.start_playing();
+                let startup = sess.startup_delay().unwrap_or(SimDuration::ZERO);
+                let dt = sess.cluster_play_time(0);
+                sched.schedule(now + dt, Event::PlayoutTick(sid));
+                self.registry.record_startup(startup);
+                if self.sink.enabled() {
+                    self.sink.record(
+                        now,
+                        &ObsEvent::SessionStart {
+                            session: sid.0,
+                            startup,
+                        },
+                    );
+                }
             }
         } else if stalled {
-            let sess = self.sessions.get_mut(&sid).expect("session exists");
-            let stalled_for = sess.resume(now);
-            let dt = sess.cluster_play_time(played);
-            sched.schedule(now + dt, Event::PlayoutTick(sid));
-            self.registry.record_stall(stalled_for);
-            if self.sink.enabled() {
-                self.sink.record(
-                    now,
-                    &ObsEvent::SessionResume {
-                        session: sid.0,
-                        stalled: stalled_for,
-                    },
-                );
+            if let Some(sess) = self.sessions.get_mut(&sid) {
+                let stalled_for = sess.resume(now);
+                let dt = sess.cluster_play_time(played);
+                sched.schedule(now + dt, Event::PlayoutTick(sid));
+                self.registry.record_stall(stalled_for);
+                if self.sink.enabled() {
+                    self.sink.record(
+                        now,
+                        &ObsEvent::SessionResume {
+                            session: sid.0,
+                            stalled: stalled_for,
+                        },
+                    );
+                }
             }
         }
 
@@ -471,21 +528,25 @@ impl<S: EventSink> ServiceModel<S> {
             // The home server finished assembling the title; if the DMA
             // admitted it at request time, it is now advertised.
             if self.cache_on_complete.remove(&sid).unwrap_or(false) {
-                let (home, video) = {
-                    let sess = self.sessions.get(&sid).expect("session exists");
-                    (sess.home(), sess.video())
-                };
-                if self
-                    .caches
-                    .get(&home)
-                    .map(|c| c.contains(video))
-                    .unwrap_or(false)
-                {
-                    let _ = self
-                        .db
-                        .limited_access(&self.admin)
-                        .expect("service admin is registered")
-                        .add_title(home, video);
+                let home_video = self.sessions.get(&sid).map(|s| (s.home(), s.video()));
+                if let Some((home, video)) = home_video {
+                    if self
+                        .caches
+                        .get(&home)
+                        .map(|c| c.contains(video))
+                        .unwrap_or(false)
+                    {
+                        let added = catalog(&mut self.db, &self.admin).add_title(home, video);
+                        if matches!(added, Ok(true)) && self.sink.enabled() {
+                            self.sink.record(
+                                now,
+                                &ObsEvent::CatalogAdd {
+                                    server: home,
+                                    video,
+                                },
+                            );
+                        }
+                    }
                 }
             }
         } else {
@@ -528,7 +589,7 @@ impl<S: EventSink> ServiceModel<S> {
             .map(|cache| cache.on_request(&meta));
         if let Some(decision) = decision {
             if self.sink.enabled() {
-                self.emit_dma_decision(now, request.client, meta.id(), &decision);
+                self.emit_dma_decision(now, request.client, &meta, &decision);
             }
             match decision {
                 DmaDecision::Hit => {}
@@ -537,24 +598,12 @@ impl<S: EventSink> ServiceModel<S> {
                 }
                 DmaDecision::AdmittedAfterEviction { evicted, .. } => {
                     cache_later = true;
-                    let mut admin = self
-                        .db
-                        .limited_access(&self.admin)
-                        .expect("service admin is registered");
-                    for victim in evicted {
-                        let _ = admin.remove_title(request.client, victim);
-                    }
+                    self.withdraw_titles(now, request.client, &evicted);
                 }
                 DmaDecision::NotAdmitted {
                     reason: vod_storage::dma::RejectReason::DoesNotFit { evicted },
                 } => {
-                    let mut admin = self
-                        .db
-                        .limited_access(&self.admin)
-                        .expect("service admin is registered");
-                    for victim in evicted {
-                        let _ = admin.remove_title(request.client, victim);
-                    }
+                    self.withdraw_titles(now, request.client, &evicted);
                 }
                 DmaDecision::NotAdmitted { .. } => {}
                 // DmaDecision is #[non_exhaustive]; future variants are
@@ -563,36 +612,38 @@ impl<S: EventSink> ServiceModel<S> {
             }
         }
 
-        let Some((selection, cache_hit)) = self.select_source(request.client, meta.id()) else {
+        let Some((selection, cache_hit)) = self.select_source(now, request.client, meta.id())
+        else {
             self.fail_request(now, idx, request.client);
             return;
         };
 
         // "Minimum QoS" admission: reject rather than degrade everyone.
         if let Some(policy) = self.config.admission {
-            self.refresh_db_snapshot();
-            let snapshot = &self.db_snap_cache.as_ref().expect("refreshed above").1;
-            if !policy
-                .check(
-                    &self.topology,
-                    snapshot,
-                    &selection.route,
-                    meta.bitrate_mbps(),
-                )
-                .is_admit()
-            {
-                self.rejected_requests += 1;
-                if self.sink.enabled() {
-                    self.sink.record(
-                        now,
-                        &ObsEvent::RequestRejected {
-                            request: idx as u64,
-                            client: request.client,
-                            video: request.video,
-                        },
-                    );
+            self.refresh_db_snapshot(now);
+            if let Some((_, snapshot)) = &self.db_snap_cache {
+                if !policy
+                    .check(
+                        &self.topology,
+                        snapshot,
+                        &selection.route,
+                        meta.bitrate_mbps(),
+                    )
+                    .is_admit()
+                {
+                    self.rejected_requests += 1;
+                    if self.sink.enabled() {
+                        self.sink.record(
+                            now,
+                            &ObsEvent::RequestRejected {
+                                request: idx as u64,
+                                client: request.client,
+                                video: request.video,
+                            },
+                        );
+                    }
+                    return;
                 }
-                return;
             }
         }
 
@@ -604,6 +655,7 @@ impl<S: EventSink> ServiceModel<S> {
                 &ObsEvent::VraSelect {
                     session: sid.0,
                     cluster: 0,
+                    video: meta.id(),
                     home: request.client,
                     server: selection.server,
                     cost: selection.route.cost(),
@@ -613,20 +665,21 @@ impl<S: EventSink> ServiceModel<S> {
             );
         }
         self.registry.record_fetch_cost(selection.route.cost());
-        let session = Session::new(sid, &meta, request.client, self.config.cluster, now);
+        // Fetch cluster 0 along the arrival-time route (also under dynamic
+        // re-routing: the arrival-time selection is the freshest there is).
+        let route = selection.route;
+        let mut session = Session::new(sid, &meta, request.client, self.config.cluster, now);
+        session.assign_server(route.target(), route.hops() == 0);
+        let volume = session.cluster_volume_mbit(0);
         self.sessions.insert(sid, session);
         self.cache_on_complete.insert(sid, cache_later);
-        self.session_routes.insert(sid, selection.route);
-        // Fetch cluster 0 along the stored route (also under dynamic
-        // re-routing: the arrival-time selection is the freshest there is).
-        let (route, volume) = {
-            let sess = self.sessions.get_mut(&sid).expect("just inserted");
-            let route = self.session_routes[&sid].clone();
-            sess.assign_server(route.target(), route.hops() == 0);
-            (route.clone(), sess.cluster_volume_mbit(0))
-        };
-        let flow = self.launch_flow(request.client, meta.id(), &route, volume);
-        self.flow_sessions.insert(flow, sid);
+        self.session_routes.insert(sid, route.clone());
+        match self.launch_flow(request.client, meta.id(), &route, volume) {
+            Some(flow) => {
+                self.flow_sessions.insert(flow, sid);
+            }
+            None => self.abort_session(now, sid),
+        }
     }
 
     /// Counts and traces an unservable request.
@@ -650,38 +703,58 @@ impl<S: EventSink> ServiceModel<S> {
         &mut self,
         now: SimTime,
         server: NodeId,
-        video: vod_storage::video::VideoId,
+        meta: &VideoMeta,
         decision: &DmaDecision,
     ) {
         use vod_obs::DmaRejectKind;
         use vod_storage::dma::RejectReason;
+        use vod_storage::striping::StripeLayout;
+        let video = meta.id();
+        // Post-decision occupancy and the admitted stripe, auditable
+        // against the cache's capacity and Figure 3's `i mod n` rule.
+        let occupancy_mb = |model: &Self| {
+            model
+                .caches
+                .get(&server)
+                .map(|c| c.array().total_capacity().as_f64() - c.array().total_free().as_f64())
+                .unwrap_or(0.0)
+        };
+        let stripe_of = |layout: &StripeLayout| -> Vec<u32> {
+            (0..layout.parts())
+                .map(|i| layout.disk_of_part(i) as u32)
+                .collect()
+        };
         match decision {
             DmaDecision::Hit => {
                 self.sink.record(now, &ObsEvent::DmaHit { server, video });
             }
-            DmaDecision::Admitted { .. } => {
-                self.sink.record(
-                    now,
-                    &ObsEvent::DmaAdmit {
-                        server,
-                        video,
-                        after_eviction: false,
-                    },
-                );
+            DmaDecision::Admitted { layout } => {
+                let event = ObsEvent::DmaAdmit {
+                    server,
+                    video,
+                    after_eviction: false,
+                    size_mb: meta.size().as_f64(),
+                    parts: layout.parts() as u64,
+                    stripe: stripe_of(layout),
+                    occupancy_mb: occupancy_mb(self),
+                };
+                self.sink.record(now, &event);
             }
-            DmaDecision::AdmittedAfterEviction { evicted, .. } => {
+            DmaDecision::AdmittedAfterEviction { evicted, layout } => {
                 for &victim in evicted {
                     self.sink
                         .record(now, &ObsEvent::DmaEvict { server, victim });
                 }
-                self.sink.record(
-                    now,
-                    &ObsEvent::DmaAdmit {
-                        server,
-                        video,
-                        after_eviction: true,
-                    },
-                );
+                let event = ObsEvent::DmaAdmit {
+                    server,
+                    video,
+                    after_eviction: true,
+                    size_mb: meta.size().as_f64(),
+                    parts: layout.parts() as u64,
+                    stripe: stripe_of(layout),
+                    occupancy_mb: occupancy_mb(self),
+                };
+                self.sink.record(now, &event);
             }
             DmaDecision::NotAdmitted { reason } => {
                 let kind = match reason {
@@ -764,26 +837,12 @@ impl<S: EventSink> ServiceModel<S> {
             self.retired_dma.admissions += s.admissions;
             self.retired_dma.evictions += s.evictions;
             self.retired_dma.rejections += s.rejections;
-            let mut admin = self
-                .db
-                .limited_access(&self.admin)
-                .expect("service admin is registered");
-            for video in cache.resident_ids() {
-                let _ = admin.remove_title(node, video);
-            }
+            self.withdraw_titles(now, node, &cache.resident_ids());
         }
         // Also withdraw titles listed in the DB but not in the cache
         // (initial seeding differences).
         let listed = self.db.full_access().titles_at(node).unwrap_or_default();
-        if !listed.is_empty() {
-            let mut admin = self
-                .db
-                .limited_access(&self.admin)
-                .expect("service admin is registered");
-            for video in listed {
-                let _ = admin.remove_title(node, video);
-            }
-        }
+        self.withdraw_titles(now, node, &listed);
 
         // Sessions homed at the dead server lose their client connection.
         let homed: Vec<SessionId> = self
@@ -793,12 +852,7 @@ impl<S: EventSink> ServiceModel<S> {
             .map(|(&sid, _)| sid)
             .collect();
         for sid in homed {
-            self.drop_session(sid);
-            self.aborted_sessions += 1;
-            if self.sink.enabled() {
-                self.sink
-                    .record(now, &ObsEvent::SessionAborted { session: sid.0 });
-            }
+            self.abort_session(now, sid);
         }
 
         // Transfers sourced from the dead server re-route mid-cluster.
@@ -832,15 +886,17 @@ impl<S: EventSink> ServiceModel<S> {
         if self.sink.enabled() {
             self.sink.record(now, &ObsEvent::ServerUp { server: node });
         }
-        let cache = DmaCache::new(DmaConfig {
+        // The configuration was validated at construction (disk_count is
+        // positive), so recreation cannot fail.
+        if let Ok(cache) = DmaCache::new(DmaConfig {
             disk_count: self.config.disk_count,
             disk_capacity: self.config.disk_capacity,
             cluster_size: self.config.cluster,
             admit_threshold: self.config.dma_admit_threshold,
             eviction: self.config.dma_eviction,
-        })
-        .expect("disk_count > 0");
-        self.caches.insert(node, cache);
+        }) {
+            self.caches.insert(node, cache);
+        }
     }
 
     /// Removes a session and everything attached to it.
@@ -864,10 +920,12 @@ impl<S: EventSink> ServiceModel<S> {
         // Age of the traffic view this poll replaces — the staleness
         // every routing decision since the previous poll worked with.
         let staleness = now.duration_since(self.snmp.last_poll_at());
+        // The SNMP system is constructed from the same topology, so every
+        // link is registered and a poll cannot fail.
         let readings = self
             .snmp
             .poll(&self.topology, &mut self.db, now)
-            .expect("topology links are registered");
+            .unwrap_or_default();
         if self.sink.enabled() {
             self.sink.record(
                 now,
@@ -1015,6 +1073,7 @@ impl VodService {
     ///
     /// Panics if the scenario's topology has no video servers, or if the
     /// configured per-server disk space cannot hold the seeded titles.
+    /// Use [`VodService::try_new`] for fallible construction.
     pub fn new(
         scenario: &Scenario,
         selector: Box<dyn ServerSelector>,
@@ -1022,9 +1081,43 @@ impl VodService {
     ) -> Self {
         VodService::with_sink(scenario, selector, config, NullSink)
     }
+
+    /// Fallible variant of [`VodService::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unusable scenario or
+    /// configuration, [`CoreError::Db`] for database seeding failures.
+    pub fn try_new(
+        scenario: &Scenario,
+        selector: Box<dyn ServerSelector>,
+        config: ServiceConfig,
+    ) -> Result<Self, CoreError> {
+        VodService::try_with_sink(scenario, selector, config, NullSink)
+    }
 }
 
 impl<S: EventSink> VodService<S> {
+    /// Builds a service over a scenario with the given selector policy,
+    /// recording trace events into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's topology has no video servers, or if the
+    /// configured per-server disk space cannot hold the seeded titles.
+    /// Use [`VodService::try_with_sink`] for fallible construction.
+    pub fn with_sink(
+        scenario: &Scenario,
+        selector: Box<dyn ServerSelector>,
+        config: ServiceConfig,
+        sink: S,
+    ) -> Self {
+        match VodService::try_with_sink(scenario, selector, config, sink) {
+            Ok(service) => service,
+            Err(e) => panic!("invalid service setup: {e}"),
+        }
+    }
+
     /// Builds a service over a scenario with the given selector policy,
     /// recording trace events into `sink`.
     ///
@@ -1034,55 +1127,28 @@ impl<S: EventSink> VodService<S> {
     /// titles — and both the DMA caches and the database start from that
     /// placement.
     ///
-    /// # Panics
+    /// With an enabled sink the trace opens with replay metadata (the
+    /// topology, the run knobs, each server's cache sizing and the seeded
+    /// placement), making it self-contained for `vod-check audit`.
     ///
-    /// Panics if the scenario's topology has no video servers, or if the
-    /// configured per-server disk space cannot hold the seeded titles.
-    pub fn with_sink(
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] when the topology has no
+    /// video servers, a DMA cache cannot be built, the seeded titles do
+    /// not fit the configured disks, or the failure schedule is
+    /// malformed; [`CoreError::Db`] when database seeding fails.
+    pub fn try_with_sink(
         scenario: &Scenario,
         selector: Box<dyn ServerSelector>,
         config: ServiceConfig,
-        sink: S,
-    ) -> Self {
+        mut sink: S,
+    ) -> Result<Self, CoreError> {
         let topology = scenario.topology().clone();
         let servers = topology.video_server_nodes();
-        assert!(!servers.is_empty(), "topology has no video servers");
-
-        let mut db = Database::from_topology(&topology, scenario.library().clone());
-        let admin = AdminCredential::new("root");
-
-        // Per-server DMA caches.
-        let mut caches: BTreeMap<NodeId, DmaCache> = servers
-            .iter()
-            .map(|&n| {
-                let cache = DmaCache::new(DmaConfig {
-                    disk_count: config.disk_count,
-                    disk_capacity: config.disk_capacity,
-                    cluster_size: config.cluster,
-                    admit_threshold: config.dma_admit_threshold,
-                    eviction: config.dma_eviction,
-                })
-                .expect("disk_count > 0");
-                (n, cache)
-            })
-            .collect();
-
-        // Service initialization: seed titles round-robin.
-        {
-            let mut la = db.limited_access(&admin).expect("root is registered");
-            let videos: Vec<VideoMeta> = scenario.library().iter().cloned().collect();
-            let replicas = config.initial_replicas.clamp(1, servers.len());
-            for (i, video) in videos.iter().enumerate() {
-                for k in 0..replicas {
-                    let server = servers[(i + k) % servers.len()];
-                    caches
-                        .get_mut(&server)
-                        .expect("cache exists for every server")
-                        .preload(video)
-                        .expect("seeded titles must fit the configured disks");
-                    la.add_title(server, video.id()).expect("library title");
-                }
-            }
+        if servers.is_empty() {
+            return Err(CoreError::InvalidConfig(
+                "topology has no video servers".into(),
+            ));
         }
 
         let start = scenario
@@ -1098,6 +1164,90 @@ impl<S: EventSink> VodService<S> {
             .map(|r| r.at)
             .unwrap_or(SimTime::ZERO);
 
+        // Trace preamble: everything an auditor needs to replay the run's
+        // decisions without the scenario object.
+        if sink.enabled() {
+            let nodes: Vec<(String, bool)> = topology
+                .nodes()
+                .map(|n| (n.name().to_string(), n.is_video_server()))
+                .collect();
+            let links: Vec<(NodeId, NodeId, f64)> = topology
+                .links()
+                .map(|l| (l.a(), l.b(), l.capacity().as_f64()))
+                .collect();
+            sink.record(start, &ObsEvent::TopologySnapshot { nodes, links });
+            sink.record(
+                start,
+                &ObsEvent::RunConfig {
+                    selector: selector.name().to_string(),
+                    dynamic_rerouting: config.dynamic_rerouting,
+                    snmp_smoothing: config.snmp_smoothing,
+                    lvn_normalization: selector.lvn_params().map(|p| p.normalization_constant),
+                },
+            );
+            for &server in &servers {
+                sink.record(
+                    start,
+                    &ObsEvent::CacheConfig {
+                        server,
+                        disks: config.disk_count as u64,
+                        capacity_mb: config.disk_capacity.as_f64(),
+                        cluster_mb: config.cluster.megabytes().as_f64(),
+                        admit_threshold: config.dma_admit_threshold,
+                    },
+                );
+            }
+        }
+
+        let mut db = Database::from_topology(&topology, scenario.library().clone());
+        let admin = AdminCredential::new("root");
+
+        // Per-server DMA caches.
+        let mut caches: BTreeMap<NodeId, DmaCache> = BTreeMap::new();
+        for &n in &servers {
+            let cache = DmaCache::new(DmaConfig {
+                disk_count: config.disk_count,
+                disk_capacity: config.disk_capacity,
+                cluster_size: config.cluster,
+                admit_threshold: config.dma_admit_threshold,
+                eviction: config.dma_eviction,
+            })
+            .map_err(|e| CoreError::InvalidConfig(format!("unusable DMA configuration: {e}")))?;
+            caches.insert(n, cache);
+        }
+
+        // Service initialization: seed titles round-robin.
+        {
+            let mut la = catalog(&mut db, &admin);
+            let videos: Vec<VideoMeta> = scenario.library().iter().cloned().collect();
+            let replicas = config.initial_replicas.clamp(1, servers.len());
+            for (i, video) in videos.iter().enumerate() {
+                for k in 0..replicas {
+                    let server = servers[(i + k) % servers.len()];
+                    let Some(cache) = caches.get_mut(&server) else {
+                        continue;
+                    };
+                    let layout = cache.preload(video).map_err(|e| {
+                        CoreError::InvalidConfig(format!(
+                            "seeded titles must fit the configured disks: {e}"
+                        ))
+                    })?;
+                    la.add_title(server, video.id())?;
+                    if sink.enabled() {
+                        sink.record(
+                            start,
+                            &ObsEvent::DmaSeed {
+                                server,
+                                video: video.id(),
+                                size_mb: video.size().as_f64(),
+                                parts: layout.parts() as u64,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
         let mut flows = FlowNetwork::new(topology.clone());
         flows.set_local_rate(config.local_rate);
         scenario.background().apply(&mut flows, start);
@@ -1108,7 +1258,7 @@ impl<S: EventSink> VodService<S> {
         // Bootstrap reading: the service has been polling before our
         // window opens, so seed the database with the instantaneous state.
         {
-            let mut la = db.limited_access(&admin).expect("root is registered");
+            let mut la = catalog(&mut db, &admin);
             for link in topology.link_ids() {
                 let load = flows.link_total_load(link);
                 let capacity = topology.link(link).capacity();
@@ -1117,8 +1267,7 @@ impl<S: EventSink> VodService<S> {
                 } else {
                     vod_net::units::Fraction::new(load / capacity)
                 };
-                la.record_reading(link, start, load, util)
-                    .expect("links are registered");
+                la.record_reading(link, start, load, util)?;
             }
         }
 
@@ -1176,16 +1325,21 @@ impl<S: EventSink> VodService<S> {
         // Scheduled outages.
         let failures = sim.model().config.failures.clone();
         for (down_at, up_at, node) in failures {
-            assert!(down_at < up_at, "a failure must end after it starts");
-            assert!(
-                sim.model().caches.contains_key(&node),
-                "only video servers can fail"
-            );
+            if down_at >= up_at {
+                return Err(CoreError::InvalidConfig(
+                    "a failure must end after it starts".into(),
+                ));
+            }
+            if !sim.model().caches.contains_key(&node) {
+                return Err(CoreError::InvalidConfig(
+                    "only video servers can fail".into(),
+                ));
+            }
             sim.scheduler_mut()
                 .schedule(down_at, Event::ServerDown(node));
             sim.scheduler_mut().schedule(up_at, Event::ServerUp(node));
         }
-        VodService { sim }
+        Ok(VodService { sim })
     }
 
     /// Runs the simulation to completion and returns the report.

@@ -150,11 +150,14 @@ impl Vra {
             .min_by(|a, b| a.1.cost().total_cmp(&b.1.cost()).then(a.0.cmp(&b.0)));
 
         match best {
-            Some((server, route)) => Ok(VraReport {
-                selection: Selection { server, route },
-                candidate_routes,
-                trace: Some(trace),
-            }),
+            Some((server, route)) => {
+                debug_check_optimal(&route, &candidate_routes);
+                Ok(VraReport {
+                    selection: Selection { server, route },
+                    candidate_routes,
+                    trace: Some(trace),
+                })
+            }
             None => Err(CoreError::Unreachable {
                 home: ctx.home,
                 candidates: ctx.candidates.to_vec(),
@@ -195,17 +198,37 @@ impl Vra {
             .filter_map(|(c, r)| r.as_ref().map(|r| (*c, r.clone())))
             .min_by(|a, b| a.1.cost().total_cmp(&b.1.cost()).then(a.0.cmp(&b.0)));
         match best {
-            Some((server, route)) => Ok(VraReport {
-                selection: Selection { server, route },
-                candidate_routes,
-                trace: Some(trace),
-            }),
+            Some((server, route)) => {
+                debug_check_optimal(&route, &candidate_routes);
+                Ok(VraReport {
+                    selection: Selection { server, route },
+                    candidate_routes,
+                    trace: Some(trace),
+                })
+            }
             None => Err(CoreError::Unreachable {
                 home: ctx.home,
                 candidates: ctx.candidates.to_vec(),
             }),
         }
     }
+}
+
+/// Dev-run mirror of the auditor's VRA-optimality rule (`vod-check audit`
+/// A005): the chosen route costs no more than any reachable candidate's.
+#[inline]
+fn debug_check_optimal(route: &Route, candidate_routes: &[(NodeId, Option<Route>)]) {
+    debug_assert!(
+        candidate_routes
+            .iter()
+            .all(|(_, r)| r.as_ref().is_none_or(|r| route.cost() <= r.cost())),
+        "VRA picked a non-optimal candidate: cost {} vs candidates {:?}",
+        route.cost(),
+        candidate_routes
+            .iter()
+            .map(|(c, r)| (*c, r.as_ref().map(Route::cost)))
+            .collect::<Vec<_>>()
+    );
 }
 
 impl ServerSelector for Vra {
@@ -234,6 +257,10 @@ impl ServerSelector for Vra {
 
     fn engine_stats(&self) -> Option<vod_net::EngineStats> {
         Some(self.engine.stats())
+    }
+
+    fn lvn_params(&self) -> Option<LvnParams> {
+        Some(self.params)
     }
 }
 

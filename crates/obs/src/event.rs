@@ -46,9 +46,93 @@ impl DmaRejectKind {
 /// cost, engine cache-hit flag), mid-stream switches, session QoS
 /// incidents (stall / resume / complete), SNMP polls with their measured
 /// staleness, background-traffic refreshes and server outages.
+///
+/// A trace additionally opens with *replay metadata* — the topology
+/// ([`Event::TopologySnapshot`]), the run knobs ([`Event::RunConfig`]),
+/// each server's DMA sizing ([`Event::CacheConfig`]) and the initial
+/// placement ([`Event::DmaSeed`]) — and interleaves the link state every
+/// selection worked from ([`Event::LinkState`]) plus every catalog
+/// mutation ([`Event::CatalogAdd`] / [`Event::CatalogRemove`]). Together
+/// these make a trace *self-auditing*: `vod-check audit` can replay the
+/// stream and re-verify the paper's invariants (cache capacity, eviction
+/// victims, `i mod n` striping, VRA optimality) against an independent
+/// reference implementation, with no access to the original scenario.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Event {
+    /// The network the run is played over: node names with their
+    /// video-server flag, and links as `(a, b, capacity_mbps)` triples in
+    /// [`LinkId`](vod_net::LinkId) order. Emitted once, first.
+    TopologySnapshot {
+        /// `(name, is_video_server)` per node, in [`NodeId`] order.
+        nodes: Vec<(String, bool)>,
+        /// `(endpoint_a, endpoint_b, capacity_mbps)` per link.
+        links: Vec<(NodeId, NodeId, f64)>,
+    },
+    /// The run-level knobs an auditor needs to replay decisions.
+    RunConfig {
+        /// Name of the server-selection policy (e.g. `"vra"`).
+        selector: String,
+        /// Whether the selector re-runs before every cluster.
+        dynamic_rerouting: bool,
+        /// EWMA smoothing factor of the SNMP view, when enabled.
+        snmp_smoothing: Option<f64>,
+        /// The selector's LVN normalization constant, when it routes by
+        /// LVN-weighted Dijkstra (equation (4) of the paper).
+        lvn_normalization: Option<f64>,
+    },
+    /// One server's DMA cache sizing (emitted per server at start; a
+    /// recovering server reuses the same configuration).
+    CacheConfig {
+        /// The video server.
+        server: NodeId,
+        /// Disks in its array.
+        disks: u64,
+        /// VoD space per disk.
+        capacity_mb: f64,
+        /// The common cluster size `c`.
+        cluster_mb: f64,
+        /// Points a newcomer must exceed before admission.
+        admit_threshold: u64,
+    },
+    /// Service initialization placed a title on a server (round-robin
+    /// seeding, outside the request path).
+    DmaSeed {
+        /// The video server.
+        server: NodeId,
+        /// The seeded title.
+        video: VideoId,
+        /// Size of the title.
+        size_mb: f64,
+        /// Parts of its stripe (Figure 3: part `i` on disk `i mod n`).
+        parts: u64,
+    },
+    /// The service advertised a title in the shared database (candidates
+    /// for the VRA from now on).
+    CatalogAdd {
+        /// The providing server.
+        server: NodeId,
+        /// The advertised title.
+        video: VideoId,
+    },
+    /// The service withdrew a title from the shared database (eviction
+    /// or server failure).
+    CatalogRemove {
+        /// The withdrawing server.
+        server: NodeId,
+        /// The withdrawn title.
+        video: VideoId,
+    },
+    /// The traffic view the selector works from changed (database
+    /// snapshot rebuilt after an SNMP poll). Values are per link in
+    /// [`LinkId`](vod_net::LinkId) order: combined in+out Mbps and the
+    /// utilization fraction the LVN computation sees.
+    LinkState {
+        /// Used bandwidth (UBW) per link, Mbps.
+        used: Vec<f64>,
+        /// Utilization fraction per link (equation (5)).
+        utilization: Vec<f64>,
+    },
     /// A request from the workload trace arrived.
     RequestArrival {
         /// Index of the request in the trace.
@@ -91,6 +175,15 @@ pub enum Event {
         video: VideoId,
         /// True when residents had to be evicted first.
         after_eviction: bool,
+        /// Size of the admitted title.
+        size_mb: f64,
+        /// Parts of the stripe layout chosen for it.
+        parts: u64,
+        /// Disk index of each part, in part order — auditable against
+        /// Figure 3's cyclic rule (part `i` on disk `i mod n`).
+        stripe: Vec<u32>,
+        /// Megabytes resident on the server's disks after the write.
+        occupancy_mb: f64,
     },
     /// The DMA deleted a resident title to make room.
     DmaEvict {
@@ -115,6 +208,8 @@ pub enum Event {
         session: u64,
         /// Index of the cluster about to be fetched.
         cluster: u64,
+        /// The requested title (identifies the candidate replica set).
+        video: VideoId,
         /// The client's home server.
         home: NodeId,
         /// The chosen source server.
@@ -202,6 +297,13 @@ impl Event {
     /// JSONL encoding.
     pub fn kind(&self) -> &'static str {
         match self {
+            Event::TopologySnapshot { .. } => "topology",
+            Event::RunConfig { .. } => "run_config",
+            Event::CacheConfig { .. } => "cache_config",
+            Event::DmaSeed { .. } => "dma_seed",
+            Event::CatalogAdd { .. } => "catalog_add",
+            Event::CatalogRemove { .. } => "catalog_remove",
+            Event::LinkState { .. } => "link_state",
             Event::RequestArrival { .. } => "request_arrival",
             Event::RequestFailed { .. } => "request_failed",
             Event::RequestRejected { .. } => "request_rejected",
@@ -236,6 +338,98 @@ impl Event {
             self.kind()
         );
         match self {
+            Event::TopologySnapshot { nodes, links } => {
+                out.push_str(",\"nodes\":[");
+                for (i, (name, server)) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    write_json_string(name, out);
+                    let _ = write!(out, ",{server}]");
+                }
+                out.push_str("],\"links\":[");
+                for (i, (a, b, cap)) in links.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{},{},{cap}]", a.index(), b.index());
+                }
+                out.push(']');
+            }
+            Event::RunConfig {
+                selector,
+                dynamic_rerouting,
+                snmp_smoothing,
+                lvn_normalization,
+            } => {
+                out.push_str(",\"selector\":");
+                write_json_string(selector, out);
+                let _ = write!(out, ",\"dynamic_rerouting\":{dynamic_rerouting}");
+                match snmp_smoothing {
+                    Some(alpha) => {
+                        let _ = write!(out, ",\"snmp_smoothing\":{alpha}");
+                    }
+                    None => out.push_str(",\"snmp_smoothing\":null"),
+                }
+                match lvn_normalization {
+                    Some(c) => {
+                        let _ = write!(out, ",\"lvn_normalization\":{c}");
+                    }
+                    None => out.push_str(",\"lvn_normalization\":null"),
+                }
+            }
+            Event::CacheConfig {
+                server,
+                disks,
+                capacity_mb,
+                cluster_mb,
+                admit_threshold,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"disks\":{disks},\"capacity_mb\":{capacity_mb},\"cluster_mb\":{cluster_mb},\"admit_threshold\":{admit_threshold}",
+                    server.index()
+                );
+            }
+            Event::DmaSeed {
+                server,
+                video,
+                size_mb,
+                parts,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"video\":{},\"size_mb\":{size_mb},\"parts\":{parts}",
+                    server.index(),
+                    video.index()
+                );
+            }
+            Event::CatalogAdd { server, video } | Event::CatalogRemove { server, video } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"video\":{}",
+                    server.index(),
+                    video.index()
+                );
+            }
+            Event::LinkState { used, utilization } => {
+                out.push_str(",\"used\":[");
+                for (i, u) in used.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{u}");
+                }
+                out.push_str("],\"utilization\":[");
+                for (i, u) in utilization.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{u}");
+                }
+                out.push(']');
+            }
             Event::RequestArrival {
                 request,
                 client,
@@ -275,13 +469,24 @@ impl Event {
                 server,
                 video,
                 after_eviction,
+                size_mb,
+                parts,
+                stripe,
+                occupancy_mb,
             } => {
                 let _ = write!(
                     out,
-                    ",\"server\":{},\"video\":{},\"after_eviction\":{after_eviction}",
+                    ",\"server\":{},\"video\":{},\"after_eviction\":{after_eviction},\"size_mb\":{size_mb},\"parts\":{parts},\"stripe\":[",
                     server.index(),
                     video.index()
                 );
+                for (i, disk) in stripe.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{disk}");
+                }
+                let _ = write!(out, "],\"occupancy_mb\":{occupancy_mb}");
             }
             Event::DmaEvict { server, victim } => {
                 let _ = write!(
@@ -307,6 +512,7 @@ impl Event {
             Event::VraSelect {
                 session,
                 cluster,
+                video,
                 home,
                 server,
                 cost,
@@ -315,7 +521,8 @@ impl Event {
             } => {
                 let _ = write!(
                     out,
-                    ",\"session\":{session},\"cluster\":{cluster},\"home\":{},\"server\":{},\"cost\":{cost},\"cache_hit\":{cache_hit},\"local\":{local}",
+                    ",\"session\":{session},\"cluster\":{cluster},\"video\":{},\"home\":{},\"server\":{},\"cost\":{cost},\"cache_hit\":{cache_hit},\"local\":{local}",
+                    video.index(),
                     home.index(),
                     server.index()
                 );
@@ -394,6 +601,26 @@ impl Event {
     }
 }
 
+/// Appends `s` as a JSON string literal, escaping the characters JSON
+/// requires (quote, backslash, control characters).
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +640,7 @@ mod tests {
         let e = Event::VraSelect {
             session: 7,
             cluster: 3,
+            video: VideoId::new(9),
             home: NodeId::new(1),
             server: NodeId::new(4),
             cost: 0.5,
@@ -422,8 +650,65 @@ mod tests {
         assert_eq!(
             e.to_json(SimTime::from_secs(2)),
             "{\"at_us\":2000000,\"kind\":\"vra_select\",\"session\":7,\"cluster\":3,\
-             \"home\":1,\"server\":4,\"cost\":0.5,\"cache_hit\":true,\"local\":false}"
+             \"video\":9,\"home\":1,\"server\":4,\"cost\":0.5,\"cache_hit\":true,\"local\":false}"
         );
+    }
+
+    #[test]
+    fn replay_metadata_events_render() {
+        let topo = Event::TopologySnapshot {
+            nodes: vec![("Athens".into(), true), ("U1".into(), false)],
+            links: vec![(NodeId::new(0), NodeId::new(1), 34.0)],
+        };
+        assert_eq!(
+            topo.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"topology\",\"nodes\":[[\"Athens\",true],[\"U1\",false]],\
+             \"links\":[[0,1,34]]}"
+        );
+
+        let cfg = Event::RunConfig {
+            selector: "vra".into(),
+            dynamic_rerouting: true,
+            snmp_smoothing: None,
+            lvn_normalization: Some(1.0),
+        };
+        assert_eq!(
+            cfg.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"run_config\",\"selector\":\"vra\",\
+             \"dynamic_rerouting\":true,\"snmp_smoothing\":null,\"lvn_normalization\":1}"
+        );
+
+        let admit = Event::DmaAdmit {
+            server: NodeId::new(2),
+            video: VideoId::new(5),
+            after_eviction: false,
+            size_mb: 1800.0,
+            parts: 3,
+            stripe: vec![0, 1, 0],
+            occupancy_mb: 5400.0,
+        };
+        assert_eq!(
+            admit.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"dma_admit\",\"server\":2,\"video\":5,\
+             \"after_eviction\":false,\"size_mb\":1800,\"parts\":3,\"stripe\":[0,1,0],\
+             \"occupancy_mb\":5400}"
+        );
+
+        let link = Event::LinkState {
+            used: vec![1.5, 0.0],
+            utilization: vec![0.25, 0.0],
+        };
+        assert_eq!(
+            link.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"link_state\",\"used\":[1.5,0],\"utilization\":[0.25,0]}"
+        );
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        write_json_string("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
     }
 
     #[test]

@@ -256,13 +256,27 @@ impl DmaCache {
                 .store(video)
                 .expect("can_tolerate checked the fit");
             self.stats.admissions += 1;
+            self.debug_check_occupancy();
             return DmaDecision::Admitted { layout };
         }
 
-        match self.config.eviction {
+        let decision = match self.config.eviction {
             EvictionMode::SingleAttempt => self.evict_single_attempt(video, points),
             EvictionMode::UntilFit => self.evict_until_fit(video, points),
-        }
+        };
+        self.debug_check_occupancy();
+        decision
+    }
+
+    /// Dev-run mirror of the auditor's capacity rule (`vod-check audit`
+    /// A001): resident bytes never exceed the array's allocation.
+    #[inline]
+    fn debug_check_occupancy(&self) {
+        debug_assert!(
+            self.array.total_free().as_f64() >= -1e-9,
+            "DMA occupancy exceeds capacity: free = {} MB",
+            self.array.total_free().as_f64()
+        );
     }
 
     /// Figure 2 verbatim: one comparison against the least popular
@@ -285,6 +299,19 @@ impl DmaCache {
                 reason: RejectReason::NotPopularEnough,
             };
         }
+        // Dev-run mirror of the auditor's eviction rule (A003): the
+        // victim is a least-popular resident, strictly colder than the
+        // newcomer.
+        debug_assert!(
+            self.array
+                .stored_ids()
+                .all(|v| self.tracker.points(victim) <= self.tracker.points(v)),
+            "eviction victim {victim} is not least popular"
+        );
+        debug_assert!(
+            self.tracker.points(victim) < points,
+            "eviction victim {victim} is not colder than the newcomer"
+        );
         self.array
             .remove(victim)
             .expect("victim came from stored_ids");
