@@ -31,6 +31,12 @@ cargo run -q --release -p vod-check -- lint
 echo "==> vod-check audit (GRNET case-study trace replays clean)"
 cargo run -q --release -p vod-check -- audit --grnet
 
+echo "==> E13 chaos smoke (fault plan + retry sweep, trace audits clean)"
+chaos_trace="$(mktemp -t chaos-XXXXXX.jsonl)"
+trap 'rm -f "$chaos_trace"' EXIT
+cargo run -q --release -p vod-bench --bin ext_chaos -- --trace "$chaos_trace" > /dev/null
+cargo run -q --release -p vod-check -- audit "$chaos_trace"
+
 echo "==> rustdoc (no broken intra-doc links)"
 RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc --no-deps --workspace -q
 

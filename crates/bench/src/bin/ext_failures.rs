@@ -37,6 +37,7 @@ fn main() {
         "outage",
         "completed",
         "failed",
+        "aborted",
         "startup mean (s)",
         "stall %",
     ]);
@@ -61,12 +62,14 @@ fn main() {
                 if fail { "yes" } else { "no" }.to_string(),
                 report.completed.len().to_string(),
                 report.failed_requests.to_string(),
+                report.aborted_sessions.to_string(),
                 format!("{:.1}", report.startup_summary().mean),
                 format!("{:.1}%", report.mean_stall_ratio() * 100.0),
             ]);
         }
     }
     t.print();
-    println!("\n(failed counts requests for vanished titles and clients homed at the");
-    println!(" dead server; replication turns a content outage into a detour)");
+    println!("\n(failed counts requests refused at admission — vanished titles and");
+    println!(" clients homed at the dead server; aborted counts sessions dropped");
+    println!(" mid-stream; replication turns a content outage into a detour)");
 }

@@ -1,4 +1,4 @@
-//! The trace invariant auditor: rules `A000`–`A009` over JSONL traces.
+//! The trace invariant auditor: rules `A000`–`A012` over JSONL traces.
 //!
 //! A trace written by `vod-obs`'s `JsonlWriter` is *self-auditing*: it
 //! opens with the topology, the run configuration, each server's DMA
@@ -19,6 +19,9 @@
 //! | A007 | sessions: cluster indices start at 0 and step by at most 1 (repeats only after a re-route) |
 //! | A008 | link conservation: traced used bandwidth and utilization are non-negative and leave no negative residual |
 //! | A009 | catalog/residency consistency: hits are resident, selections come from advertising servers, no double add/remove |
+//! | A010 | fault windows: `link_down`/`link_up` pair up, `link_state.down` matches the replayed outage set, and the A005 reference masks down links (no selection routes over them) |
+//! | A011 | retry budget: `session_retry` attempts are 1-based, step by one within an episode, and never exceed `retry_max_attempts` from the run config |
+//! | A012 | abort accounting: every `session_aborted.reason` is a known cause and consistent with the configured budget and the session's observed retries |
 //!
 //! The replayed DMA popularity counter exploits that every `dma_*`
 //! decision event corresponds to exactly one `on_request` call, which
@@ -38,7 +41,7 @@ use serde::Value;
 /// One invariant violation, pointing at a trace line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
-    /// The violated rule (`"A000"`…`"A009"`).
+    /// The violated rule (`"A000"`…`"A012"`).
     pub rule: &'static str,
     /// 1-based line number in the trace.
     pub line: usize,
@@ -120,11 +123,18 @@ struct Auditor {
     link_capacities: Vec<f64>,
     saw_run_config: bool,
     lvn_normalization: Option<f64>,
+    retry_max_attempts: Option<u64>,
     servers: BTreeMap<u64, ServerState>,
     catalog: BTreeSet<(u64, u64)>,
     snapshot: Option<TrafficSnapshot>,
     /// session → (current server, last selected cluster, video).
     sessions: BTreeMap<u64, (u64, u64, u64)>,
+    /// session → last `session_retry` attempt number seen.
+    retries: BTreeMap<u64, u64>,
+    /// Links currently inside an outage window, replayed from
+    /// `link_down`/`link_up` (the service emits them only at depth
+    /// edges, so a plain set suffices even under nested windows).
+    down_links: BTreeSet<u64>,
     pending_switch: Option<PendingSwitch>,
     last_at_us: Option<u64>,
     summary: AuditSummary,
@@ -248,12 +258,17 @@ impl Auditor {
             "dma_evict" => self.on_dma_evict(line, event),
             "dma_reject" => self.on_dma_reject(line, event),
             "vra_select" => self.on_vra_select(line, event),
-            "session_complete" | "session_aborted" => {
+            "link_down" => self.on_link_down(line, event),
+            "link_up" => self.on_link_up(line, event),
+            "session_retry" => self.on_session_retry(line, event),
+            "session_complete" => {
                 if let Some(s) = event.get_field("session").and_then(Value::as_u64) {
                     self.sessions.remove(&s);
+                    self.retries.remove(&s);
                 }
                 Some(())
             }
+            "session_aborted" => self.on_session_aborted(line, event),
             "server_down" => {
                 if let Some(s) = event.get_field("server").and_then(Value::as_u64) {
                     // The cache is retired with the server; a recovering
@@ -324,6 +339,9 @@ impl Auditor {
     fn on_run_config(&mut self, event: &Value) -> Option<()> {
         self.saw_run_config = true;
         self.lvn_normalization = event.get_field("lvn_normalization").and_then(Value::as_f64);
+        self.retry_max_attempts = event
+            .get_field("retry_max_attempts")
+            .and_then(Value::as_u64);
         Some(())
     }
 
@@ -398,6 +416,27 @@ impl Auditor {
     fn on_link_state(&mut self, line: usize, event: &Value) -> Option<()> {
         let used = event.get_field("used")?.as_array()?;
         let utilization = event.get_field("utilization")?.as_array()?;
+        // Traces predating the fault layer omit `down`; that reads as an
+        // empty outage set, which A010 then checks against the replay.
+        let down_listed: BTreeSet<u64> = match event.get_field("down") {
+            Some(v) => v
+                .as_array()?
+                .iter()
+                .map(Value::as_u64)
+                .collect::<Option<BTreeSet<u64>>>()?,
+            None => BTreeSet::new(),
+        };
+        if down_listed != self.down_links {
+            self.violate(
+                "A010",
+                line,
+                format!(
+                    "link_state lists down links {:?} but replayed outage windows say {:?}",
+                    down_listed.iter().collect::<Vec<_>>(),
+                    self.down_links.iter().collect::<Vec<_>>()
+                ),
+            );
+        }
         let topo = self.topology.as_ref()?;
         if used.len() != self.link_capacities.len() || utilization.len() != used.len() {
             self.violate(
@@ -438,7 +477,157 @@ impl Auditor {
         for v in violations {
             self.violate("A008", line, v);
         }
+        // Mask down links on the replay snapshot so the A005 reference
+        // Dijkstra refuses to route over them, exactly like the service.
+        for &l in &down_listed {
+            if (l as usize) < self.link_capacities.len() {
+                snap.set_admin_down(LinkId::new(l as u32), true);
+            }
+        }
         self.snapshot = Some(snap);
+        Some(())
+    }
+
+    /// A010: a `link_down` opens an outage; the service emits it only on
+    /// the 0 → 1 depth edge, so seeing a link go down twice is a bug.
+    fn on_link_down(&mut self, line: usize, event: &Value) -> Option<()> {
+        let link = event.get_field("link")?.as_u64()?;
+        if link as usize >= self.link_capacities.len() {
+            self.violate("A010", line, format!("link_down names unknown link {link}"));
+            return Some(());
+        }
+        if !self.down_links.insert(link) {
+            self.violate(
+                "A010",
+                line,
+                format!("link {link} went down twice without coming back up"),
+            );
+        }
+        Some(())
+    }
+
+    /// A010: a `link_up` must close a previously-opened outage.
+    fn on_link_up(&mut self, line: usize, event: &Value) -> Option<()> {
+        let link = event.get_field("link")?.as_u64()?;
+        if !self.down_links.remove(&link) {
+            self.violate(
+                "A010",
+                line,
+                format!("link {link} came up without a matching link_down"),
+            );
+        }
+        Some(())
+    }
+
+    /// A011: retry attempts are 1-based, step by one within a failure
+    /// episode (a successful relaunch resets the counter), and never
+    /// exceed the configured budget.
+    fn on_session_retry(&mut self, line: usize, event: &Value) -> Option<()> {
+        let session = event.get_field("session")?.as_u64()?;
+        let attempt = event.get_field("attempt")?.as_u64()?;
+        event.get_field("backoff_us")?.as_u64()?;
+        let prev = self.retries.get(&session).copied();
+        if attempt == 0 {
+            self.violate(
+                "A011",
+                line,
+                format!("session {session} retries with attempt 0 (attempts are 1-based)"),
+            );
+        } else if attempt != 1 && prev.is_none_or(|p| attempt != p + 1) {
+            self.violate(
+                "A011",
+                line,
+                format!("session {session} jumps to retry attempt {attempt} (previous: {prev:?})"),
+            );
+        }
+        match self.retry_max_attempts {
+            Some(max) if attempt > max => {
+                self.violate(
+                    "A011",
+                    line,
+                    format!(
+                        "session {session} retry attempt {attempt} exceeds the configured budget {max}"
+                    ),
+                );
+            }
+            None => {
+                self.violate(
+                    "A011",
+                    line,
+                    format!(
+                        "session {session} retries but the run config declares no retry budget"
+                    ),
+                );
+            }
+            _ => {}
+        }
+        self.retries.insert(session, attempt);
+        Some(())
+    }
+
+    /// A012: abort reasons come from a closed set and agree with the
+    /// configured retry budget and the session's observed retries.
+    fn on_session_aborted(&mut self, line: usize, event: &Value) -> Option<()> {
+        let session = event.get_field("session")?.as_u64()?;
+        let reason = event.get_field("reason")?.as_str()?.to_string();
+        let max = self.retry_max_attempts;
+        let last = self.retries.get(&session).copied();
+        match reason.as_str() {
+            "home_down" => {}
+            "no_source" => {
+                if let Some(m) = max.filter(|&m| m > 0) {
+                    self.violate(
+                        "A012",
+                        line,
+                        format!(
+                            "session {session} aborted `no_source` although the retry budget is {m}"
+                        ),
+                    );
+                }
+            }
+            "retry_exhausted" => match max {
+                Some(m) if m > 0 => {
+                    if last != Some(m) {
+                        self.violate(
+                            "A012",
+                            line,
+                            format!(
+                                "session {session} aborted `retry_exhausted` after {last:?} retries (budget {m})"
+                            ),
+                        );
+                    }
+                }
+                _ => {
+                    self.violate(
+                        "A012",
+                        line,
+                        format!(
+                            "session {session} aborted `retry_exhausted` with no retry budget configured"
+                        ),
+                    );
+                }
+            },
+            "stall_budget" => {
+                if max.is_none_or(|m| m == 0) {
+                    self.violate(
+                        "A012",
+                        line,
+                        format!(
+                            "session {session} aborted `stall_budget` with no retry budget configured"
+                        ),
+                    );
+                }
+            }
+            other => {
+                self.violate(
+                    "A012",
+                    line,
+                    format!("session {session} aborted with unknown reason `{other}`"),
+                );
+            }
+        }
+        self.sessions.remove(&session);
+        self.retries.remove(&session);
         Some(())
     }
 

@@ -8,7 +8,7 @@
 //!   library crates, and `#![forbid(unsafe_code)]` in every crate root.
 //!
 //! * [`audit`] — a JSONL trace replayer verifying the paper's runtime
-//!   invariants (`A000`–`A009`) against independent reference
+//!   invariants (`A000`–`A012`) against independent reference
 //!   implementations: DMA cache occupancy and admission thresholds
 //!   (Figure 2), least-popular eviction victims, `i mod n` striping
 //!   (Figure 3), and VRA selections re-derived by a from-scratch

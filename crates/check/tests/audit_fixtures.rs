@@ -1,5 +1,5 @@
 //! Injected-violation fixtures for the trace auditor: one hand-crafted
-//! JSONL trace per rule (`A000`–`A009`), each asserting that exactly the
+//! JSONL trace per rule (`A000`–`A012`), each asserting that exactly the
 //! targeted rule fires, plus clean fixtures and a property test that
 //! every trace the real service writes audits green.
 //!
@@ -40,6 +40,15 @@ fn preamble() -> Vec<String> {
             .to_string(),
         r#"{"at_us":0,"kind":"link_state","used":[0.0],"utilization":[0.0]}"#.to_string(),
     ]
+}
+
+/// The fixture preamble with a retry budget declared in the run config.
+fn preamble_with_retry(max: u64) -> Vec<String> {
+    let mut t = preamble();
+    t[1] = format!(
+        r#"{{"at_us":0,"kind":"run_config","selector":"vra","dynamic_rerouting":true,"snmp_smoothing":null,"lvn_normalization":10,"retry_max_attempts":{max},"retry_backoff_us":2000000,"retry_stall_budget_us":30000000}}"#
+    );
+    t
 }
 
 /// The production-LVN cost of routing S0 → S1 over the idle fixture
@@ -214,25 +223,145 @@ fn a009_hit_on_a_title_that_is_not_resident() {
     assert_only_rule(&audit(&t), "A009");
 }
 
-/// The ten fixtures above exercise ten distinct rule ids.
+#[test]
+fn a005_selection_routes_over_a_down_link() {
+    let mut t = preamble();
+    // The only path S0 → S1 is the severed link: the reference Dijkstra
+    // sees no reachable candidate, so the traced selection is bogus.
+    t.push(r#"{"at_us":10,"kind":"link_down","link":0}"#.to_string());
+    t.push(
+        r#"{"at_us":20,"kind":"link_state","used":[0.0],"utilization":[0.0],"down":[0]}"#
+            .to_string(),
+    );
+    t.push(select_line(30, 0, 0, fixture_cost()));
+    assert_only_rule(&audit(&t), "A005");
+}
+
+#[test]
+fn a010_link_state_contradicts_outage_replay() {
+    let mut t = preamble();
+    t.push(r#"{"at_us":10,"kind":"link_down","link":0}"#.to_string());
+    // The next link_state claims every link is up.
+    t.push(
+        r#"{"at_us":20,"kind":"link_state","used":[0.0],"utilization":[0.0],"down":[]}"#
+            .to_string(),
+    );
+    assert_only_rule(&audit(&t), "A010");
+}
+
+#[test]
+fn a010_link_up_without_a_down() {
+    let mut t = preamble();
+    t.push(r#"{"at_us":10,"kind":"link_up","link":0}"#.to_string());
+    assert_only_rule(&audit(&t), "A010");
+}
+
+#[test]
+fn a011_retry_exceeds_the_budget() {
+    let mut t = preamble_with_retry(2);
+    t.push(
+        r#"{"at_us":10,"kind":"session_retry","session":0,"attempt":1,"backoff_us":2000000}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":20,"kind":"session_retry","session":0,"attempt":2,"backoff_us":4000000}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":30,"kind":"session_retry","session":0,"attempt":3,"backoff_us":6000000}"#
+            .to_string(),
+    );
+    assert_only_rule(&audit(&t), "A011");
+}
+
+#[test]
+fn a011_retry_without_a_declared_budget() {
+    let mut t = preamble();
+    t.push(
+        r#"{"at_us":10,"kind":"session_retry","session":0,"attempt":1,"backoff_us":2000000}"#
+            .to_string(),
+    );
+    assert_only_rule(&audit(&t), "A011");
+}
+
+#[test]
+fn a012_abort_reason_disagrees_with_the_budget() {
+    let mut t = preamble_with_retry(3);
+    // One retry observed, then an exhaustion abort — but the budget is 3.
+    t.push(
+        r#"{"at_us":10,"kind":"session_retry","session":0,"attempt":1,"backoff_us":2000000}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":20,"kind":"session_aborted","session":0,"reason":"retry_exhausted"}"#
+            .to_string(),
+    );
+    assert_only_rule(&audit(&t), "A012");
+}
+
+#[test]
+fn a012_unknown_abort_reason() {
+    let mut t = preamble();
+    t.push(
+        r#"{"at_us":10,"kind":"session_aborted","session":0,"reason":"cosmic_rays"}"#.to_string(),
+    );
+    assert_only_rule(&audit(&t), "A012");
+}
+
+#[test]
+fn clean_fault_fixture_audits_green() {
+    let mut t = preamble_with_retry(2);
+    t.push(r#"{"at_us":10,"kind":"link_down","link":0}"#.to_string());
+    t.push(
+        r#"{"at_us":20,"kind":"link_state","used":[0.0],"utilization":[0.0],"down":[0]}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":30,"kind":"session_retry","session":0,"attempt":1,"backoff_us":2000000}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":40,"kind":"session_retry","session":0,"attempt":2,"backoff_us":4000000}"#
+            .to_string(),
+    );
+    t.push(r#"{"at_us":50,"kind":"link_up","link":0}"#.to_string());
+    t.push(
+        r#"{"at_us":60,"kind":"link_state","used":[0.0],"utilization":[0.0],"down":[]}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":70,"kind":"session_aborted","session":0,"reason":"retry_exhausted"}"#
+            .to_string(),
+    );
+    let summary = audit(&t);
+    assert!(
+        summary.is_clean(),
+        "clean fault fixture should audit green, got {:?}",
+        summary.violations
+    );
+}
+
+/// The fixtures above exercise thirteen distinct rule ids.
 #[test]
 fn fixtures_cover_distinct_rules() {
     let rules = [
-        "A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008", "A009",
+        "A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008", "A009", "A010",
+        "A011", "A012",
     ];
     let distinct: std::collections::BTreeSet<&str> = rules.iter().copied().collect();
-    assert_eq!(distinct.len(), 10);
+    assert_eq!(distinct.len(), 13);
 }
 
 /// Runs one full service simulation and returns its JSONL trace.
 fn service_trace(scenario: &Scenario) -> String {
+    service_trace_with(scenario, ServiceConfig::default())
+}
+
+/// Runs one full service simulation under `config` and returns its
+/// JSONL trace.
+fn service_trace_with(scenario: &Scenario, config: ServiceConfig) -> String {
     let sink = JsonlWriter::new(Vec::new());
-    let service = VodService::with_sink(
-        scenario,
-        Box::new(Vra::default()),
-        ServiceConfig::default(),
-        sink,
-    );
+    let service = VodService::with_sink(scenario, Box::new(Vra::default()), config, sink);
     let (_, _, sink) = service.run_full();
     String::from_utf8(sink.into_inner()).expect("JSONL traces are UTF-8")
 }
@@ -259,5 +388,51 @@ proptest! {
             summary.violations
         );
         prop_assert!(summary.events > 0);
+    }
+
+    /// Under an arbitrary seeded fault plan and retry budget, the trace
+    /// replays byte-for-byte and still audits green — chaos does not
+    /// break determinism or any replayed invariant.
+    #[test]
+    fn fault_plan_traces_replay_and_audit_green(
+        seed in 0u64..10_000,
+        faults in 1usize..5,
+        budget in 0u32..4,
+    ) {
+        use vod_core::service::RetryPolicy;
+        use vod_sim::fault::FaultPlan;
+        use vod_sim::SimDuration;
+
+        let scenario = Scenario::grnet_case_study(seed);
+        let start = scenario
+            .trace()
+            .requests()
+            .first()
+            .map(|r| r.at)
+            .unwrap_or_default();
+        let plan = FaultPlan::random(
+            seed,
+            scenario.topology(),
+            start,
+            start + SimDuration::from_secs(1800),
+            faults,
+        );
+        let config = ServiceConfig {
+            fault_plan: plan,
+            retry: RetryPolicy::with_attempts(budget),
+            ..ServiceConfig::default()
+        };
+        let first = service_trace_with(&scenario, config.clone());
+        let second = service_trace_with(&scenario, config);
+        prop_assert_eq!(&first, &second, "fault traces must replay byte-for-byte");
+        let summary = audit_trace(&first);
+        prop_assert!(
+            summary.is_clean(),
+            "seed {} with {} faults, budget {} produced violations: {:?}",
+            seed,
+            faults,
+            budget,
+            summary.violations
+        );
     }
 }

@@ -81,9 +81,12 @@ pub struct ServiceReport {
     pub seed: u64,
     /// Per-session records for sessions that completed playback.
     pub completed: Vec<QosRecord>,
-    /// Requests that could not be served (no candidate/unreachable) or
-    /// whose session was aborted mid-stream.
+    /// Requests that could not be served at admission time (unknown
+    /// title, dead home server, or no candidate replica).
     pub failed_requests: u64,
+    /// Sessions that started streaming but were dropped mid-stream
+    /// (server/link failure with the retry budget exhausted).
+    pub aborted_sessions: u64,
     /// Requests turned away by admission control (QoS floor protection).
     pub rejected_requests: u64,
     /// Sessions still unfinished when the simulation drained.
@@ -215,6 +218,7 @@ mod tests {
             seed: 0,
             completed: records,
             failed_requests: 0,
+            aborted_sessions: 0,
             rejected_requests: 0,
             unfinished_sessions: 0,
             max_link_utilization: Summary::from_values(std::iter::empty()),

@@ -30,9 +30,10 @@
 use std::collections::BTreeMap;
 
 use vod_db::{AdminCredential, Database, LimitedAccess};
-use vod_net::{Mbps, NodeId, Route, Topology};
+use vod_net::{LinkId, Mbps, NodeId, Route, Topology};
 use vod_obs::{Event as ObsEvent, EventSink, MetricsRegistry, NullSink, RunReport, RunSummary};
 use vod_sim::engine::{Model, Simulation};
+use vod_sim::fault::{FaultKind, FaultPlan};
 use vod_sim::flow::{FlowId, FlowNetwork};
 use vod_sim::metrics::{Summary, TimeSeries};
 use vod_sim::scheduler::Scheduler;
@@ -58,6 +59,49 @@ use crate::session::{Session, SessionId};
 fn catalog<'a>(db: &'a mut Database, admin: &AdminCredential) -> LimitedAccess<'a> {
     db.limited_access(admin)
         .expect("service admin is registered")
+}
+
+/// Session retry policy: how a session survives a transient fetch
+/// failure (dead source, unreachable replica) instead of aborting on the
+/// spot.
+///
+/// With `max_attempts = 0` (the default) every fetch failure aborts the
+/// session immediately — the pre-retry behaviour. With a nonzero budget
+/// the session re-runs the selector after a deterministic sim-time
+/// backoff (`attempt × backoff`, linear), aborting only when the attempt
+/// budget is exhausted or the next re-attempt would overrun the stall
+/// budget measured from the first failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Bounded number of re-attempts per failure episode (0 = abort
+    /// instantly).
+    pub max_attempts: u32,
+    /// Base backoff; attempt `n` waits `n × backoff` before re-selecting.
+    pub backoff: SimDuration,
+    /// Ceiling on the whole episode: a re-attempt that would land after
+    /// `first_failure + stall_budget` aborts instead.
+    pub stall_budget: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            backoff: SimDuration::from_secs(2),
+            stall_budget: SimDuration::from_mins(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries up to `max_attempts` times with the default
+    /// backoff and stall budget.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
 }
 
 /// Tunables of a service run.
@@ -105,6 +149,15 @@ pub struct ServiceConfig {
     /// re-routed — the "dynamic adjustment to server configuration
     /// changes" the paper advertises.
     pub failures: Vec<(SimTime, SimTime, NodeId)>,
+    /// Deterministic fault-injection plan (link outages and flaps,
+    /// bandwidth degradation, SNMP-poller outages, server crashes).
+    /// [`ServiceConfig::failures`] entries are folded into this plan as
+    /// [`FaultKind::ServerOutage`] windows at construction, so both
+    /// knobs share one scheduling and accounting path.
+    pub fault_plan: FaultPlan,
+    /// How sessions respond to transient fetch failures (default:
+    /// instant abort, the pre-retry behaviour).
+    pub retry: RetryPolicy,
     /// Hard stop for recurring events after the last arrival (stalled
     /// zero-rate sessions past this point are reported as unfinished).
     pub drain_grace: SimDuration,
@@ -127,6 +180,8 @@ impl Default for ServiceConfig {
             admission: None,
             snmp_smoothing: None,
             failures: Vec::new(),
+            fault_plan: FaultPlan::new(),
+            retry: RetryPolicy::default(),
             drain_grace: SimDuration::from_secs(24 * 3600),
         }
     }
@@ -149,6 +204,29 @@ enum Event {
     ServerDown(NodeId),
     /// A failed video server comes back (with a cold cache).
     ServerUp(NodeId),
+    /// A link outage window opens.
+    LinkDown(LinkId),
+    /// A link outage window closes.
+    LinkUp(LinkId),
+    /// A link degradation window opens (remaining capacity fraction).
+    DegradeStart(LinkId, f64),
+    /// A link degradation window closes (carries the factor it applied).
+    DegradeEnd(LinkId, f64),
+    /// The SNMP poller goes dark: scheduled polls are skipped.
+    SnmpOutageStart,
+    /// The SNMP poller recovers.
+    SnmpOutageEnd,
+    /// A session re-attempts a failed cluster fetch after backoff.
+    RetryFetch(SessionId),
+}
+
+/// Per-session retry bookkeeping for the current failure episode.
+#[derive(Debug, Clone, Copy)]
+struct RetryState {
+    /// Re-attempts consumed so far.
+    attempts: u32,
+    /// When the episode began (anchors the stall budget).
+    first_failure: SimTime,
 }
 
 /// The simulation model (internal state of a [`VodService`] run).
@@ -167,13 +245,27 @@ struct ServiceModel<S: EventSink> {
     session_routes: BTreeMap<SessionId, Route>,
     flow_sessions: BTreeMap<FlowId, SessionId>,
     cache_on_complete: BTreeMap<SessionId, bool>,
-    down: std::collections::BTreeSet<NodeId>,
+    /// Outage depth per down server: overlapping windows nest, and a
+    /// server only revives when its depth returns to zero.
+    down: BTreeMap<NodeId, u32>,
+    /// Outage depth per admin-down link (absent = up).
+    link_down: BTreeMap<LinkId, u32>,
+    /// Active degradation factors per link; the effective capacity scale
+    /// is the minimum of the open windows (1.0 when none).
+    degrade: BTreeMap<LinkId, Vec<f64>>,
+    /// Open SNMP-poller outage windows; polls are skipped while nonzero.
+    snmp_outages: u32,
+    /// Bumped whenever a link's admin state changes, so the cached
+    /// selector snapshot is rebuilt with the new overlay.
+    link_admin_epoch: u64,
+    /// Sessions mid-retry, keyed by session.
+    retry: BTreeMap<SessionId, RetryState>,
     /// The database snapshot the selector sees, cached per
-    /// [`Database::traffic_version`]. Requests between SNMP polls reuse
-    /// the same snapshot *instance*, so its epoch token stays stable and
-    /// the VRA's routing engine serves them from its weight and
-    /// shortest-path caches.
-    db_snap_cache: Option<(u64, vod_net::TrafficSnapshot)>,
+    /// ([`Database::traffic_version`], link-admin epoch). Requests
+    /// between SNMP polls reuse the same snapshot *instance*, so its
+    /// epoch token stays stable and the VRA's routing engine serves them
+    /// from its weight and shortest-path caches.
+    db_snap_cache: Option<((u64, u64), vod_net::TrafficSnapshot)>,
     /// Reused buffer for the instantaneous utilization samples taken at
     /// each SNMP poll (avoids one snapshot allocation per poll).
     live_snap: vod_net::TrafficSnapshot,
@@ -254,15 +346,20 @@ impl<S: EventSink> ServiceModel<S> {
     /// makes the routing engine's epoch cache effective: every request
     /// between two polls sees the same snapshot token and version.
     fn refresh_db_snapshot(&mut self, now: SimTime) {
-        let version = self.db.traffic_version();
-        if matches!(&self.db_snap_cache, Some((v, _)) if *v == version) {
+        let key = (self.db.traffic_version(), self.link_admin_epoch);
+        if matches!(&self.db_snap_cache, Some((k, _)) if *k == key) {
             return;
         }
         let la = catalog(&mut self.db, &self.admin);
-        let snap = match self.config.snmp_smoothing {
+        let mut snap = match self.config.snmp_smoothing {
             Some(alpha) => la.smoothed_snapshot(&self.topology, alpha),
             None => la.snapshot(&self.topology),
         };
+        // Overlay the links the service knows to be down: SNMP readings
+        // lag the outage, but routing must detour immediately.
+        for &link in self.link_down.keys() {
+            snap.set_admin_down(link, true);
+        }
         // Every rebuild is traced: the auditor reconstructs exactly the
         // view the selector works from until the next rebuild.
         if self.sink.enabled() {
@@ -273,10 +370,17 @@ impl<S: EventSink> ServiceModel<S> {
                 used.push(snap.used(link).as_f64());
                 utilization.push(snap.utilization(&self.topology, link).get());
             }
-            self.sink
-                .record(now, &ObsEvent::LinkState { used, utilization });
+            let down: Vec<u64> = self.link_down.keys().map(|l| l.index() as u64).collect();
+            self.sink.record(
+                now,
+                &ObsEvent::LinkState {
+                    used,
+                    utilization,
+                    down,
+                },
+            );
         }
-        self.db_snap_cache = Some((version, snap));
+        self.db_snap_cache = Some((key, snap));
     }
 
     /// Runs the selector for `video` on behalf of a client homed at
@@ -319,8 +423,10 @@ impl<S: EventSink> ServiceModel<S> {
     }
 
     /// Starts fetching the next cluster of `sid`, re-running the selector
-    /// when dynamic re-routing is enabled.
-    fn start_cluster_fetch(&mut self, now: SimTime, sid: SessionId) {
+    /// when dynamic re-routing is enabled. A fetch failure (no reachable
+    /// replica, dead source) goes through the retry policy instead of
+    /// aborting unconditionally.
+    fn start_cluster_fetch(&mut self, now: SimTime, sid: SessionId, sched: &mut Scheduler<Event>) {
         let (home, video, idx) = {
             let sess = match self.sessions.get(&sid) {
                 Some(s) => s,
@@ -353,8 +459,9 @@ impl<S: EventSink> ServiceModel<S> {
                     sel.route
                 }
                 None => {
-                    // Mid-stream loss of every replica: abort the session.
-                    self.abort_session(now, sid);
+                    // Mid-stream loss of every replica: retry (transient
+                    // outages heal) or abort once the budget is spent.
+                    self.handle_fetch_failure(now, sid, sched);
                     return;
                 }
             }
@@ -393,18 +500,84 @@ impl<S: EventSink> ServiceModel<S> {
             Some(flow) => {
                 self.flow_sessions.insert(flow, sid);
                 self.session_routes.insert(sid, route);
+                // A successful launch closes the failure episode.
+                self.retry.remove(&sid);
             }
-            None => self.abort_session(now, sid),
+            None => self.handle_fetch_failure(now, sid, sched),
         }
     }
 
-    /// Drops a session mid-stream, counting and tracing the abort.
-    fn abort_session(&mut self, now: SimTime, sid: SessionId) {
+    /// Applies the retry policy to a failed cluster fetch: schedule a
+    /// backed-off re-attempt while budget remains, abort otherwise with
+    /// the exact exhaustion reason.
+    fn handle_fetch_failure(&mut self, now: SimTime, sid: SessionId, sched: &mut Scheduler<Event>) {
+        let policy = self.config.retry;
+        if policy.max_attempts == 0 {
+            self.abort_session(now, sid, "no_source");
+            return;
+        }
+        let state = self.retry.get(&sid).copied().unwrap_or(RetryState {
+            attempts: 0,
+            first_failure: now,
+        });
+        if state.attempts >= policy.max_attempts {
+            self.abort_session(now, sid, "retry_exhausted");
+            return;
+        }
+        let attempt = state.attempts + 1;
+        let backoff =
+            SimDuration::from_micros(policy.backoff.as_micros().saturating_mul(attempt as u64));
+        let resume_at = now + backoff;
+        if resume_at.duration_since(state.first_failure) > policy.stall_budget {
+            self.abort_session(now, sid, "stall_budget");
+            return;
+        }
+        self.retry.insert(
+            sid,
+            RetryState {
+                attempts: attempt,
+                first_failure: state.first_failure,
+            },
+        );
+        if self.sink.enabled() {
+            self.sink.record(
+                now,
+                &ObsEvent::SessionRetry {
+                    session: sid.0,
+                    attempt,
+                    backoff,
+                },
+            );
+        }
+        sched.schedule(resume_at, Event::RetryFetch(sid));
+    }
+
+    /// A backed-off re-attempt fires: re-run the selector for the
+    /// session's pending cluster (a no-op when the session ended in the
+    /// meantime).
+    fn on_retry_fetch(&mut self, now: SimTime, sid: SessionId, sched: &mut Scheduler<Event>) {
+        if !self.sessions.contains_key(&sid) {
+            self.retry.remove(&sid);
+            return;
+        }
+        self.start_cluster_fetch(now, sid, sched);
+    }
+
+    /// Drops a session mid-stream, counting and tracing the abort with
+    /// its cause (`home_down`, `no_source`, `retry_exhausted` or
+    /// `stall_budget`).
+    fn abort_session(&mut self, now: SimTime, sid: SessionId, reason: &str) {
         self.drop_session(sid);
+        self.retry.remove(&sid);
         self.aborted_sessions += 1;
         if self.sink.enabled() {
-            self.sink
-                .record(now, &ObsEvent::SessionAborted { session: sid.0 });
+            self.sink.record(
+                now,
+                &ObsEvent::SessionAborted {
+                    session: sid.0,
+                    reason: reason.to_string(),
+                },
+            );
         }
     }
 
@@ -550,11 +723,11 @@ impl<S: EventSink> ServiceModel<S> {
                 }
             }
         } else {
-            self.start_cluster_fetch(now, sid);
+            self.start_cluster_fetch(now, sid, sched);
         }
     }
 
-    fn on_arrival(&mut self, now: SimTime, idx: usize) {
+    fn on_arrival(&mut self, now: SimTime, idx: usize, sched: &mut Scheduler<Event>) {
         self.arrivals_remaining = self.arrivals_remaining.saturating_sub(1);
         let request = self.trace.requests()[idx];
         if self.sink.enabled() {
@@ -568,7 +741,7 @@ impl<S: EventSink> ServiceModel<S> {
             );
         }
         // A client whose home server is down cannot reach the service.
-        if self.down.contains(&request.client) {
+        if self.down.contains_key(&request.client) {
             self.fail_request(now, idx, request.client);
             return;
         }
@@ -678,7 +851,7 @@ impl<S: EventSink> ServiceModel<S> {
             Some(flow) => {
                 self.flow_sessions.insert(flow, sid);
             }
-            None => self.abort_session(now, sid),
+            None => self.handle_fetch_failure(now, sid, sched),
         }
     }
 
@@ -820,10 +993,13 @@ impl<S: EventSink> ServiceModel<S> {
 
     /// A server dies: its catalog entries are withdrawn, its cache is
     /// lost, sessions homed there are dropped, and transfers sourced from
-    /// it are re-routed to surviving replicas.
-    fn on_server_down(&mut self, now: SimTime, node: NodeId) {
-        if !self.down.insert(node) {
-            return; // already down
+    /// it are re-routed to surviving replicas. Overlapping outage windows
+    /// nest: only the first opens the outage.
+    fn on_server_down(&mut self, now: SimTime, node: NodeId, sched: &mut Scheduler<Event>) {
+        let depth = self.down.entry(node).or_insert(0);
+        *depth += 1;
+        if *depth > 1 {
+            return; // already down; deepen the outage only
         }
         if self.sink.enabled() {
             self.sink
@@ -852,7 +1028,8 @@ impl<S: EventSink> ServiceModel<S> {
             .map(|(&sid, _)| sid)
             .collect();
         for sid in homed {
-            self.abort_session(now, sid);
+            // The client itself is gone: no retry can save the session.
+            self.abort_session(now, sid, "home_down");
         }
 
         // Transfers sourced from the dead server re-route mid-cluster.
@@ -871,18 +1048,24 @@ impl<S: EventSink> ServiceModel<S> {
             let _ = self.flows.remove_flow(flow);
             self.flow_sessions.remove(&flow);
             self.session_routes.remove(&sid);
-            // Re-select a source for the same cluster; aborts the session
+            // Re-select a source for the same cluster; retries or aborts
             // if no replica survives.
-            self.start_cluster_fetch(now, sid);
+            self.start_cluster_fetch(now, sid, sched);
         }
     }
 
     /// A failed server rejoins with empty disks; the DMA repopulates it
-    /// from future demand.
+    /// from future demand. With nested outage windows the server only
+    /// revives when the last window closes.
     fn on_server_up(&mut self, now: SimTime, node: NodeId) {
-        if !self.down.remove(&node) {
+        let Some(depth) = self.down.get_mut(&node) else {
             return;
+        };
+        *depth -= 1;
+        if *depth > 0 {
+            return; // an enclosing outage window is still open
         }
+        self.down.remove(&node);
         if self.sink.enabled() {
             self.sink.record(now, &ObsEvent::ServerUp { server: node });
         }
@@ -896,6 +1079,114 @@ impl<S: EventSink> ServiceModel<S> {
             eviction: self.config.dma_eviction,
         }) {
             self.caches.insert(node, cache);
+        }
+    }
+
+    /// A link goes administratively down: it carries no traffic, routing
+    /// masks it to infinite weight, and transfers crossing it re-route
+    /// (or retry) immediately. Overlapping windows nest.
+    fn on_link_down(&mut self, now: SimTime, link: LinkId, sched: &mut Scheduler<Event>) {
+        let depth = self.link_down.entry(link).or_insert(0);
+        *depth += 1;
+        if *depth > 1 {
+            return;
+        }
+        self.link_admin_epoch += 1;
+        self.flows.set_link_admin_down(link, true);
+        if self.sink.enabled() {
+            self.sink.record(now, &ObsEvent::LinkDown { link });
+        }
+        // Transfers frozen on the dead link re-route mid-cluster, exactly
+        // like transfers sourced from a dead server.
+        let severed: Vec<(FlowId, SessionId)> = self
+            .flows
+            .flows_crossing(link)
+            .into_iter()
+            .filter_map(|f| self.flow_sessions.get(&f).map(|&sid| (f, sid)))
+            .collect();
+        for (flow, sid) in severed {
+            let _ = self.flows.remove_flow(flow);
+            self.flow_sessions.remove(&flow);
+            self.session_routes.remove(&sid);
+            self.start_cluster_fetch(now, sid, sched);
+        }
+    }
+
+    /// A link outage window closes; the link rejoins the routing view
+    /// when the last nested window ends.
+    fn on_link_up(&mut self, now: SimTime, link: LinkId) {
+        let Some(depth) = self.link_down.get_mut(&link) else {
+            return;
+        };
+        *depth -= 1;
+        if *depth > 0 {
+            return;
+        }
+        self.link_down.remove(&link);
+        self.link_admin_epoch += 1;
+        self.flows.set_link_admin_down(link, false);
+        if self.sink.enabled() {
+            self.sink.record(now, &ObsEvent::LinkUp { link });
+        }
+    }
+
+    /// A degradation window opens: the link's deliverable capacity drops
+    /// to the minimum factor over all open windows. Routing still sees
+    /// the nominal capacity — a soft failure surfaces through SNMP
+    /// readings and stalls, not through the admin state.
+    fn on_degrade_start(&mut self, now: SimTime, link: LinkId, factor: f64) {
+        self.degrade.entry(link).or_default().push(factor);
+        self.apply_degrade(link);
+        if self.sink.enabled() {
+            self.sink
+                .record(now, &ObsEvent::LinkDegradeStart { link, factor });
+        }
+    }
+
+    /// A degradation window closes (removes one instance of `factor`).
+    fn on_degrade_end(&mut self, now: SimTime, link: LinkId, factor: f64) {
+        if let Some(factors) = self.degrade.get_mut(&link) {
+            if let Some(pos) = factors.iter().position(|&f| f == factor) {
+                factors.remove(pos);
+            }
+            if factors.is_empty() {
+                self.degrade.remove(&link);
+            }
+        }
+        self.apply_degrade(link);
+        if self.sink.enabled() {
+            self.sink
+                .record(now, &ObsEvent::LinkDegradeEnd { link, factor });
+        }
+    }
+
+    /// Re-applies the effective capacity scale of `link` to the fluid
+    /// network.
+    fn apply_degrade(&mut self, link: LinkId) {
+        let scale = self
+            .degrade
+            .get(&link)
+            .map(|f| f.iter().copied().fold(1.0, f64::min))
+            .unwrap_or(1.0);
+        self.flows.set_link_capacity_scale(link, scale);
+    }
+
+    /// The SNMP poller goes dark: scheduled polls are skipped until the
+    /// window closes, so the selector keeps routing on its last-known-
+    /// good view (flagged per skipped poll in the trace).
+    fn on_snmp_outage_start(&mut self, now: SimTime) {
+        self.snmp_outages += 1;
+        if self.snmp_outages == 1 && self.sink.enabled() {
+            self.sink.record(now, &ObsEvent::SnmpOutageStart);
+        }
+    }
+
+    /// The SNMP poller recovers; the next scheduled poll refreshes the
+    /// routing view.
+    fn on_snmp_outage_end(&mut self, now: SimTime) {
+        self.snmp_outages = self.snmp_outages.saturating_sub(1);
+        if self.snmp_outages == 0 && self.sink.enabled() {
+            self.sink.record(now, &ObsEvent::SnmpOutageEnd);
         }
     }
 
@@ -920,20 +1211,30 @@ impl<S: EventSink> ServiceModel<S> {
         // Age of the traffic view this poll replaces — the staleness
         // every routing decision since the previous poll worked with.
         let staleness = now.duration_since(self.snmp.last_poll_at());
-        // The SNMP system is constructed from the same topology, so every
-        // link is registered and a poll cannot fail.
-        let readings = self
-            .snmp
-            .poll(&self.topology, &mut self.db, now)
-            .unwrap_or_default();
-        if self.sink.enabled() {
-            self.sink.record(
-                now,
-                &ObsEvent::SnmpPoll {
-                    readings: readings as u64,
-                    staleness,
-                },
-            );
+        if self.snmp_outages > 0 {
+            // Poller outage: skip the poll. The database's traffic
+            // version stalls, so the selector keeps its last-known-good
+            // snapshot; the trace flags the growing staleness.
+            if self.sink.enabled() {
+                self.sink
+                    .record(now, &ObsEvent::SnmpStaleView { staleness });
+            }
+        } else {
+            // The SNMP system is constructed from the same topology, so
+            // every link is registered and a poll cannot fail.
+            let readings = self
+                .snmp
+                .poll(&self.topology, &mut self.db, now)
+                .unwrap_or_default();
+            if self.sink.enabled() {
+                self.sink.record(
+                    now,
+                    &ObsEvent::SnmpPoll {
+                        readings: readings as u64,
+                        staleness,
+                    },
+                );
+            }
         }
         // Sample true instantaneous utilization for the report, reusing
         // the buffer instead of allocating a snapshot per poll.
@@ -962,7 +1263,7 @@ impl<S: EventSink> ServiceModel<S> {
     /// Builds the final [`ServiceReport`] and hands back the metric
     /// registry and the sink for callers that want the full picture
     /// ([`VodService::run_full`]).
-    fn into_report_full(self) -> (ServiceReport, MetricsRegistry, S, u64) {
+    fn into_report_full(self) -> (ServiceReport, MetricsRegistry, S) {
         let mut dma = self.retired_dma;
         let per_server_dma: Vec<(NodeId, DmaStats)> = self
             .caches
@@ -980,7 +1281,8 @@ impl<S: EventSink> ServiceModel<S> {
             selector: self.selector.name().to_string(),
             seed: self.seed,
             completed: self.records,
-            failed_requests: self.failed_requests + self.aborted_sessions,
+            failed_requests: self.failed_requests,
+            aborted_sessions: self.aborted_sessions,
             rejected_requests: self.rejected_requests,
             unfinished_sessions: self.sessions.len(),
             max_link_utilization: Summary::from_values(
@@ -994,7 +1296,7 @@ impl<S: EventSink> ServiceModel<S> {
             engine: self.selector.engine_stats(),
             snmp_polls: self.snmp.polls(),
         };
-        (report, self.registry, self.sink, self.aborted_sessions)
+        (report, self.registry, self.sink)
     }
 
     fn into_report(self) -> ServiceReport {
@@ -1008,7 +1310,7 @@ impl<S: EventSink> Model for ServiceModel<S> {
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
         self.advance_to(now, sched);
         match event {
-            Event::Arrival(idx) => self.on_arrival(now, idx),
+            Event::Arrival(idx) => self.on_arrival(now, idx, sched),
             Event::FlowCheck(version) => {
                 // Completions were already processed by advance_to; a
                 // stale version means a newer check is pending.
@@ -1017,8 +1319,15 @@ impl<S: EventSink> Model for ServiceModel<S> {
             Event::PlayoutTick(sid) => self.on_playout_tick(now, sid, sched),
             Event::SnmpPoll => self.on_snmp_poll(now, sched),
             Event::BackgroundUpdate => self.on_background_update(now, sched),
-            Event::ServerDown(node) => self.on_server_down(now, node),
+            Event::ServerDown(node) => self.on_server_down(now, node, sched),
             Event::ServerUp(node) => self.on_server_up(now, node),
+            Event::LinkDown(link) => self.on_link_down(now, link, sched),
+            Event::LinkUp(link) => self.on_link_up(now, link),
+            Event::DegradeStart(link, factor) => self.on_degrade_start(now, link, factor),
+            Event::DegradeEnd(link, factor) => self.on_degrade_end(now, link, factor),
+            Event::SnmpOutageStart => self.on_snmp_outage_start(now),
+            Event::SnmpOutageEnd => self.on_snmp_outage_end(now),
+            Event::RetryFetch(sid) => self.on_retry_fetch(now, sid, sched),
         }
         self.schedule_flow_check(now, sched);
     }
@@ -1183,6 +1492,9 @@ impl<S: EventSink> VodService<S> {
                     dynamic_rerouting: config.dynamic_rerouting,
                     snmp_smoothing: config.snmp_smoothing,
                     lvn_normalization: selector.lvn_params().map(|p| p.normalization_constant),
+                    retry_max_attempts: config.retry.max_attempts,
+                    retry_backoff_us: config.retry.backoff.as_micros(),
+                    retry_stall_budget_us: config.retry.stall_budget.as_micros(),
                 },
             );
             for &server in &servers {
@@ -1290,7 +1602,12 @@ impl<S: EventSink> VodService<S> {
             session_routes: BTreeMap::new(),
             flow_sessions: BTreeMap::new(),
             cache_on_complete: BTreeMap::new(),
-            down: std::collections::BTreeSet::new(),
+            down: BTreeMap::new(),
+            link_down: BTreeMap::new(),
+            degrade: BTreeMap::new(),
+            snmp_outages: 0,
+            link_admin_epoch: 0,
+            retry: BTreeMap::new(),
             retired_dma: DmaStats::default(),
             records: Vec::new(),
             failed_requests: 0,
@@ -1322,9 +1639,11 @@ impl<S: EventSink> VodService<S> {
         sim.scheduler_mut().schedule(snmp_next, Event::SnmpPoll);
         sim.scheduler_mut()
             .schedule(bg_next, Event::BackgroundUpdate);
-        // Scheduled outages.
-        let failures = sim.model().config.failures.clone();
-        for (down_at, up_at, node) in failures {
+        // Scheduled faults. Legacy `failures` entries are folded into the
+        // fault plan as server-outage windows (after their historical
+        // validation), so one path schedules and accounts for everything.
+        let mut plan = sim.model().config.fault_plan.clone();
+        for &(down_at, up_at, node) in &sim.model().config.failures {
             if down_at >= up_at {
                 return Err(CoreError::InvalidConfig(
                     "a failure must end after it starts".into(),
@@ -1335,9 +1654,29 @@ impl<S: EventSink> VodService<S> {
                     "only video servers can fail".into(),
                 ));
             }
-            sim.scheduler_mut()
-                .schedule(down_at, Event::ServerDown(node));
-            sim.scheduler_mut().schedule(up_at, Event::ServerUp(node));
+            plan = plan.server_outage(down_at, up_at, node);
+        }
+        plan.validate(&sim.model().topology)
+            .map_err(|e| CoreError::InvalidConfig(format!("invalid fault plan: {e}")))?;
+        for window in plan.windows() {
+            let (start_ev, end_ev) = match window.kind {
+                FaultKind::ServerOutage { node } => {
+                    if !sim.model().caches.contains_key(&node) {
+                        return Err(CoreError::InvalidConfig(
+                            "only video servers can fail".into(),
+                        ));
+                    }
+                    (Event::ServerDown(node), Event::ServerUp(node))
+                }
+                FaultKind::LinkOutage { link } => (Event::LinkDown(link), Event::LinkUp(link)),
+                FaultKind::LinkDegrade { link, factor } => (
+                    Event::DegradeStart(link, factor),
+                    Event::DegradeEnd(link, factor),
+                ),
+                FaultKind::SnmpOutage => (Event::SnmpOutageStart, Event::SnmpOutageEnd),
+            };
+            sim.scheduler_mut().schedule(window.start, start_ev);
+            sim.scheduler_mut().schedule(window.end, end_ev);
         }
         Ok(VodService { sim })
     }
@@ -1353,14 +1692,14 @@ impl<S: EventSink> VodService<S> {
     /// counters), and the sink with its recorded trace.
     pub fn run_full(mut self) -> (ServiceReport, RunReport, S) {
         self.sim.run();
-        let (report, registry, sink, aborted_sessions) = self.sim.into_model().into_report_full();
+        let (report, registry, sink) = self.sim.into_model().into_report_full();
         let run_report = registry.finish(RunSummary {
             selector: report.selector.clone(),
             seed: report.seed,
             completed: report.completed.len() as u64,
             failed_requests: report.failed_requests,
             rejected_requests: report.rejected_requests,
-            aborted_sessions,
+            aborted_sessions: report.aborted_sessions,
             unfinished_sessions: report.unfinished_sessions as u64,
             snmp_polls: report.snmp_polls,
             dma_total: report.dma,
@@ -1557,6 +1896,7 @@ mod tests {
             gated.completed.len()
                 + gated.unfinished_sessions
                 + gated.failed_requests as usize
+                + gated.aborted_sessions as usize
                 + gated.rejected_requests as usize,
             scenario.trace().len()
         );
@@ -1605,6 +1945,7 @@ mod tests {
             report.completed.len()
                 + report.unfinished_sessions
                 + report.failed_requests as usize
+                + report.aborted_sessions as usize
                 + report.rejected_requests as usize,
             n
         );
@@ -1645,9 +1986,248 @@ mod tests {
             report.completed.len()
                 + report.unfinished_sessions
                 + report.failed_requests as usize
+                + report.aborted_sessions as usize
                 + report.rejected_requests as usize,
             n
         );
+    }
+
+    #[test]
+    fn overlapping_outage_windows_nest_instead_of_reviving_early() {
+        use vod_obs::RingRecorder;
+        let scenario = quick_scenario(19);
+        let start = scenario.trace().requests().first().unwrap().at;
+        let victim = scenario.topology().video_server_nodes()[0];
+        // Two overlapping windows: the first `up` (at +600) must NOT
+        // revive the server — the enclosing window runs to +900.
+        let config = ServiceConfig {
+            initial_replicas: 2,
+            failures: vec![
+                (
+                    start + SimDuration::from_secs(60),
+                    start + SimDuration::from_secs(600),
+                    victim,
+                ),
+                (
+                    start + SimDuration::from_secs(120),
+                    start + SimDuration::from_secs(900),
+                    victim,
+                ),
+            ],
+            ..quick_config()
+        };
+        let service = VodService::with_sink(
+            &scenario,
+            Box::new(Vra::default()),
+            config,
+            RingRecorder::new(65_536),
+        );
+        let (_, _, recorder) = service.run_full();
+        let mut downs = Vec::new();
+        let mut ups = Vec::new();
+        for (at, ev) in recorder.iter() {
+            match ev.kind() {
+                "server_down" => downs.push(at),
+                "server_up" => ups.push(at),
+                _ => {}
+            }
+        }
+        assert_eq!(downs, vec![start + SimDuration::from_secs(60)]);
+        assert_eq!(ups, vec![start + SimDuration::from_secs(900)]);
+    }
+
+    /// A denser workload for fault tests: enough concurrent sessions that
+    /// a mid-run outage always catches transfers in flight.
+    fn chaos_scenario(seed: u64) -> Scenario {
+        use vod_sim::traffic::BackgroundModel;
+        use vod_workload::arrivals::HourlyShape;
+        use vod_workload::library::{LibraryConfig, LibraryGenerator};
+        use vod_workload::trace::TraceConfig;
+        let grnet = vod_net::topologies::grnet::Grnet::new();
+        let library = LibraryGenerator::new(LibraryConfig {
+            titles: 12,
+            min_size_mb: 50.0,
+            max_size_mb: 120.0,
+            bitrate_mbps: 1.5,
+        })
+        .generate(seed);
+        let trace = TraceConfig {
+            start: SimTime::from_secs(8 * 3600),
+            duration: SimDuration::from_secs(1800),
+            rate_per_sec: 0.05,
+            shape: HourlyShape::flat(),
+            zipf_skew: 0.9,
+            client_weights: None,
+        }
+        .generate(grnet.topology(), &library, seed);
+        Scenario::new(
+            "chaos",
+            grnet.topology().clone(),
+            library,
+            trace,
+            BackgroundModel::grnet_table2(&grnet),
+            seed,
+        )
+    }
+
+    #[test]
+    fn retry_budget_bounds_reattempts_and_heals_transients() {
+        use vod_net::topologies::grnet::{Grnet, GrnetLink};
+        use vod_sim::fault::FaultPlan;
+        // Sever both of Heraklio's links mid-run: sessions streaming to
+        // or from the island lose every route. Instant abort kills them;
+        // a retry budget generous enough to outlast the outage saves
+        // them, because the links come back (unlike a crashed server,
+        // which rejoins with a cold cache).
+        let grnet = Grnet::new();
+        let scenario = chaos_scenario(19);
+        let start = scenario.trace().requests().first().unwrap().at;
+        let outage_start = start + SimDuration::from_secs(300);
+        let outage_end = start + SimDuration::from_secs(1200);
+        let plan = FaultPlan::new()
+            .link_outage(
+                outage_start,
+                outage_end,
+                grnet.link(GrnetLink::AthensHeraklio),
+            )
+            .link_outage(
+                outage_start,
+                outage_end,
+                grnet.link(GrnetLink::XanthiHeraklio),
+            );
+        let base = ServiceConfig {
+            initial_replicas: 1,
+            fault_plan: plan,
+            ..quick_config()
+        };
+        let instant = VodService::new(&scenario, Box::new(Vra::default()), base.clone()).run();
+        assert!(
+            instant.aborted_sessions > 0,
+            "the severed island must abort sessions under instant abort"
+        );
+        let patient = VodService::new(
+            &scenario,
+            Box::new(Vra::default()),
+            ServiceConfig {
+                retry: RetryPolicy {
+                    max_attempts: 5,
+                    backoff: SimDuration::from_secs(120),
+                    stall_budget: SimDuration::from_secs(1500),
+                },
+                ..base.clone()
+            },
+        )
+        .run();
+        assert!(
+            patient.aborted_sessions < instant.aborted_sessions,
+            "retry must save sessions: {} vs {}",
+            patient.aborted_sessions,
+            instant.aborted_sessions
+        );
+        // A budget too small to outlast the outage still aborts — the
+        // retry loop is bounded, not infinite.
+        let bounded = VodService::new(
+            &scenario,
+            Box::new(Vra::default()),
+            ServiceConfig {
+                retry: RetryPolicy {
+                    max_attempts: 2,
+                    backoff: SimDuration::from_secs(1),
+                    stall_budget: SimDuration::from_secs(10),
+                },
+                ..base
+            },
+        )
+        .run();
+        assert!(bounded.aborted_sessions > 0, "bounded retry still aborts");
+        for report in [&instant, &patient, &bounded] {
+            assert_eq!(
+                report.completed.len()
+                    + report.unfinished_sessions
+                    + report.failed_requests as usize
+                    + report.aborted_sessions as usize
+                    + report.rejected_requests as usize,
+                scenario.trace().len()
+            );
+        }
+    }
+
+    #[test]
+    fn link_outage_reroutes_or_retries() {
+        use vod_obs::RingRecorder;
+        use vod_sim::fault::FaultPlan;
+        let scenario = quick_scenario(17);
+        let start = scenario.trace().requests().first().unwrap().at;
+        // Take a backbone link down for 10 minutes mid-run.
+        let link = scenario.topology().link_ids().next().unwrap();
+        let plan = FaultPlan::new().link_outage(
+            start + SimDuration::from_secs(300),
+            start + SimDuration::from_secs(900),
+            link,
+        );
+        let config = ServiceConfig {
+            initial_replicas: 2,
+            fault_plan: plan,
+            retry: RetryPolicy::with_attempts(4),
+            ..quick_config()
+        };
+        let service = VodService::with_sink(
+            &scenario,
+            Box::new(Vra::default()),
+            config,
+            RingRecorder::new(65_536),
+        );
+        let (report, _, recorder) = service.run_full();
+        let kinds: Vec<&str> = recorder.iter().map(|(_, e)| e.kind()).collect();
+        assert!(kinds.contains(&"link_down"), "outage must be traced");
+        assert!(kinds.contains(&"link_up"), "recovery must be traced");
+        assert_eq!(
+            report.completed.len()
+                + report.unfinished_sessions
+                + report.failed_requests as usize
+                + report.aborted_sessions as usize
+                + report.rejected_requests as usize,
+            scenario.trace().len()
+        );
+    }
+
+    #[test]
+    fn snmp_outage_freezes_the_view_and_flags_staleness() {
+        use vod_obs::RingRecorder;
+        use vod_sim::fault::FaultPlan;
+        let scenario = quick_scenario(13);
+        let start = scenario.trace().requests().first().unwrap().at;
+        let plan = FaultPlan::new().snmp_outage(
+            start + SimDuration::from_secs(300),
+            start + SimDuration::from_mins(10),
+        );
+        let config = ServiceConfig {
+            fault_plan: plan,
+            ..quick_config()
+        };
+        let service = VodService::with_sink(
+            &scenario,
+            Box::new(Vra::default()),
+            config,
+            RingRecorder::new(65_536),
+        );
+        let (report, _, recorder) = service.run_full();
+        let mut stale = 0u32;
+        let mut max_staleness = SimDuration::ZERO;
+        for (_, ev) in recorder.iter() {
+            if let vod_obs::Event::SnmpStaleView { staleness } = ev {
+                stale += 1;
+                if *staleness > max_staleness {
+                    max_staleness = *staleness;
+                }
+            }
+        }
+        assert!(stale >= 2, "each skipped poll is flagged, got {stale}");
+        // Staleness grows while the poller is dark (interval is 2 min).
+        assert!(max_staleness >= SimDuration::from_mins(4));
+        // The run itself is unharmed: the last-known-good view routes on.
+        assert!(report.completed.len() + report.unfinished_sessions > 0);
+        assert_eq!(report.failed_requests, 0);
     }
 
     #[test]

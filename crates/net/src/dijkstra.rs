@@ -183,6 +183,11 @@ pub fn dijkstra_with_scratch(
 
         for inc in topology.adjacent(node) {
             let w = weights.weight(inc.link);
+            // Non-finite weights mask administratively-down links: an
+            // unreachable-only-through-them node must stay `None`.
+            if !w.is_finite() {
+                continue;
+            }
             let next = cost + w;
             let entry = &mut dist[inc.neighbor.index()];
             if entry.is_none_or(|d| next < d) {
@@ -246,6 +251,11 @@ fn run(
 
         for inc in topology.adjacent(node) {
             let w = weights.weight(inc.link);
+            // Same non-finite masking as `dijkstra_with_scratch` — the
+            // two paths must stay bit-identical.
+            if !w.is_finite() {
+                continue;
+            }
             let next = cost + w;
             let entry = &mut dist[inc.neighbor.index()];
             if entry.is_none_or(|d| next < d) {
@@ -326,6 +336,9 @@ pub fn bellman_ford(
         let mut changed = false;
         for link in topology.links() {
             let w = weights.weight(link.id());
+            if !w.is_finite() {
+                continue;
+            }
             let (a, b) = link.endpoints();
             if let Some(da) = dist[a.index()] {
                 let cand = da + w;
@@ -422,6 +435,33 @@ mod tests {
         let w = LinkWeights::uniform(5, 0.0);
         let paths = dijkstra(&topo, &w, s).unwrap();
         assert_eq!(paths.distance_to(t), Some(0.0));
+    }
+
+    #[test]
+    fn infinite_weights_mask_links() {
+        let (topo, [s, a, b, t], [sa, sb, ab, at, bt]) = diamond();
+        let mut w = LinkWeights::uniform(5, 1.0);
+        // Down every link into t except via a: the route must detour.
+        w.set_weight(sb, f64::INFINITY);
+        w.set_weight(bt, f64::INFINITY);
+        let paths = dijkstra(&topo, &w, s).unwrap();
+        let route = paths.route_to(t).unwrap();
+        assert_eq!(route.links(), &[sa, at]);
+        assert!(paths.is_reachable(b), "b is still reachable via a");
+        assert_eq!(paths.distance_to(b), Some(2.0)); // s-a-b
+
+        // Masking every incident link makes the node unreachable, on
+        // all three implementations identically.
+        w.set_weight(ab, f64::INFINITY);
+        w.set_weight(at, f64::INFINITY);
+        let paths = dijkstra(&topo, &w, s).unwrap();
+        assert!(!paths.is_reachable(t));
+        assert_eq!(paths.distance_to(a), Some(1.0));
+        let mut scratch = DijkstraScratch::new();
+        let scratch_paths = dijkstra_with_scratch(&topo, &w, s, &mut scratch).unwrap();
+        assert_eq!(scratch_paths.distance_to(t), None);
+        let bf = bellman_ford(&topo, &w, s).unwrap();
+        assert_eq!(bf[t.index()], None);
     }
 
     #[test]

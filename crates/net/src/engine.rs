@@ -475,6 +475,9 @@ fn link_weight(
     nv: &[f64],
     link: LinkId,
 ) -> f64 {
+    if snapshot.is_admin_down(link) {
+        return f64::INFINITY;
+    }
     let l = topology.link(link);
     let combined = params
         .combiner
@@ -649,6 +652,35 @@ mod tests {
         let mut engine = RoutingEngine::new(LvnParams::default());
         let weights = engine.weights(grnet.topology(), &snap).unwrap();
         assert_eq!(weights, &reference);
+    }
+
+    #[test]
+    fn admin_down_masking_is_identical_on_both_engine_paths() {
+        let (grnet, mut snap) = grnet_fixture();
+        let link = grnet.link(crate::topologies::grnet::GrnetLink::PatraAthens);
+
+        // Warm the cache, then flip admin state so `prepare` takes the
+        // incremental patch path (1 dirty link on a 6-node topology).
+        let mut engine = RoutingEngine::new(LvnParams::default());
+        let _ = engine.weights(grnet.topology(), &snap).unwrap();
+        snap.set_admin_down(link, true);
+        let patched = engine.weights(grnet.topology(), &snap).unwrap().clone();
+        assert_eq!(engine.stats().incremental_rebuilds, 1);
+        assert!(patched.weight(link).is_infinite());
+
+        // A cold engine (full rebuild) and the reference computer agree.
+        let mut cold = RoutingEngine::new(LvnParams::default());
+        let full = cold.weights(grnet.topology(), &snap).unwrap();
+        assert_eq!(&patched, full);
+        let reference = LvnComputer::new(grnet.topology(), &snap, LvnParams::default()).weights();
+        assert_eq!(patched, reference);
+
+        // Bringing the link back restores finite weights incrementally.
+        snap.set_admin_down(link, false);
+        let restored = engine.weights(grnet.topology(), &snap).unwrap();
+        assert!(restored.weight(link).is_finite());
+        let reference = LvnComputer::new(grnet.topology(), &snap, LvnParams::default()).weights();
+        assert_eq!(restored, &reference);
     }
 
     #[test]

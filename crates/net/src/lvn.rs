@@ -332,10 +332,17 @@ impl<'a> LvnComputer<'a> {
 
     /// Equation (1): the Link Validation Number of `link`.
     ///
+    /// Administratively-down links (fault injection) weigh
+    /// `f64::INFINITY`: Dijkstra never relaxes a non-finite weight, so
+    /// no route crosses a down link.
+    ///
     /// # Panics
     ///
     /// Panics if `link` is out of range.
     pub fn lvn(&self, link: LinkId) -> f64 {
+        if self.snapshot.is_admin_down(link) {
+            return f64::INFINITY;
+        }
         let l = self.topology.link(link);
         let nv_a = self.node_validation(l.a());
         let nv_b = self.node_validation(l.b());

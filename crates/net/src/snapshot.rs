@@ -73,6 +73,11 @@ pub struct SnapshotEpoch {
 pub struct TrafficSnapshot {
     used: Vec<Mbps>,
     explicit_utilization: Vec<Option<Fraction>>,
+    /// Administrative link state: `true` marks a link taken down by
+    /// fault injection. Down links must never carry a routed flow —
+    /// consumers ([`crate::lvn`], [`crate::engine`]) weight them as
+    /// `f64::INFINITY`.
+    admin_down: Vec<bool>,
     /// Instance identity for epoch-keyed caching (fresh on clone).
     token: u64,
     /// Mutation counter; mutation `k` (0-based) is journaled at
@@ -88,7 +93,9 @@ pub struct TrafficSnapshot {
 // original.
 impl PartialEq for TrafficSnapshot {
     fn eq(&self, other: &Self) -> bool {
-        self.used == other.used && self.explicit_utilization == other.explicit_utilization
+        self.used == other.used
+            && self.explicit_utilization == other.explicit_utilization
+            && self.admin_down == other.admin_down
     }
 }
 
@@ -97,6 +104,7 @@ impl Clone for TrafficSnapshot {
         TrafficSnapshot {
             used: self.used.clone(),
             explicit_utilization: self.explicit_utilization.clone(),
+            admin_down: self.admin_down.clone(),
             token: fresh_token(),
             version: 0,
             journal: Vec::new(),
@@ -112,6 +120,7 @@ impl Serialize for TrafficSnapshot {
                 "explicit_utilization".to_string(),
                 self.explicit_utilization.to_value(),
             ),
+            ("admin_down".to_string(), self.admin_down.to_value()),
         ])
     }
 }
@@ -135,7 +144,12 @@ impl Deserialize for TrafficSnapshot {
                 ))
             }
         };
-        if used.len() != explicit_utilization.len() {
+        // Older traces predate administrative link state; default to all-up.
+        let admin_down: Vec<bool> = match v.get_field("admin_down") {
+            Some(f) => Deserialize::from_value(f)?,
+            None => vec![false; used.len()],
+        };
+        if used.len() != explicit_utilization.len() || used.len() != admin_down.len() {
             return Err(serde::Error::custom(
                 "TrafficSnapshot field lengths disagree",
             ));
@@ -143,6 +157,7 @@ impl Deserialize for TrafficSnapshot {
         Ok(TrafficSnapshot {
             used,
             explicit_utilization,
+            admin_down,
             token: fresh_token(),
             version: 0,
             journal: Vec::new(),
@@ -156,6 +171,7 @@ impl TrafficSnapshot {
         TrafficSnapshot {
             used: vec![Mbps::ZERO; topology.link_count()],
             explicit_utilization: vec![None; topology.link_count()],
+            admin_down: vec![false; topology.link_count()],
             token: fresh_token(),
             version: 0,
             journal: Vec::new(),
@@ -228,14 +244,29 @@ impl TrafficSnapshot {
         self.note_mutation(link);
     }
 
-    /// Removes traffic from `link`, clamping at zero.
+    /// Removes traffic from `link`, clamping at zero, and returns the
+    /// shortfall that could not be removed ([`Mbps::ZERO`] in the
+    /// normal case). A nonzero shortfall means the caller released
+    /// more traffic than the snapshot recorded — a link-conservation
+    /// bug upstream; debug builds assert on it, and callers should
+    /// surface the returned shortfall (e.g. as an observability event)
+    /// instead of silently saturating.
     ///
     /// # Panics
     ///
-    /// Panics if `link` is out of range.
-    pub fn remove_used(&mut self, link: LinkId, delta: Mbps) {
-        self.used[link.index()] = self.used[link.index()].saturating_sub(delta);
+    /// Panics if `link` is out of range; debug builds also panic on
+    /// underflow.
+    #[must_use = "a nonzero shortfall signals a link-conservation bug"]
+    pub fn remove_used(&mut self, link: LinkId, delta: Mbps) -> Mbps {
+        let before = self.used[link.index()];
+        let shortfall = delta.saturating_sub(before);
+        debug_assert!(
+            shortfall.is_zero(),
+            "remove_used underflow on {link}: removing {delta} exceeds recorded {before}"
+        );
+        self.used[link.index()] = before.saturating_sub(delta);
         self.note_mutation(link);
+        shortfall
     }
 
     /// Records an explicit utilization reading for `link`, overriding the
@@ -259,6 +290,38 @@ impl TrafficSnapshot {
     pub fn clear_explicit_utilization(&mut self, link: LinkId) {
         self.explicit_utilization[link.index()] = None;
         self.note_mutation(link);
+    }
+
+    /// Sets the administrative state of `link`: `true` marks it down
+    /// (fault-injected outage). A no-op when the state is unchanged, so
+    /// repeated applications add no journal noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn set_admin_down(&mut self, link: LinkId, down: bool) {
+        if self.admin_down[link.index()] != down {
+            self.admin_down[link.index()] = down;
+            self.note_mutation(link);
+        }
+    }
+
+    /// Whether `link` is administratively down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn is_admin_down(&self, link: LinkId) -> bool {
+        self.admin_down[link.index()]
+    }
+
+    /// Links currently marked administratively down, in id order.
+    pub fn admin_down_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.admin_down
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| LinkId::new(i as u32))
     }
 
     /// Returns the combined in+out traffic currently recorded on `link`.
@@ -378,8 +441,55 @@ mod tests {
         snap.add_used(l0, Mbps::new(1.0));
         snap.add_used(l0, Mbps::new(0.5));
         assert_eq!(snap.used(l0), Mbps::new(1.5));
-        snap.remove_used(l0, Mbps::new(2.0));
+        assert_eq!(snap.remove_used(l0, Mbps::new(1.5)), Mbps::ZERO);
         assert_eq!(snap.used(l0), Mbps::ZERO);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "remove_used underflow")]
+    fn remove_used_underflow_asserts_in_debug() {
+        let (topo, l0, _) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        snap.add_used(l0, Mbps::new(1.0));
+        let _ = snap.remove_used(l0, Mbps::new(2.0));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn remove_used_underflow_clamps_and_reports_in_release() {
+        let (topo, l0, _) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        snap.add_used(l0, Mbps::new(1.0));
+        let shortfall = snap.remove_used(l0, Mbps::new(2.5));
+        assert_eq!(shortfall, Mbps::new(1.5));
+        assert_eq!(snap.used(l0), Mbps::ZERO);
+    }
+
+    #[test]
+    fn admin_down_is_journaled_and_round_trips() {
+        let (topo, l0, l1) = two_link_topo();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        assert!(!snap.is_admin_down(l0));
+        let before = snap.epoch();
+        snap.set_admin_down(l0, true);
+        // Unchanged state adds no journal noise.
+        snap.set_admin_down(l0, true);
+        snap.set_admin_down(l1, false);
+        assert_eq!(snap.epoch().version, before.version + 1);
+        let dirty: Vec<LinkId> = snap.dirty_links_since(before).unwrap().collect();
+        assert_eq!(dirty, vec![l0]);
+        assert!(snap.is_admin_down(l0));
+        assert_eq!(snap.admin_down_links().collect::<Vec<_>>(), vec![l0]);
+
+        // Down state survives serde and distinguishes snapshots.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TrafficSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.is_admin_down(l0));
+        snap.set_admin_down(l0, false);
+        assert_ne!(back, snap);
+        assert_eq!(snap.admin_down_links().count(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::fmt::Write as _;
 
-use vod_net::NodeId;
+use vod_net::{LinkId, NodeId};
 use vod_sim::{SimDuration, SimTime};
 use vod_storage::VideoId;
 
@@ -80,6 +80,15 @@ pub enum Event {
         /// The selector's LVN normalization constant, when it routes by
         /// LVN-weighted Dijkstra (equation (4) of the paper).
         lvn_normalization: Option<f64>,
+        /// Bounded re-attempts a session gets before aborting (0 means
+        /// the pre-retry instant-abort behaviour).
+        retry_max_attempts: u32,
+        /// Base backoff between re-attempts, microseconds of simulated
+        /// time (attempt `n` waits `n * retry_backoff_us`).
+        retry_backoff_us: u64,
+        /// Total stall budget per session, microseconds: once the next
+        /// retry would land beyond `first_failure + budget`, abort.
+        retry_stall_budget_us: u64,
     },
     /// One server's DMA cache sizing (emitted per server at start; a
     /// recovering server reuses the same configuration).
@@ -132,6 +141,9 @@ pub enum Event {
         used: Vec<f64>,
         /// Utilization fraction per link (equation (5)).
         utilization: Vec<f64>,
+        /// Indices of links the selector sees as administratively down
+        /// (masked to infinite LVN weight), ascending.
+        down: Vec<u64>,
     },
     /// A request from the workload trace arrived.
     RequestArrival {
@@ -269,6 +281,21 @@ pub enum Event {
     SessionAborted {
         /// The session.
         session: u64,
+        /// Stable snake_case cause: `"home_down"` (the client's home
+        /// server died), `"no_source"` (no reachable replica and retry
+        /// disabled), `"retry_exhausted"` (every re-attempt failed) or
+        /// `"stall_budget"` (the next retry would overrun the budget).
+        reason: String,
+    },
+    /// A cluster fetch failed transiently and the session scheduled a
+    /// bounded re-attempt instead of aborting.
+    SessionRetry {
+        /// The session.
+        session: u64,
+        /// 1-based index of this re-attempt.
+        attempt: u32,
+        /// Deterministic backoff before the re-attempt runs.
+        backoff: SimDuration,
     },
     /// The SNMP system polled the agents and refreshed the database.
     SnmpPoll {
@@ -289,6 +316,42 @@ pub enum Event {
     ServerUp {
         /// The recovered server.
         server: NodeId,
+    },
+    /// A fault plan took a link administratively down (outage depth
+    /// reached 1); affected sessions re-route or retry.
+    LinkDown {
+        /// The failed link.
+        link: LinkId,
+    },
+    /// A link came back up (outage depth returned to 0).
+    LinkUp {
+        /// The restored link.
+        link: LinkId,
+    },
+    /// A fault plan started degrading a link's deliverable bandwidth.
+    LinkDegradeStart {
+        /// The degraded link.
+        link: LinkId,
+        /// Remaining capacity fraction in `(0, 1)`.
+        factor: f64,
+    },
+    /// A link-degradation window ended.
+    LinkDegradeEnd {
+        /// The recovering link.
+        link: LinkId,
+        /// The factor the ending window had applied.
+        factor: f64,
+    },
+    /// The SNMP poller went down: scheduled polls are skipped and the
+    /// selector keeps working from its last-known-good view.
+    SnmpOutageStart,
+    /// The SNMP poller recovered; the next poll refreshes the view.
+    SnmpOutageEnd,
+    /// A scheduled poll was skipped by an active SNMP outage — the VRA's
+    /// view is flagged stale (last-known-good fallback).
+    SnmpStaleView {
+        /// Age of the view the selector is falling back on.
+        staleness: SimDuration,
     },
 }
 
@@ -318,10 +381,18 @@ impl Event {
             Event::SessionResume { .. } => "session_resume",
             Event::SessionComplete { .. } => "session_complete",
             Event::SessionAborted { .. } => "session_aborted",
+            Event::SessionRetry { .. } => "session_retry",
             Event::SnmpPoll { .. } => "snmp_poll",
             Event::BackgroundUpdate => "background_update",
             Event::ServerDown { .. } => "server_down",
             Event::ServerUp { .. } => "server_up",
+            Event::LinkDown { .. } => "link_down",
+            Event::LinkUp { .. } => "link_up",
+            Event::LinkDegradeStart { .. } => "link_degrade_start",
+            Event::LinkDegradeEnd { .. } => "link_degrade_end",
+            Event::SnmpOutageStart => "snmp_outage_start",
+            Event::SnmpOutageEnd => "snmp_outage_end",
+            Event::SnmpStaleView { .. } => "snmp_stale_view",
         }
     }
 
@@ -362,6 +433,9 @@ impl Event {
                 dynamic_rerouting,
                 snmp_smoothing,
                 lvn_normalization,
+                retry_max_attempts,
+                retry_backoff_us,
+                retry_stall_budget_us,
             } => {
                 out.push_str(",\"selector\":");
                 write_json_string(selector, out);
@@ -378,6 +452,10 @@ impl Event {
                     }
                     None => out.push_str(",\"lvn_normalization\":null"),
                 }
+                let _ = write!(
+                    out,
+                    ",\"retry_max_attempts\":{retry_max_attempts},\"retry_backoff_us\":{retry_backoff_us},\"retry_stall_budget_us\":{retry_stall_budget_us}"
+                );
             }
             Event::CacheConfig {
                 server,
@@ -413,7 +491,11 @@ impl Event {
                     video.index()
                 );
             }
-            Event::LinkState { used, utilization } => {
+            Event::LinkState {
+                used,
+                utilization,
+                down,
+            } => {
                 out.push_str(",\"used\":[");
                 for (i, u) in used.iter().enumerate() {
                     if i > 0 {
@@ -427,6 +509,13 @@ impl Event {
                         out.push(',');
                     }
                     let _ = write!(out, "{u}");
+                }
+                out.push_str("],\"down\":[");
+                for (i, l) in down.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{l}");
                 }
                 out.push(']');
             }
@@ -569,8 +658,20 @@ impl Event {
                     stall_time.as_micros()
                 );
             }
-            Event::SessionAborted { session } => {
-                let _ = write!(out, ",\"session\":{session}");
+            Event::SessionAborted { session, reason } => {
+                let _ = write!(out, ",\"session\":{session},\"reason\":");
+                write_json_string(reason, out);
+            }
+            Event::SessionRetry {
+                session,
+                attempt,
+                backoff,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"attempt\":{attempt},\"backoff_us\":{}",
+                    backoff.as_micros()
+                );
             }
             Event::SnmpPoll {
                 readings,
@@ -588,6 +689,16 @@ impl Event {
             }
             Event::ServerUp { server } => {
                 let _ = write!(out, ",\"server\":{}", server.index());
+            }
+            Event::LinkDown { link } | Event::LinkUp { link } => {
+                let _ = write!(out, ",\"link\":{}", link.index());
+            }
+            Event::LinkDegradeStart { link, factor } | Event::LinkDegradeEnd { link, factor } => {
+                let _ = write!(out, ",\"link\":{},\"factor\":{factor}", link.index());
+            }
+            Event::SnmpOutageStart | Event::SnmpOutageEnd => {}
+            Event::SnmpStaleView { staleness } => {
+                let _ = write!(out, ",\"staleness_us\":{}", staleness.as_micros());
             }
         }
         out.push('}');
@@ -671,11 +782,16 @@ mod tests {
             dynamic_rerouting: true,
             snmp_smoothing: None,
             lvn_normalization: Some(1.0),
+            retry_max_attempts: 3,
+            retry_backoff_us: 2_000_000,
+            retry_stall_budget_us: 30_000_000,
         };
         assert_eq!(
             cfg.to_json(SimTime::ZERO),
             "{\"at_us\":0,\"kind\":\"run_config\",\"selector\":\"vra\",\
-             \"dynamic_rerouting\":true,\"snmp_smoothing\":null,\"lvn_normalization\":1}"
+             \"dynamic_rerouting\":true,\"snmp_smoothing\":null,\"lvn_normalization\":1,\
+             \"retry_max_attempts\":3,\"retry_backoff_us\":2000000,\
+             \"retry_stall_budget_us\":30000000}"
         );
 
         let admit = Event::DmaAdmit {
@@ -697,10 +813,66 @@ mod tests {
         let link = Event::LinkState {
             used: vec![1.5, 0.0],
             utilization: vec![0.25, 0.0],
+            down: vec![1],
         };
         assert_eq!(
             link.to_json(SimTime::ZERO),
-            "{\"at_us\":0,\"kind\":\"link_state\",\"used\":[1.5,0],\"utilization\":[0.25,0]}"
+            "{\"at_us\":0,\"kind\":\"link_state\",\"used\":[1.5,0],\
+             \"utilization\":[0.25,0],\"down\":[1]}"
+        );
+    }
+
+    #[test]
+    fn fault_and_retry_events_render() {
+        let down = Event::LinkDown {
+            link: LinkId::new(4),
+        };
+        assert_eq!(
+            down.to_json(SimTime::from_secs(1)),
+            "{\"at_us\":1000000,\"kind\":\"link_down\",\"link\":4}"
+        );
+
+        let degrade = Event::LinkDegradeStart {
+            link: LinkId::new(2),
+            factor: 0.5,
+        };
+        assert_eq!(
+            degrade.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"link_degrade_start\",\"link\":2,\"factor\":0.5}"
+        );
+
+        assert_eq!(
+            Event::SnmpOutageStart.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"snmp_outage_start\"}"
+        );
+
+        let stale = Event::SnmpStaleView {
+            staleness: SimDuration::from_secs(240),
+        };
+        assert_eq!(
+            stale.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"snmp_stale_view\",\"staleness_us\":240000000}"
+        );
+
+        let retry = Event::SessionRetry {
+            session: 9,
+            attempt: 2,
+            backoff: SimDuration::from_secs(4),
+        };
+        assert_eq!(
+            retry.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"session_retry\",\"session\":9,\"attempt\":2,\
+             \"backoff_us\":4000000}"
+        );
+
+        let abort = Event::SessionAborted {
+            session: 9,
+            reason: "retry_exhausted".into(),
+        };
+        assert_eq!(
+            abort.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"session_aborted\",\"session\":9,\
+             \"reason\":\"retry_exhausted\"}"
         );
     }
 

@@ -1,0 +1,409 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] is a set of timed [`FaultWindow`]s — link outages,
+//! link bandwidth degradations, SNMP-poller outages and server crashes —
+//! that a service layer schedules as ordinary discrete events. Plans are
+//! plain data: the same plan replayed over the same scenario produces
+//! byte-identical traces, and [`FaultPlan::random`] derives an arbitrary
+//! chaos schedule from a single `u64` seed so whole fault campaigns are
+//! reproducible from one number.
+//!
+//! # Examples
+//!
+//! ```
+//! use vod_net::topologies::grnet::{Grnet, GrnetLink};
+//! use vod_sim::fault::FaultPlan;
+//! use vod_sim::{SimDuration, SimTime};
+//!
+//! let grnet = Grnet::new();
+//! let noon = SimTime::from_secs(12 * 3600);
+//! let plan = FaultPlan::new()
+//!     // Patra–Athens flaps three times: 5 minutes down, 10 up.
+//!     .link_flap(
+//!         grnet.link(GrnetLink::PatraAthens),
+//!         noon,
+//!         SimDuration::from_mins(5),
+//!         SimDuration::from_mins(10),
+//!         3,
+//!     )
+//!     // The poller goes dark for half an hour — routing falls back to
+//!     // the last-known-good view.
+//!     .snmp_outage(noon, noon + SimDuration::from_mins(30));
+//! assert_eq!(plan.windows().len(), 4);
+//! assert!(plan.validate(grnet.topology()).is_ok());
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use vod_net::{LinkId, NodeId, Topology};
+
+use crate::time::{SimDuration, SimTime};
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A video server crashes: its catalog is withdrawn and its cache is
+    /// cold on recovery.
+    ServerOutage {
+        /// The failing server node.
+        node: NodeId,
+    },
+    /// A link goes administratively down: it carries no flows and routing
+    /// must detour around it.
+    LinkOutage {
+        /// The failing link.
+        link: LinkId,
+    },
+    /// A link's deliverable bandwidth drops to `factor` × capacity while
+    /// the window is open (routing still sees the nominal capacity — the
+    /// degradation surfaces through SNMP readings and stalls, as a real
+    /// soft failure would).
+    LinkDegrade {
+        /// The degraded link.
+        link: LinkId,
+        /// Remaining capacity fraction, in `(0, 1)`.
+        factor: f64,
+    },
+    /// The SNMP poller stops writing readings: the routing view freezes
+    /// at the last-known-good state until the window closes.
+    SnmpOutage,
+}
+
+/// One fault active over `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// When the fault begins.
+    pub start: SimTime,
+    /// When the fault heals. Must be strictly after `start`.
+    pub end: SimTime,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+/// Why a [`FaultPlan`] failed validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultPlanError {
+    /// A window ends at or before it starts.
+    EmptyWindow {
+        /// The window's start.
+        start: SimTime,
+        /// The window's (non-positive) end.
+        end: SimTime,
+    },
+    /// A window names a link outside the topology.
+    UnknownLink(LinkId),
+    /// A window names a node outside the topology.
+    UnknownNode(NodeId),
+    /// A degradation factor outside `(0, 1)`.
+    InvalidFactor(f64),
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::EmptyWindow { start, end } => write!(
+                f,
+                "fault window must end after it starts ({} µs ≥ {} µs)",
+                start.as_micros(),
+                end.as_micros()
+            ),
+            FaultPlanError::UnknownLink(l) => write!(f, "fault plan names unknown link {l}"),
+            FaultPlanError::UnknownNode(n) => write!(f, "fault plan names unknown node {n}"),
+            FaultPlanError::InvalidFactor(x) => {
+                write!(f, "degradation factor {x} must be in (0, 1)")
+            }
+        }
+    }
+}
+
+impl Error for FaultPlanError {}
+
+/// A deterministic schedule of fault windows.
+///
+/// Windows may overlap and nest freely, including for the same node or
+/// link — consumers track an outage *depth* per target, so a resource
+/// only heals when its last covering window closes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The scheduled windows, in insertion order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Adds an arbitrary window.
+    pub fn window(mut self, window: FaultWindow) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Adds a server crash over `[start, end)`.
+    pub fn server_outage(self, start: SimTime, end: SimTime, node: NodeId) -> Self {
+        self.window(FaultWindow {
+            start,
+            end,
+            kind: FaultKind::ServerOutage { node },
+        })
+    }
+
+    /// Adds a link outage over `[start, end)`.
+    pub fn link_outage(self, start: SimTime, end: SimTime, link: LinkId) -> Self {
+        self.window(FaultWindow {
+            start,
+            end,
+            kind: FaultKind::LinkOutage { link },
+        })
+    }
+
+    /// Adds a bandwidth degradation to `factor` × capacity over
+    /// `[start, end)`.
+    pub fn link_degrade(self, start: SimTime, end: SimTime, link: LinkId, factor: f64) -> Self {
+        self.window(FaultWindow {
+            start,
+            end,
+            kind: FaultKind::LinkDegrade { link, factor },
+        })
+    }
+
+    /// Adds an SNMP-poller outage over `[start, end)`.
+    pub fn snmp_outage(self, start: SimTime, end: SimTime) -> Self {
+        self.window(FaultWindow {
+            start,
+            end,
+            kind: FaultKind::SnmpOutage,
+        })
+    }
+
+    /// Adds `cycles` consecutive outages of `link` — the classic flap:
+    /// down for `down_for`, up for `up_for`, repeated.
+    pub fn link_flap(
+        mut self,
+        link: LinkId,
+        first_down: SimTime,
+        down_for: SimDuration,
+        up_for: SimDuration,
+        cycles: usize,
+    ) -> Self {
+        let mut at = first_down;
+        for _ in 0..cycles {
+            let end = at + down_for;
+            self = self.link_outage(at, end, link);
+            at = end + up_for;
+        }
+        self
+    }
+
+    /// Derives a chaos schedule of `faults` windows over
+    /// `[start, end)` from `seed` — link outages, degradations, SNMP
+    /// outages and (when the topology has video servers) server crashes
+    /// in a deterministic mix. The same `(seed, topology, horizon,
+    /// faults)` always yields the same plan.
+    pub fn random(
+        seed: u64,
+        topology: &Topology,
+        start: SimTime,
+        end: SimTime,
+        faults: usize,
+    ) -> Self {
+        let span = end.duration_since(start).as_micros();
+        let links = topology.link_count() as u64;
+        if span == 0 || links == 0 {
+            return FaultPlan::new();
+        }
+        let servers = topology.video_server_nodes();
+        let mut state = seed ^ 0x6A09_E667_F3BC_C908;
+        let mut plan = FaultPlan::new();
+        for _ in 0..faults {
+            // Windows start in the first ¾ of the horizon and last
+            // between 1% and ~25% of it, so every fault both bites and
+            // heals inside the run.
+            let offset = splitmix64(&mut state) % (span * 3 / 4).max(1);
+            let length = span / 100 + splitmix64(&mut state) % (span / 4).max(1);
+            let at = start + SimDuration::from_micros(offset);
+            let until = at + SimDuration::from_micros(length.max(1));
+            let link = LinkId::new((splitmix64(&mut state) % links) as u32);
+            plan = match splitmix64(&mut state) % 4 {
+                0 => plan.link_outage(at, until, link),
+                1 => {
+                    let factor = 0.1 + 0.8 * unit_fraction(splitmix64(&mut state));
+                    plan.link_degrade(at, until, link, factor)
+                }
+                2 => plan.snmp_outage(at, until),
+                _ => match servers
+                    .get((splitmix64(&mut state) % servers.len().max(1) as u64) as usize)
+                {
+                    Some(&node) => plan.server_outage(at, until, node),
+                    None => plan.link_outage(at, until, link),
+                },
+            };
+        }
+        plan
+    }
+
+    /// Checks every window for well-formedness against `topology`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FaultPlanError`] found: an empty window, an
+    /// out-of-range link or node id, or a degradation factor outside
+    /// `(0, 1)`.
+    pub fn validate(&self, topology: &Topology) -> Result<(), FaultPlanError> {
+        for w in &self.windows {
+            if w.end <= w.start {
+                return Err(FaultPlanError::EmptyWindow {
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+            match w.kind {
+                FaultKind::ServerOutage { node } => {
+                    if node.index() >= topology.node_count() {
+                        return Err(FaultPlanError::UnknownNode(node));
+                    }
+                }
+                FaultKind::LinkOutage { link } => {
+                    if link.index() >= topology.link_count() {
+                        return Err(FaultPlanError::UnknownLink(link));
+                    }
+                }
+                FaultKind::LinkDegrade { link, factor } => {
+                    if link.index() >= topology.link_count() {
+                        return Err(FaultPlanError::UnknownLink(link));
+                    }
+                    if !factor.is_finite() || factor <= 0.0 || factor >= 1.0 {
+                        return Err(FaultPlanError::InvalidFactor(factor));
+                    }
+                }
+                FaultKind::SnmpOutage => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 step — a tiny, seedable, allocation-free generator so the
+/// plan needs no RNG dependency and stays identical across toolchains.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a raw 64-bit draw to a fraction in `[0, 1)`.
+fn unit_fraction(raw: u64) -> f64 {
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_net::topologies::grnet::{Grnet, GrnetLink, GrnetNode};
+
+    #[test]
+    fn builders_accumulate_windows() {
+        let grnet = Grnet::new();
+        let t0 = SimTime::from_secs(100);
+        let t1 = SimTime::from_secs(200);
+        let plan = FaultPlan::new()
+            .server_outage(t0, t1, grnet.node(GrnetNode::Athens))
+            .link_outage(t0, t1, grnet.link(GrnetLink::PatraAthens))
+            .link_degrade(t0, t1, grnet.link(GrnetLink::PatraAthens), 0.5)
+            .snmp_outage(t0, t1);
+        assert_eq!(plan.windows().len(), 4);
+        assert!(!plan.is_empty());
+        assert!(plan.validate(grnet.topology()).is_ok());
+    }
+
+    #[test]
+    fn link_flap_expands_to_cycles() {
+        let grnet = Grnet::new();
+        let link = grnet.link(GrnetLink::AthensHeraklio);
+        let plan = FaultPlan::new().link_flap(
+            link,
+            SimTime::from_secs(1000),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(120),
+            3,
+        );
+        assert_eq!(plan.windows().len(), 3);
+        let w = plan.windows();
+        assert_eq!(w[0].start, SimTime::from_secs(1000));
+        assert_eq!(w[0].end, SimTime::from_secs(1060));
+        assert_eq!(w[1].start, SimTime::from_secs(1180));
+        assert_eq!(w[2].start, SimTime::from_secs(1360));
+        assert!(w.iter().all(|w| w.kind == FaultKind::LinkOutage { link }));
+    }
+
+    #[test]
+    fn validation_rejects_malformed_windows() {
+        let grnet = Grnet::new();
+        let t0 = SimTime::from_secs(100);
+        let t1 = SimTime::from_secs(200);
+        let link = grnet.link(GrnetLink::PatraAthens);
+
+        let empty = FaultPlan::new().link_outage(t1, t0, link);
+        assert!(matches!(
+            empty.validate(grnet.topology()),
+            Err(FaultPlanError::EmptyWindow { .. })
+        ));
+
+        let bad_link = FaultPlan::new().link_outage(t0, t1, LinkId::new(99));
+        assert!(matches!(
+            bad_link.validate(grnet.topology()),
+            Err(FaultPlanError::UnknownLink(_))
+        ));
+
+        let bad_node = FaultPlan::new().server_outage(t0, t1, NodeId::new(99));
+        assert!(matches!(
+            bad_node.validate(grnet.topology()),
+            Err(FaultPlanError::UnknownNode(_))
+        ));
+
+        for factor in [0.0, 1.0, -0.5, f64::NAN] {
+            let bad = FaultPlan::new().link_degrade(t0, t1, link, factor);
+            assert!(matches!(
+                bad.validate(grnet.topology()),
+                Err(FaultPlanError::InvalidFactor(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic_and_valid() {
+        let grnet = Grnet::new();
+        let start = SimTime::from_secs(8 * 3600);
+        let end = SimTime::from_secs(12 * 3600);
+        let a = FaultPlan::random(7, grnet.topology(), start, end, 20);
+        let b = FaultPlan::random(7, grnet.topology(), start, end, 20);
+        assert_eq!(a, b, "same seed replays the same plan");
+        assert_eq!(a.windows().len(), 20);
+        assert!(a.validate(grnet.topology()).is_ok());
+        for w in a.windows() {
+            assert!(w.start >= start);
+            assert!(w.end > w.start);
+        }
+
+        let c = FaultPlan::random(8, grnet.topology(), start, end, 20);
+        assert_ne!(a, c, "different seeds differ");
+
+        // Degenerate horizons yield empty plans instead of panicking.
+        assert!(FaultPlan::random(7, grnet.topology(), start, start, 5).is_empty());
+    }
+}

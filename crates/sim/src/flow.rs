@@ -104,6 +104,12 @@ pub struct FlowNetwork {
     local_rate: Mbps,
     /// Allocated flow rate per link, maintained by `reallocate`.
     link_loads: Vec<f64>,
+    /// Administratively-down links (fault injection): zero residual
+    /// capacity, so crossing flows freeze at rate zero until re-routed.
+    admin_down: Vec<bool>,
+    /// Deliverable-capacity fraction per link (soft degradation); `1.0`
+    /// is a healthy link.
+    capacity_scale: Vec<f64>,
 }
 
 impl FlowNetwork {
@@ -118,6 +124,8 @@ impl FlowNetwork {
             next_id: 0,
             local_rate: Mbps::new(100.0),
             link_loads: vec![0.0; links],
+            admin_down: vec![false; links],
+            capacity_scale: vec![1.0; links],
         }
     }
 
@@ -149,6 +157,69 @@ impl FlowNetwork {
     /// Panics if `link` is out of range.
     pub fn background(&self, link: LinkId) -> Mbps {
         self.background[link.index()]
+    }
+
+    /// Sets the administrative state of `link`. A down link has zero
+    /// residual capacity: flows crossing it freeze at rate zero until
+    /// the caller re-routes them or the link comes back up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn set_link_admin_down(&mut self, link: LinkId, down: bool) {
+        if self.admin_down[link.index()] != down {
+            self.admin_down[link.index()] = down;
+            self.reallocate();
+        }
+    }
+
+    /// Whether `link` is administratively down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_admin_down(&self, link: LinkId) -> bool {
+        self.admin_down[link.index()]
+    }
+
+    /// Scales the deliverable capacity of `link` to `scale` × nominal
+    /// (soft degradation, `0.0 ≤ scale ≤ 1.0`); `1.0` restores full
+    /// health.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range or `scale` is not in `[0, 1]`.
+    pub fn set_link_capacity_scale(&mut self, link: LinkId, scale: f64) {
+        assert!(
+            scale.is_finite() && (0.0..=1.0).contains(&scale),
+            "capacity scale must be in [0, 1]"
+        );
+        self.capacity_scale[link.index()] = scale;
+        self.reallocate();
+    }
+
+    /// The current deliverable-capacity fraction of `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_capacity_scale(&self, link: LinkId) -> f64 {
+        self.capacity_scale[link.index()]
+    }
+
+    /// Ids of the flows whose route crosses `link`, in creation order —
+    /// the set a service must re-route when the link goes down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn flows_crossing(&self, link: LinkId) -> Vec<FlowId> {
+        assert!(link.index() < self.topology.link_count(), "unknown link");
+        self.flows
+            .iter()
+            .filter(|(_, f)| f.links.contains(&link))
+            .map(|(&id, _)| id)
+            .collect()
     }
 
     /// Starts a flow of `volume_mbit` megabits along `route_links` and
@@ -369,11 +440,16 @@ impl FlowNetwork {
     /// `O(link_count × (link_count + Σ route lengths))`.
     fn reallocate(&mut self) {
         let n_links = self.topology.link_count();
-        // Residual capacity after background traffic.
+        // Residual capacity after degradation, outages and background
+        // traffic.
         let mut cap: Vec<f64> = (0..n_links)
             .map(|i| {
+                if self.admin_down[i] {
+                    return 0.0;
+                }
                 let link = self.topology.link(LinkId::new(i as u32));
-                (link.capacity().as_f64() - self.background[i].as_f64()).max(0.0)
+                let deliverable = link.capacity().as_f64() * self.capacity_scale[i];
+                (deliverable - self.background[i].as_f64()).max(0.0)
             })
             .collect();
 
@@ -702,6 +778,46 @@ mod tests {
         b.set_background_many([(l0, Mbps::new(0.5)), (l1, Mbps::new(2.0))]);
         assert_eq!(a.rate(fa).unwrap(), b.rate(fb).unwrap());
         assert_eq!(a.link_total_load(l0), b.link_total_load(l0));
+    }
+
+    #[test]
+    fn admin_down_link_freezes_crossing_flows() {
+        let (t, l0, l1) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let crossing = net.add_flow(vec![l0, l1], 10.0).unwrap();
+        let spared = net.add_flow(vec![l1], 10.0).unwrap();
+        assert!(net.rate(crossing).unwrap().as_f64() > 0.0);
+
+        net.set_link_admin_down(l0, true);
+        assert!(net.link_admin_down(l0));
+        assert_eq!(net.rate(crossing).unwrap(), Mbps::ZERO);
+        // Flows avoiding the dead link keep (and inherit) its bandwidth.
+        assert_eq!(net.rate(spared).unwrap(), Mbps::new(18.0));
+        assert_eq!(net.flows_crossing(l0), vec![crossing]);
+
+        net.set_link_admin_down(l0, false);
+        assert_eq!(net.rate(crossing).unwrap(), Mbps::new(2.0));
+    }
+
+    #[test]
+    fn capacity_scale_degrades_throughput() {
+        let (t, l0, _) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let f = net.add_flow(vec![l0], 10.0).unwrap();
+        assert_eq!(net.rate(f).unwrap(), Mbps::new(2.0));
+        net.set_link_capacity_scale(l0, 0.25);
+        assert!((net.rate(f).unwrap().as_f64() - 0.5).abs() < 1e-9);
+        assert!((net.link_capacity_scale(l0) - 0.25).abs() < 1e-12);
+        net.set_link_capacity_scale(l0, 1.0);
+        assert_eq!(net.rate(f).unwrap(), Mbps::new(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity scale")]
+    fn capacity_scale_rejects_out_of_range() {
+        let (t, l0, _) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        net.set_link_capacity_scale(l0, 1.5);
     }
 
     #[test]

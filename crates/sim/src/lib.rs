@@ -18,6 +18,9 @@
 //! * [`traffic`] — diurnal background-traffic profiles (piecewise-linear
 //!   in hour-of-day), including profiles fitted to the paper's Table 2
 //!   readings;
+//! * [`fault`] — deterministic fault-injection plans (link outages and
+//!   flaps, bandwidth degradation, SNMP-poller outages, server
+//!   crashes), replayable from a seed;
 //! * [`metrics`] — counters, time series and summary statistics used by
 //!   the experiment harness.
 //!
@@ -55,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod fault;
 pub mod flow;
 pub mod metrics;
 pub mod scheduler;
@@ -62,6 +66,7 @@ pub mod time;
 pub mod traffic;
 
 pub use engine::{Model, Simulation};
+pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use flow::{FlowId, FlowNetwork};
 pub use scheduler::Scheduler;
 pub use time::{SimDuration, SimTime};

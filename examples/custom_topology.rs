@@ -91,9 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .run();
     let startup = report.startup_summary();
     println!(
-        "\ncompleted {} sessions ({} failed, {} unfinished)",
+        "\ncompleted {} sessions ({} failed, {} aborted, {} unfinished)",
         report.completed.len(),
         report.failed_requests,
+        report.aborted_sessions,
         report.unfinished_sessions
     );
     println!(

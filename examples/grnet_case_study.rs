@@ -34,8 +34,16 @@ fn main() {
     ];
 
     println!(
-        "\n{:<16} {:>9} {:>7} {:>11} {:>11} {:>9} {:>9} {:>9}",
-        "selector", "completed", "failed", "startup(s)", "p95(s)", "stall%", "switches", "local%"
+        "\n{:<16} {:>9} {:>7} {:>7} {:>11} {:>11} {:>9} {:>9} {:>9}",
+        "selector",
+        "completed",
+        "failed",
+        "aborted",
+        "startup(s)",
+        "p95(s)",
+        "stall%",
+        "switches",
+        "local%"
     );
     let config = ServiceConfig {
         // Two initial copies of each title: the GRNET backbone is thin
@@ -48,10 +56,11 @@ fn main() {
         let report = VodService::new(&scenario, selector, config.clone()).run();
         let startup = report.startup_summary();
         println!(
-            "{:<16} {:>9} {:>7} {:>11.2} {:>11.2} {:>8.2}% {:>9.2} {:>8.1}%",
+            "{:<16} {:>9} {:>7} {:>7} {:>11.2} {:>11.2} {:>8.2}% {:>9.2} {:>8.1}%",
             report.selector,
             report.completed.len(),
             report.failed_requests,
+            report.aborted_sessions,
             startup.mean,
             startup.p95,
             report.mean_stall_ratio() * 100.0,

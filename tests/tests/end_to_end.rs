@@ -67,6 +67,7 @@ fn accounting_is_conserved_across_selectors() {
             report.completed.len()
                 + report.unfinished_sessions
                 + report.failed_requests as usize
+                + report.aborted_sessions as usize
                 + report.rejected_requests as usize,
             n,
             "{name}: sessions must be conserved"

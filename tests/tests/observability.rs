@@ -167,6 +167,52 @@ fn outage_events_appear_in_trace() {
     );
 }
 
+/// A fault plan surfaces every fault-event family in the trace, and the
+/// trace stays deterministic under chaos.
+#[test]
+fn fault_plan_events_appear_in_trace() {
+    use vod_core::service::RetryPolicy;
+    use vod_net::topologies::grnet::{Grnet, GrnetLink};
+    use vod_sim::fault::FaultPlan;
+    use vod_sim::SimDuration;
+
+    let grnet = Grnet::new();
+    let start = SimTime::from_secs(9 * 3600);
+    let plan = FaultPlan::new()
+        .link_outage(
+            start,
+            start + SimDuration::from_secs(1200),
+            grnet.link(GrnetLink::AthensHeraklio),
+        )
+        .link_degrade(
+            start + SimDuration::from_secs(1800),
+            start + SimDuration::from_secs(3600),
+            grnet.link(GrnetLink::ThessalonikiAthens),
+            0.5,
+        )
+        .snmp_outage(start, start + SimDuration::from_secs(1800));
+    let config = ServiceConfig {
+        fault_plan: plan,
+        retry: RetryPolicy::with_attempts(2),
+        ..ServiceConfig::default()
+    };
+    let (bytes, _) = traced_run(config.clone());
+    let text = String::from_utf8(bytes).unwrap();
+    for kind in [
+        "\"kind\":\"link_down\"",
+        "\"kind\":\"link_up\"",
+        "\"kind\":\"link_degrade_start\"",
+        "\"kind\":\"link_degrade_end\"",
+        "\"kind\":\"snmp_outage_start\"",
+        "\"kind\":\"snmp_outage_end\"",
+        "\"kind\":\"snmp_stale_view\"",
+    ] {
+        assert!(text.contains(kind), "trace is missing {kind}");
+    }
+    let (again, _) = traced_run(config);
+    assert_eq!(text, String::from_utf8(again).unwrap());
+}
+
 proptest! {
     /// Histogram bucket counts always sum to the number of samples.
     #[test]
