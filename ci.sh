@@ -33,9 +33,16 @@ cargo run -q --release -p vod-check -- audit --grnet
 
 echo "==> E13 chaos smoke (fault plan + retry sweep, trace audits clean)"
 chaos_trace="$(mktemp -t chaos-XXXXXX.jsonl)"
-trap 'rm -f "$chaos_trace"' EXIT
+scale_trace="$(mktemp -t scale-XXXXXX.jsonl)"
+scale_json="$(mktemp -t scale-XXXXXX.json)"
+trap 'rm -f "$chaos_trace" "$scale_trace" "$scale_json"' EXIT
 cargo run -q --release -p vod-bench --bin ext_chaos -- --trace "$chaos_trace" > /dev/null
 cargo run -q --release -p vod-check -- audit "$chaos_trace"
+
+echo "==> E14 scale smoke (10^5 concurrent sessions, >=10x kernel speedup, trace audits clean)"
+cargo run -q --release -p vod-bench --bin scale -- \
+  --gate --baseline-budget-secs 5 --json "$scale_json" --trace "$scale_trace"
+cargo run -q --release -p vod-check -- audit "$scale_trace"
 
 echo "==> rustdoc (no broken intra-doc links)"
 RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc --no-deps --workspace -q

@@ -34,7 +34,7 @@ use vod_net::{LinkId, Mbps, NodeId, Route, Topology};
 use vod_obs::{Event as ObsEvent, EventSink, MetricsRegistry, NullSink, RunReport, RunSummary};
 use vod_sim::engine::{Model, Simulation};
 use vod_sim::fault::{FaultKind, FaultPlan};
-use vod_sim::flow::{FlowId, FlowNetwork};
+use vod_sim::flow::{FlowId, FlowKernel, FlowNetwork, COMPLETION_CHECK_SLACK};
 use vod_sim::metrics::{Summary, TimeSeries};
 use vod_sim::scheduler::Scheduler;
 use vod_sim::traffic::BackgroundModel;
@@ -161,6 +161,10 @@ pub struct ServiceConfig {
     /// Hard stop for recurring events after the last arrival (stalled
     /// zero-rate sessions past this point are reported as unfinished).
     pub drain_grace: SimDuration,
+    /// Which flow-accounting kernel the fluid network runs
+    /// ([`FlowKernel::Lazy`] by default; [`FlowKernel::Reference`] keeps
+    /// the naive `O(flows)`-per-event kernel for baselining).
+    pub flow_kernel: FlowKernel,
 }
 
 impl Default for ServiceConfig {
@@ -183,6 +187,7 @@ impl Default for ServiceConfig {
             fault_plan: FaultPlan::new(),
             retry: RetryPolicy::default(),
             drain_grace: SimDuration::from_secs(24 * 3600),
+            flow_kernel: FlowKernel::Lazy,
         }
     }
 }
@@ -192,8 +197,10 @@ impl Default for ServiceConfig {
 enum Event {
     /// The `idx`-th request of the trace arrives.
     Arrival(usize),
-    /// Re-check flow completions (valid only for the current version).
-    FlowCheck(u64),
+    /// Re-check flow completions at the next predicted finish instant.
+    /// Stale checks are harmless no-ops (`advance_to` has already
+    /// collected anything due), so the event carries no version.
+    FlowCheck,
     /// A session finished playing its current cluster.
     PlayoutTick(SessionId),
     /// Periodic SNMP poll.
@@ -277,7 +284,15 @@ struct ServiceModel<S: EventSink> {
     arrivals_remaining: usize,
     next_session: u64,
     last_sync: SimTime,
-    flow_version: u64,
+    /// The instant of the already-scheduled pending flow check, if any —
+    /// lets `schedule_flow_check` skip duplicate events when the
+    /// prediction is unchanged (every handler re-checks, but between
+    /// completions the predicted instant rarely moves).
+    scheduled_check: Option<SimTime>,
+    /// Reused buffer for flow completions per `advance_to` call.
+    done_scratch: Vec<FlowId>,
+    /// High-water mark of concurrently live sessions.
+    peak_sessions: usize,
     recurring_deadline: SimTime,
     max_util_series: TimeSeries,
     mean_util_series: TimeSeries,
@@ -303,23 +318,31 @@ impl<S: EventSink> ServiceModel<S> {
         if dt.is_zero() {
             return;
         }
-        self.snmp.accumulate(&self.flows, dt);
-        let done = self.flows.advance(dt);
+        // The flow network maintains the SNMP volume integrals itself;
+        // completions land in a reused scratch buffer.
+        let mut done = std::mem::take(&mut self.done_scratch);
+        self.flows.advance_into(dt, &mut done);
         self.last_sync = now;
-        for flow in done {
+        for &flow in &done {
             self.on_flow_complete(now, flow, sched);
         }
+        done.clear();
+        self.done_scratch = done;
     }
 
-    /// Invalidates stale flow-completion checks and schedules a fresh one
-    /// just after the next predicted completion.
+    /// Schedules a flow-completion check just after the next predicted
+    /// completion (skipped when that exact check is already pending —
+    /// stale checks are no-ops, so duplicates are only queue noise).
     fn schedule_flow_check(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
-        self.flow_version += 1;
         if let Some((_, dt)) = self.flows.next_completion() {
-            // +1 µs absorbs the rounding of the prediction, guaranteeing
-            // the completion has happened by the time the check fires.
-            let at = now + dt + SimDuration::from_micros(1);
-            sched.schedule(at, Event::FlowCheck(self.flow_version));
+            // The slack absorbs the prediction's µs rounding,
+            // guaranteeing the completion has happened by the time the
+            // check fires (see `COMPLETION_CHECK_SLACK`).
+            let at = now + dt + COMPLETION_CHECK_SLACK;
+            if self.scheduled_check != Some(at) {
+                self.scheduled_check = Some(at);
+                sched.schedule(at, Event::FlowCheck);
+            }
         }
     }
 
@@ -845,6 +868,7 @@ impl<S: EventSink> ServiceModel<S> {
         session.assign_server(route.target(), route.hops() == 0);
         let volume = session.cluster_volume_mbit(0);
         self.sessions.insert(sid, session);
+        self.peak_sessions = self.peak_sessions.max(self.sessions.len());
         self.cache_on_complete.insert(sid, cache_later);
         self.session_routes.insert(sid, route.clone());
         match self.launch_flow(request.client, meta.id(), &route, volume) {
@@ -1101,7 +1125,6 @@ impl<S: EventSink> ServiceModel<S> {
         let severed: Vec<(FlowId, SessionId)> = self
             .flows
             .flows_crossing(link)
-            .into_iter()
             .filter_map(|f| self.flow_sessions.get(&f).map(|&sid| (f, sid)))
             .collect();
         for (flow, sid) in severed {
@@ -1220,6 +1243,9 @@ impl<S: EventSink> ServiceModel<S> {
                     .record(now, &ObsEvent::SnmpStaleView { staleness });
             }
         } else {
+            // Pull the incrementally-maintained volume integrals into the
+            // SNMP counters; between polls nothing iterates the links.
+            self.snmp.sync_counters(&self.flows);
             // The SNMP system is constructed from the same topology, so
             // every link is registered and a poll cannot fail.
             let readings = self
@@ -1311,10 +1337,8 @@ impl<S: EventSink> Model for ServiceModel<S> {
         self.advance_to(now, sched);
         match event {
             Event::Arrival(idx) => self.on_arrival(now, idx, sched),
-            Event::FlowCheck(version) => {
-                // Completions were already processed by advance_to; a
-                // stale version means a newer check is pending.
-                let _ = version;
+            Event::FlowCheck => {
+                // Completions were already processed by advance_to.
             }
             Event::PlayoutTick(sid) => self.on_playout_tick(now, sid, sched),
             Event::SnmpPoll => self.on_snmp_poll(now, sched),
@@ -1560,7 +1584,7 @@ impl<S: EventSink> VodService<S> {
             }
         }
 
-        let mut flows = FlowNetwork::new(topology.clone());
+        let mut flows = FlowNetwork::with_kernel(topology.clone(), config.flow_kernel);
         flows.set_local_rate(config.local_rate);
         scenario.background().apply(&mut flows, start);
 
@@ -1615,7 +1639,9 @@ impl<S: EventSink> VodService<S> {
             aborted_sessions: 0,
             next_session: 0,
             last_sync: start,
-            flow_version: 0,
+            scheduled_check: None,
+            done_scratch: Vec::new(),
+            peak_sessions: 0,
             max_util_series: TimeSeries::new(),
             mean_util_series: TimeSeries::new(),
             seed: scenario.seed(),
@@ -1714,6 +1740,18 @@ impl<S: EventSink> VodService<S> {
         self.sim.run_until(deadline);
     }
 
+    /// Runs until the event queue drains, keeping the service
+    /// inspectable (unlike [`VodService::run`], which consumes it).
+    pub fn run_to_end(&mut self) {
+        self.sim.run();
+    }
+
+    /// The instant of the earliest pending event, or `None` once the
+    /// run has drained.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.sim.peek_time()
+    }
+
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.sim.processed()
@@ -1722,6 +1760,16 @@ impl<S: EventSink> VodService<S> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Number of currently live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.sim.model().sessions.len()
+    }
+
+    /// High-water mark of concurrently live sessions so far.
+    pub fn peak_sessions(&self) -> usize {
+        self.sim.model().peak_sessions
     }
 
     /// Finishes immediately with whatever has completed (for tests).

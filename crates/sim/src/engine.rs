@@ -66,6 +66,13 @@ impl<M: Model> Simulation<M> {
         &mut self.scheduler
     }
 
+    /// The instant of the earliest pending event (`None` once the queue
+    /// has drained) — for drivers stepping the run with
+    /// [`Simulation::run_until`].
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.scheduler.peek_time()
+    }
+
     /// Processes a single event. Returns `false` when the queue is empty.
     ///
     /// # Panics

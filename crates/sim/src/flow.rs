@@ -11,8 +11,23 @@
 //! Flows with an *empty* route model a client served from its home
 //! server's disks; they progress at a configurable local rate instead of
 //! competing for network bandwidth.
+//!
+//! # Kernels
+//!
+//! Two interchangeable accounting kernels implement the same model (see
+//! [`FlowKernel`]):
+//!
+//! * **Lazy** (the default): each flow stores its remaining volume as of
+//!   its own last rate change (a per-flow sync epoch) and completions are
+//!   predicted into an indexed min-heap with lazy invalidation. Advancing
+//!   time touches only the flows that actually finish in the window, so a
+//!   simulation event costs `O(touched flows + log F)` instead of `O(F)`.
+//! * **Reference**: the naive lockstep kernel — every advance rescans and
+//!   decrements every flow. Retained as the differential-testing oracle
+//!   and as the "before" baseline for kernel benchmarks.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::error::Error;
 use std::fmt;
 
@@ -24,7 +39,26 @@ use crate::time::SimDuration;
 
 /// Volume below which a flow counts as complete (megabits). Guards against
 /// floating-point dust after many `advance` calls.
-const COMPLETION_EPSILON_MBIT: f64 = 1e-9;
+pub const COMPLETION_EPSILON_MBIT: f64 = 1e-9;
+
+/// Scheduling slack a service should add to a predicted completion
+/// instant.
+///
+/// [`FlowNetwork::next_completion`] rounds the continuous finish time *up*
+/// to the clock's microsecond resolution; scheduling the completion check
+/// this one extra microsecond later guarantees the check fires at or
+/// after the true finish instant for every representable rate, so the
+/// flow is observed complete (remaining ≤ [`COMPLETION_EPSILON_MBIT`])
+/// exactly once — no double-fire, no miss. See the
+/// `completion_rounding_contract` regression test.
+pub const COMPLETION_CHECK_SLACK: SimDuration = SimDuration::from_micros(1);
+
+/// Margin (seconds) when popping predicted completions off the heap:
+/// entries within this distance of "now" are candidates. The heap is only
+/// a *filter* — the definitive completion test is the remaining volume —
+/// so the margin merely absorbs f64 rounding between a stored absolute
+/// finish time and the integer-microsecond clock.
+const POP_SLACK_SECS: f64 = 1e-9;
 
 /// Identifier of a flow within a [`FlowNetwork`].
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
@@ -61,14 +95,76 @@ impl fmt::Display for FlowError {
 
 impl Error for FlowError {}
 
+/// Which flow-accounting kernel a [`FlowNetwork`] runs.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKernel {
+    /// Lazy anchored accounting with an epoch-invalidated completion
+    /// heap: `O(touched flows + log F)` per event.
+    #[default]
+    Lazy,
+    /// The naive lockstep kernel (`O(F)` per event), kept as the
+    /// differential-testing oracle and benchmark baseline.
+    Reference,
+}
+
 #[derive(Debug, Clone)]
 struct Flow {
     links: Vec<LinkId>,
+    /// Remaining volume as of `synced_at` — **not** necessarily "now".
+    /// Use [`Flow::remaining_at`] for the current value.
     remaining_mbit: f64,
+    /// Clock reading (µs) at which `remaining_mbit` was last materialized
+    /// (creation or the flow's most recent rate change).
+    synced_at: u64,
     rate: Mbps,
+    /// Bumped on every rate change; completion-heap entries carrying an
+    /// older epoch are stale and skipped when popped.
+    epoch: u64,
     /// For local (empty-route) flows: a per-flow rate replacing the
     /// network-wide default (e.g. derived from a disk model).
     local_rate_override: Option<Mbps>,
+}
+
+impl Flow {
+    /// Remaining volume at clock reading `clock_us`, extrapolated from
+    /// the flow's own sync point at its current (constant) rate.
+    fn remaining_at(&self, clock_us: u64) -> f64 {
+        let elapsed = clock_us.saturating_sub(self.synced_at) as f64 / 1e6;
+        self.remaining_mbit - self.rate.as_f64() * elapsed
+    }
+}
+
+/// A predicted completion: absolute finish time in seconds since the
+/// network's creation, plus the flow identity *at prediction time*. An
+/// entry whose `epoch` no longer matches the flow's is stale.
+#[derive(Copy, Clone, Debug)]
+struct HeapEntry {
+    finish_secs: f64,
+    id: FlowId,
+    epoch: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.finish_secs
+            .total_cmp(&other.finish_secs)
+            .then_with(|| self.id.cmp(&other.id))
+            .then_with(|| self.epoch.cmp(&other.epoch))
+    }
 }
 
 /// A set of concurrent flows over a topology, with max-min fair rates.
@@ -110,12 +206,38 @@ pub struct FlowNetwork {
     /// Deliverable-capacity fraction per link (soft degradation); `1.0`
     /// is a healthy link.
     capacity_scale: Vec<f64>,
+    /// Which accounting kernel this network runs.
+    kernel: FlowKernel,
+    /// Internal clock: microseconds advanced since creation.
+    clock_us: u64,
+    /// Predicted completions, min-ordered by finish time, with lazy
+    /// epoch invalidation (Lazy kernel only).
+    completions: BinaryHeap<Reverse<HeapEntry>>,
+    /// Ids of flows with a non-empty route, ascending (= creation order).
+    /// Local flows never contend for links, so allocation and crossing
+    /// queries only ever walk this subset.
+    network_flows: Vec<FlowId>,
+    /// Running integral of each link's *total* load (background + flows)
+    /// in megabits — the SNMP byte-counter source, maintained
+    /// incrementally in `advance` over the active links only.
+    link_cumulative_mbit: Vec<f64>,
+    /// Links whose total load is currently non-zero (the only ones whose
+    /// integral can grow); refreshed whenever the allocation changes.
+    active_links: Vec<u32>,
+    /// Reusable buffer for heap verify-and-requeue passes.
+    requeue_scratch: Vec<HeapEntry>,
 }
 
 impl FlowNetwork {
     /// Creates a flow network over `topology` with zero background
-    /// traffic and a 100 Mbps local-serve rate.
+    /// traffic and a 100 Mbps local-serve rate, running the default
+    /// [`FlowKernel::Lazy`] kernel.
     pub fn new(topology: Topology) -> Self {
+        Self::with_kernel(topology, FlowKernel::Lazy)
+    }
+
+    /// Creates a flow network running the given accounting kernel.
+    pub fn with_kernel(topology: Topology, kernel: FlowKernel) -> Self {
         let links = topology.link_count();
         FlowNetwork {
             topology,
@@ -126,7 +248,19 @@ impl FlowNetwork {
             link_loads: vec![0.0; links],
             admin_down: vec![false; links],
             capacity_scale: vec![1.0; links],
+            kernel,
+            clock_us: 0,
+            completions: BinaryHeap::new(),
+            network_flows: Vec::new(),
+            link_cumulative_mbit: vec![0.0; links],
+            active_links: Vec::new(),
+            requeue_scratch: Vec::new(),
         }
+    }
+
+    /// The accounting kernel this network runs.
+    pub fn kernel(&self) -> FlowKernel {
+        self.kernel
     }
 
     /// The topology this network runs over.
@@ -137,7 +271,22 @@ impl FlowNetwork {
     /// Sets the rate at which local (empty-route) flows progress.
     pub fn set_local_rate(&mut self, rate: Mbps) {
         self.local_rate = rate;
-        self.reallocate();
+        match self.kernel {
+            FlowKernel::Reference => self.reallocate(),
+            FlowKernel::Lazy => {
+                // Only local flows without a per-flow override change
+                // rate; network flows and link loads are untouched.
+                let ids: Vec<FlowId> = self
+                    .flows
+                    .iter()
+                    .filter(|(_, f)| f.links.is_empty() && f.local_rate_override.is_none())
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in ids {
+                    self.apply_rate(id, rate);
+                }
+            }
+        }
     }
 
     /// Sets the background (non-VoD) traffic occupying `link`.
@@ -208,18 +357,19 @@ impl FlowNetwork {
     }
 
     /// Ids of the flows whose route crosses `link`, in creation order —
-    /// the set a service must re-route when the link goes down.
+    /// the set a service must re-route when the link goes down. Only
+    /// network flows are consulted (local flows cross nothing), and no
+    /// allocation is performed.
     ///
     /// # Panics
     ///
     /// Panics if `link` is out of range.
-    pub fn flows_crossing(&self, link: LinkId) -> Vec<FlowId> {
+    pub fn flows_crossing(&self, link: LinkId) -> impl Iterator<Item = FlowId> + '_ {
         assert!(link.index() < self.topology.link_count(), "unknown link");
-        self.flows
+        self.network_flows
             .iter()
-            .filter(|(_, f)| f.links.contains(&link))
-            .map(|(&id, _)| id)
-            .collect()
+            .copied()
+            .filter(move |id| self.flows[id].links.contains(&link))
     }
 
     /// Starts a flow of `volume_mbit` megabits along `route_links` and
@@ -245,16 +395,39 @@ impl FlowNetwork {
         }
         let id = FlowId(self.next_id);
         self.next_id += 1;
+        let network = !route_links.is_empty();
         self.flows.insert(
             id,
             Flow {
                 links: route_links,
                 remaining_mbit: volume_mbit,
+                synced_at: self.clock_us,
                 rate: Mbps::ZERO,
+                epoch: 0,
                 local_rate_override: None,
             },
         );
-        self.reallocate();
+        if network {
+            // Ids are strictly increasing, so pushing keeps the vec sorted.
+            self.network_flows.push(id);
+        }
+        match self.kernel {
+            FlowKernel::Reference => self.reallocate(),
+            FlowKernel::Lazy => {
+                if network {
+                    self.reallocate();
+                } else {
+                    let rate = self.local_rate;
+                    self.apply_rate(id, rate);
+                }
+                if self.flows[&id].rate == Mbps::ZERO {
+                    // Zero-rate birth (oversubscribed route, or a zero
+                    // local rate): a float-dust volume must still get
+                    // collected on the next advance.
+                    self.push_entry_for(id);
+                }
+            }
+        }
         Ok(id)
     }
 
@@ -277,11 +450,21 @@ impl FlowNetwork {
             Flow {
                 links: Vec::new(),
                 remaining_mbit: volume_mbit,
+                synced_at: self.clock_us,
                 rate: Mbps::ZERO,
+                epoch: 0,
                 local_rate_override: Some(rate),
             },
         );
-        self.reallocate();
+        match self.kernel {
+            FlowKernel::Reference => self.reallocate(),
+            FlowKernel::Lazy => {
+                self.apply_rate(id, rate);
+                if self.flows[&id].rate == Mbps::ZERO {
+                    self.push_entry_for(id);
+                }
+            }
+        }
         Ok(id)
     }
 
@@ -292,9 +475,15 @@ impl FlowNetwork {
     ///
     /// Returns [`FlowError::UnknownFlow`] if the flow does not exist.
     pub fn remove_flow(&mut self, id: FlowId) -> Result<f64, FlowError> {
-        let flow = self.flows.remove(&id).ok_or(FlowError::UnknownFlow(id))?;
-        self.reallocate();
-        Ok(flow.remaining_mbit)
+        let clock = self.clock_us;
+        let flow = self.take_flow(id).ok_or(FlowError::UnknownFlow(id))?;
+        match self.kernel {
+            FlowKernel::Reference => self.reallocate(),
+            // A local flow holds no link bandwidth: nothing to redistribute.
+            FlowKernel::Lazy if !flow.links.is_empty() => self.reallocate(),
+            FlowKernel::Lazy => {}
+        }
+        Ok(flow.remaining_at(clock))
     }
 
     /// The current max-min fair rate of `id`.
@@ -309,7 +498,8 @@ impl FlowNetwork {
             .ok_or(FlowError::UnknownFlow(id))
     }
 
-    /// Remaining volume of `id` in megabits.
+    /// Remaining volume of `id` in megabits, as of the network's current
+    /// clock.
     ///
     /// # Errors
     ///
@@ -317,7 +507,7 @@ impl FlowNetwork {
     pub fn remaining_mbit(&self, id: FlowId) -> Result<f64, FlowError> {
         self.flows
             .get(&id)
-            .map(|f| f.remaining_mbit)
+            .map(|f| f.remaining_at(self.clock_us))
             .ok_or(FlowError::UnknownFlow(id))
     }
 
@@ -347,38 +537,147 @@ impl FlowNetwork {
     ///
     /// The duration is rounded *up* to the clock's microsecond
     /// resolution, so `advance(next_completion_duration)` is guaranteed
-    /// to complete (at least) the returned flow.
+    /// to complete (at least) the returned flow; schedule the follow-up
+    /// check [`COMPLETION_CHECK_SLACK`] later to absorb the rounding.
     ///
     /// Returns `None` when there are no flows or none of them makes
     /// progress (all rates zero).
-    pub fn next_completion(&self) -> Option<(FlowId, SimDuration)> {
-        self.flows
-            .iter()
-            .filter(|(_, f)| f.rate.as_f64() > 0.0)
-            .map(|(&id, f)| (id, f.remaining_mbit / f.rate.as_f64()))
-            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
-            .map(|(id, secs)| (id, SimDuration::from_micros((secs * 1e6).ceil() as u64)))
+    ///
+    /// Takes `&mut self` because the lazy kernel garbage-collects stale
+    /// heap entries it encounters; the model state is unchanged.
+    pub fn next_completion(&mut self) -> Option<(FlowId, SimDuration)> {
+        match self.kernel {
+            FlowKernel::Reference => self
+                .flows
+                .iter()
+                .filter(|(_, f)| f.rate.as_f64() > 0.0)
+                .map(|(&id, f)| (id, f.remaining_mbit / f.rate.as_f64()))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+                .map(|(id, secs)| (id, SimDuration::from_micros((secs * 1e6).ceil() as u64))),
+            FlowKernel::Lazy => {
+                let mut result = None;
+                let mut dust = std::mem::take(&mut self.requeue_scratch);
+                dust.clear();
+                while let Some(&Reverse(top)) = self.completions.peek() {
+                    match self.flows.get(&top.id) {
+                        Some(f) if f.epoch == top.epoch => {
+                            if f.rate.as_f64() > 0.0 {
+                                let secs = f.remaining_at(self.clock_us) / f.rate.as_f64();
+                                let dt = SimDuration::from_micros((secs * 1e6).ceil() as u64);
+                                result = Some((top.id, dt));
+                                break;
+                            }
+                            // A zero-rate dust entry is collected by
+                            // `advance` but makes no progress, so it does
+                            // not drive the completion schedule (the
+                            // reference scan filters rate > 0 the same
+                            // way). Stash it aside and keep looking.
+                            dust.push(self.completions.pop().expect("pop follows a successful peek").0);
+                        }
+                        // Stale: flow gone or re-rated since the entry was
+                        // pushed. Drop it for good.
+                        _ => {
+                            self.completions.pop();
+                        }
+                    }
+                }
+                for e in dust.drain(..) {
+                    self.completions.push(Reverse(e));
+                }
+                self.requeue_scratch = dust;
+                result
+            }
+        }
     }
 
     /// Advances all flows by `dt` at their current rates and removes the
     /// ones that finish, returning their ids in deterministic (creation)
     /// order.
+    ///
+    /// Allocating convenience wrapper around [`FlowNetwork::advance_into`].
     pub fn advance(&mut self, dt: SimDuration) -> Vec<FlowId> {
-        let secs = dt.as_secs_f64();
         let mut done = Vec::new();
+        self.advance_into(dt, &mut done);
+        done
+    }
+
+    /// Advances all flows by `dt`, filling `done` (cleared first) with
+    /// the ids of the flows that finished, in creation order. Callers
+    /// driving the simulation loop reuse one buffer across events
+    /// instead of allocating per call.
+    pub fn advance_into(&mut self, dt: SimDuration, done: &mut Vec<FlowId>) {
+        done.clear();
+        // Integrate link volumes over the window *before* moving the
+        // clock: the allocation is constant across it by construction.
+        self.integrate(dt);
+        self.clock_us += dt.as_micros();
+        match self.kernel {
+            FlowKernel::Reference => self.advance_reference(dt, done),
+            FlowKernel::Lazy => self.advance_lazy(done),
+        }
+    }
+
+    /// Lockstep advance: decrement every flow, collect the finished.
+    fn advance_reference(&mut self, dt: SimDuration, done: &mut Vec<FlowId>) {
+        let secs = dt.as_secs_f64();
+        let clock = self.clock_us;
         for (&id, flow) in self.flows.iter_mut() {
             flow.remaining_mbit -= flow.rate.as_f64() * secs;
+            flow.synced_at = clock;
             if flow.remaining_mbit <= COMPLETION_EPSILON_MBIT {
                 done.push(id);
             }
         }
-        for &id in &done {
-            self.flows.remove(&id);
+        for &id in done.iter() {
+            self.take_flow(id);
         }
         if !done.is_empty() {
             self.reallocate();
         }
-        done
+    }
+
+    /// Lazy advance: pop predicted completions due by now, verify each
+    /// against its flow's extrapolated remaining volume, and only touch
+    /// the flows that actually finish. Stale entries (epoch mismatch or
+    /// flow gone) are discarded; early entries are requeued.
+    fn advance_lazy(&mut self, done: &mut Vec<FlowId>) {
+        let now_secs = self.clock_us as f64 / 1e6;
+        let mut requeue = std::mem::take(&mut self.requeue_scratch);
+        requeue.clear();
+        while let Some(&Reverse(top)) = self.completions.peek() {
+            if top.finish_secs > now_secs + POP_SLACK_SECS {
+                break;
+            }
+            let Reverse(entry) = self.completions.pop().expect("pop follows a successful peek");
+            match self.flows.get(&entry.id) {
+                Some(f) if f.epoch == entry.epoch => {
+                    if f.remaining_at(self.clock_us) <= COMPLETION_EPSILON_MBIT {
+                        done.push(entry.id);
+                    } else {
+                        // Predicted a hair early (f64 rounding): keep the
+                        // entry, the flow finishes on a later advance.
+                        requeue.push(entry);
+                    }
+                }
+                _ => {} // stale
+            }
+        }
+        for e in requeue.drain(..) {
+            self.completions.push(Reverse(e));
+        }
+        self.requeue_scratch = requeue;
+        done.sort_unstable();
+        done.dedup();
+        let mut network_done = false;
+        for &id in done.iter() {
+            let flow = self.take_flow(id).expect("completed flow exists");
+            network_done |= !flow.links.is_empty();
+        }
+        // Only a network completion releases link bandwidth; local
+        // completions never perturb the allocation.
+        if network_done {
+            self.reallocate();
+        }
     }
 
     /// Total VoD flow traffic currently allocated on `link`.
@@ -387,7 +686,16 @@ impl FlowNetwork {
     ///
     /// Panics if `link` is out of range.
     pub fn link_flow_load(&self, link: LinkId) -> Mbps {
-        Mbps::new(self.link_loads[link.index()].max(0.0))
+        let raw = self.link_loads[link.index()];
+        // The running sums are rebuilt from scratch on every reallocation
+        // (and zeroed exactly when no network flow remains), so they can
+        // never drift negative; the clamp below is release-mode armor
+        // only.
+        debug_assert!(
+            raw >= -1e-9,
+            "link {link} flow load drifted negative: {raw}"
+        );
+        Mbps::new(raw.max(0.0))
     }
 
     /// Background plus flow traffic on `link`.
@@ -397,6 +705,17 @@ impl FlowNetwork {
     /// Panics if `link` is out of range.
     pub fn link_total_load(&self, link: LinkId) -> Mbps {
         self.background(link) + self.link_flow_load(link)
+    }
+
+    /// Running integral of `link`'s total load (background + flows) in
+    /// megabits since the network's creation — the source feeding SNMP
+    /// byte counters, maintained incrementally by `advance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link_cumulative_mbit(&self, link: LinkId) -> f64 {
+        self.link_cumulative_mbit[link.index()]
     }
 
     /// Builds a [`TrafficSnapshot`] of the current total loads — exactly
@@ -433,16 +752,98 @@ impl FlowNetwork {
         }
     }
 
-    /// Recomputes max-min fair rates (progressive filling).
-    ///
-    /// Each iteration of the filling loop saturates at least one link, so
-    /// the loop runs at most `link_count` times; the total cost is
-    /// `O(link_count × (link_count + Σ route lengths))`.
+    /// Accumulates `dt` of the current total load into the per-link
+    /// volume integrals. Only the active links (non-zero total load) are
+    /// visited; adding `0.0 × dt` to the others would not change their
+    /// counters anyway, so skipping them is bit-exact.
+    fn integrate(&mut self, dt: SimDuration) {
+        let secs = dt.as_secs_f64();
+        for k in 0..self.active_links.len() {
+            let raw = self.active_links[k];
+            let load = self.link_total_load(LinkId::new(raw)).as_f64();
+            self.link_cumulative_mbit[raw as usize] += load * secs;
+        }
+    }
+
+    /// Recomputes which links carry any traffic at all. `O(links)`, run
+    /// after every allocation or background change.
+    fn refresh_active_links(&mut self) {
+        self.active_links.clear();
+        for i in 0..self.topology.link_count() {
+            if self.link_total_load(LinkId::new(i as u32)).as_f64() > 0.0 {
+                self.active_links.push(i as u32);
+            }
+        }
+    }
+
+    /// Removes `id` from the flow map and the network-flow index.
+    fn take_flow(&mut self, id: FlowId) -> Option<Flow> {
+        let flow = self.flows.remove(&id)?;
+        if !flow.links.is_empty() {
+            if let Ok(pos) = self.network_flows.binary_search(&id) {
+                self.network_flows.remove(pos);
+            }
+        }
+        Some(flow)
+    }
+
+    /// Transitions `id` to `rate`: materializes the remaining volume at
+    /// the current clock, bumps the flow's epoch (invalidating any
+    /// predicted completion in flight) and pushes a fresh prediction.
+    /// A bitwise-identical rate is a no-op, keeping the existing
+    /// prediction valid.
+    fn apply_rate(&mut self, id: FlowId, rate: Mbps) {
+        let clock = self.clock_us;
+        let flow = self.flows.get_mut(&id).expect("flow exists");
+        if flow.rate == rate {
+            return;
+        }
+        flow.remaining_mbit = flow.remaining_at(clock);
+        flow.synced_at = clock;
+        flow.rate = rate;
+        flow.epoch += 1;
+        self.push_entry_for(id);
+    }
+
+    /// Pushes a completion prediction for `id` at its current rate: the
+    /// instant its extrapolated remaining volume reaches the completion
+    /// epsilon. Zero-rate flows never finish — except ones already at
+    /// the epsilon (float dust), which get an immediate entry so the
+    /// next advance collects them like the reference kernel would.
+    fn push_entry_for(&mut self, id: FlowId) {
+        let flow = &self.flows[&id];
+        let sync_secs = flow.synced_at as f64 / 1e6;
+        let rate = flow.rate.as_f64();
+        if rate > 0.0 {
+            let finish = sync_secs + (flow.remaining_mbit - COMPLETION_EPSILON_MBIT) / rate;
+            self.completions.push(Reverse(HeapEntry {
+                finish_secs: finish,
+                id,
+                epoch: flow.epoch,
+            }));
+        } else if flow.remaining_mbit <= COMPLETION_EPSILON_MBIT {
+            self.completions.push(Reverse(HeapEntry {
+                finish_secs: sync_secs,
+                id,
+                epoch: flow.epoch,
+            }));
+        }
+    }
+
+    /// Recomputes max-min fair rates (progressive filling) and refreshes
+    /// the active-link index.
     fn reallocate(&mut self) {
-        let n_links = self.topology.link_count();
-        // Residual capacity after degradation, outages and background
-        // traffic.
-        let mut cap: Vec<f64> = (0..n_links)
+        match self.kernel {
+            FlowKernel::Reference => self.reallocate_reference(),
+            FlowKernel::Lazy => self.reallocate_lazy(),
+        }
+        self.refresh_active_links();
+    }
+
+    /// Residual capacity per link after degradation, outages and
+    /// background traffic.
+    fn residual_capacities(&self) -> Vec<f64> {
+        (0..self.topology.link_count())
             .map(|i| {
                 if self.admin_down[i] {
                     return 0.0;
@@ -451,7 +852,18 @@ impl FlowNetwork {
                 let deliverable = link.capacity().as_f64() * self.capacity_scale[i];
                 (deliverable - self.background[i].as_f64()).max(0.0)
             })
-            .collect();
+            .collect()
+    }
+
+    /// The original lockstep allocation: resets every flow's rate and
+    /// rebuilds the link loads from the full flow map.
+    ///
+    /// Each iteration of the filling loop saturates at least one link, so
+    /// the loop runs at most `link_count` times; the total cost is
+    /// `O(link_count × (link_count + Σ route lengths))`.
+    fn reallocate_reference(&mut self) {
+        let n_links = self.topology.link_count();
+        let mut cap = self.residual_capacities();
 
         // Dense view of network flows: (id, frozen?); local flows get the
         // fixed local rate immediately.
@@ -538,6 +950,101 @@ impl FlowNetwork {
         }
     }
 
+    /// The lazy allocation: identical progressive-filling arithmetic over
+    /// the network flows (visited in the same creation order as the
+    /// reference kernel, so the computed rates are bitwise equal), but
+    /// rate transitions go through `apply_rate` — flows whose rate is
+    /// unchanged keep their anchor and their predicted completion, and
+    /// local flows are never touched.
+    fn reallocate_lazy(&mut self) {
+        let n_links = self.topology.link_count();
+        if self.network_flows.is_empty() {
+            // Flow-count zero: rebuild the running link sums from
+            // scratch instead of trusting incremental float arithmetic.
+            self.link_loads.iter_mut().for_each(|l| *l = 0.0);
+            return;
+        }
+        let mut cap = self.residual_capacities();
+
+        let mut network: Vec<(FlowId, bool)> =
+            self.network_flows.iter().map(|&id| (id, false)).collect();
+        let mut assigned: Vec<Mbps> = vec![Mbps::ZERO; network.len()];
+
+        let mut count = vec![0usize; n_links];
+        for &(id, _) in &network {
+            for l in &self.flows[&id].links {
+                count[l.index()] += 1;
+            }
+        }
+
+        let mut remaining = network.len();
+        let mut level = 0.0f64;
+        while remaining > 0 {
+            let mut inc = f64::INFINITY;
+            for i in 0..n_links {
+                if count[i] > 0 {
+                    inc = inc.min(cap[i] / count[i] as f64);
+                }
+            }
+            if !inc.is_finite() {
+                inc = 0.0;
+            }
+            level += inc;
+            for i in 0..n_links {
+                if count[i] > 0 {
+                    cap[i] -= inc * count[i] as f64;
+                }
+            }
+            let mut froze_any = false;
+            for (slot, entry) in network.iter_mut().enumerate() {
+                let (id, frozen) = *entry;
+                if frozen {
+                    continue;
+                }
+                let bottlenecked = self.flows[&id]
+                    .links
+                    .iter()
+                    .any(|l| cap[l.index()] <= 1e-12);
+                if bottlenecked {
+                    entry.1 = true;
+                    froze_any = true;
+                    remaining -= 1;
+                    for l in &self.flows[&id].links {
+                        count[l.index()] -= 1;
+                    }
+                    assigned[slot] = Mbps::new(level.max(0.0));
+                }
+            }
+            if !froze_any {
+                for (slot, entry) in network.iter_mut().enumerate() {
+                    if !entry.1 {
+                        assigned[slot] = Mbps::new(level.max(0.0));
+                        entry.1 = true;
+                    }
+                }
+                break;
+            }
+        }
+
+        // Apply the new rates; only flows whose rate actually moved are
+        // re-anchored and re-predicted.
+        for (slot, &(id, _)) in network.iter().enumerate() {
+            self.apply_rate(id, assigned[slot]);
+        }
+
+        // Refresh the per-link allocation cache from the network flows in
+        // creation order — the same summation order as the reference
+        // kernel (local flows contribute nothing there either).
+        self.link_loads.iter_mut().for_each(|l| *l = 0.0);
+        for &(id, _) in &network {
+            let f = &self.flows[&id];
+            let rate = f.rate.as_f64();
+            for l in &f.links {
+                self.link_loads[l.index()] += rate;
+            }
+        }
+    }
+
     /// Sets the background traffic on several links at once, recomputing
     /// the allocation a single time.
     ///
@@ -570,6 +1077,8 @@ mod tests {
         let l1 = b.add_link(m, c, Mbps::new(18.0)).unwrap();
         (b.build(), l0, l1)
     }
+
+    const BOTH_KERNELS: [FlowKernel; 2] = [FlowKernel::Lazy, FlowKernel::Reference];
 
     #[test]
     fn single_flow_gets_bottleneck_capacity() {
@@ -670,6 +1179,22 @@ mod tests {
         assert_eq!(net.rate(slow_disk).unwrap(), Mbps::new(10.0));
         assert_eq!(net.rate(default).unwrap(), Mbps::new(50.0));
         assert!(net.add_local_flow(-1.0, Mbps::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn set_local_rate_rerates_live_default_flows() {
+        for kernel in BOTH_KERNELS {
+            let (t, ..) = two_hop();
+            let mut net = FlowNetwork::with_kernel(t, kernel);
+            net.set_local_rate(Mbps::new(50.0));
+            let pinned = net.add_local_flow(100.0, Mbps::new(10.0)).unwrap();
+            let floating = net.add_flow(vec![], 100.0).unwrap();
+            net.set_local_rate(Mbps::new(25.0));
+            assert_eq!(net.rate(pinned).unwrap(), Mbps::new(10.0));
+            assert_eq!(net.rate(floating).unwrap(), Mbps::new(25.0));
+            let (_, dt) = net.next_completion().unwrap();
+            assert_eq!(dt, SimDuration::from_secs(4), "{kernel:?}");
+        }
     }
 
     #[test]
@@ -793,7 +1318,7 @@ mod tests {
         assert_eq!(net.rate(crossing).unwrap(), Mbps::ZERO);
         // Flows avoiding the dead link keep (and inherit) its bandwidth.
         assert_eq!(net.rate(spared).unwrap(), Mbps::new(18.0));
-        assert_eq!(net.flows_crossing(l0), vec![crossing]);
+        assert_eq!(net.flows_crossing(l0).collect::<Vec<_>>(), vec![crossing]);
 
         net.set_link_admin_down(l0, false);
         assert_eq!(net.rate(crossing).unwrap(), Mbps::new(2.0));
@@ -829,6 +1354,131 @@ mod tests {
         assert!(a < b);
         let ids: Vec<FlowId> = net.flow_ids().collect();
         assert_eq!(ids, vec![a, b]);
+    }
+
+    #[test]
+    fn advance_into_reuses_caller_buffer() {
+        let (t, l0, _) = two_hop();
+        let mut net = FlowNetwork::new(t);
+        let f = net.add_flow(vec![l0], 4.0).unwrap();
+        let mut done = Vec::with_capacity(4);
+        net.advance_into(SimDuration::from_secs(1), &mut done);
+        assert!(done.is_empty());
+        net.advance_into(SimDuration::from_secs(1), &mut done);
+        assert_eq!(done, vec![f]);
+        // The buffer is cleared, not re-allocated, on the next call.
+        net.advance_into(SimDuration::from_secs(1), &mut done);
+        assert!(done.is_empty());
+        assert!(done.capacity() >= 4);
+    }
+
+    #[test]
+    fn zero_rate_dust_flow_is_collected_on_next_advance() {
+        for kernel in BOTH_KERNELS {
+            let (t, l0, _) = two_hop();
+            let mut net = FlowNetwork::with_kernel(t, kernel);
+            net.set_background(l0, Mbps::new(5.0)); // oversubscribed → rate 0
+            let f = net.add_flow(vec![l0], 1e-10).unwrap(); // below the epsilon
+            assert_eq!(net.rate(f).unwrap(), Mbps::ZERO);
+            assert_eq!(net.next_completion(), None, "{kernel:?}");
+            let done = net.advance(SimDuration::from_secs(1));
+            assert_eq!(done, vec![f], "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn frozen_flow_resumes_with_valid_prediction() {
+        for kernel in BOTH_KERNELS {
+            let (t, l0, _) = two_hop();
+            let mut net = FlowNetwork::with_kernel(t, kernel);
+            let f = net.add_flow(vec![l0], 4.0).unwrap(); // 2 Mbps → 2 s
+            net.advance(SimDuration::from_secs(1)); // 2 Mbit left
+            net.set_link_admin_down(l0, true); // freeze at rate 0
+            assert_eq!(net.next_completion(), None, "{kernel:?}");
+            net.advance(SimDuration::from_secs(10)); // no progress
+            assert!((net.remaining_mbit(f).unwrap() - 2.0).abs() < 1e-9);
+            net.set_link_admin_down(l0, false); // thaw
+            let (id, dt) = net.next_completion().unwrap();
+            assert_eq!(id, f);
+            assert_eq!(dt, SimDuration::from_secs(1), "{kernel:?}");
+            assert_eq!(net.advance(dt), vec![f], "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn link_integrals_match_load_history() {
+        for kernel in BOTH_KERNELS {
+            let (t, l0, l1) = two_hop();
+            let mut net = FlowNetwork::with_kernel(t, kernel);
+            net.set_background(l1, Mbps::new(3.0));
+            net.add_flow(vec![l0], 10.0).unwrap(); // 2 Mbps, done at t=5
+            net.advance(SimDuration::from_secs(2));
+            assert!((net.link_cumulative_mbit(l0) - 4.0).abs() < 1e-9);
+            assert!((net.link_cumulative_mbit(l1) - 6.0).abs() < 1e-9);
+            net.advance(SimDuration::from_secs(3));
+            net.advance(SimDuration::from_secs(2));
+            // l0 stops growing once its flow completes; l1's background
+            // keeps integrating.
+            assert!(
+                (net.link_cumulative_mbit(l0) - 10.0).abs() < 1e-9,
+                "{kernel:?}"
+            );
+            assert!(
+                (net.link_cumulative_mbit(l1) - 21.0).abs() < 1e-9,
+                "{kernel:?}"
+            );
+        }
+    }
+
+    /// The satellite regression for the rounding contract: across extreme
+    /// rates and volumes, the `ceil`-to-µs prediction plus
+    /// [`COMPLETION_CHECK_SLACK`] fires at-or-after the true finish
+    /// instant — advancing by the prediction completes the flow exactly
+    /// once (no miss), and stopping 2 µs short never completes it early
+    /// (no double-fire window).
+    #[test]
+    fn completion_rounding_contract() {
+        let rates = [1e-3, 0.9, 2.0, 1234.5678, 1e9];
+        let volumes = [1e-6, 0.7, 42.0, 9876.5];
+        for kernel in BOTH_KERNELS {
+            for &rate in &rates {
+                for &volume in &volumes {
+                    let (t, ..) = two_hop();
+                    let mut net = FlowNetwork::with_kernel(t, kernel);
+                    let f = net.add_local_flow(volume, Mbps::new(rate)).unwrap();
+                    let (id, dt) = net.next_completion().unwrap();
+                    assert_eq!(id, f);
+                    let true_secs = volume / rate;
+                    let ctx = format!("{kernel:?} rate={rate} vol={volume}");
+                    // At-or-after the true finish, by less than 1 µs + fp.
+                    assert!(
+                        dt.as_secs_f64() >= true_secs * (1.0 - 1e-12),
+                        "prediction fires early: {ctx}"
+                    );
+                    assert!(
+                        dt.as_secs_f64() - true_secs <= 2e-6 + true_secs * 1e-12,
+                        "prediction overshoots: {ctx}"
+                    );
+                    // No early fire: 2 µs before the prediction the flow
+                    // is still live (when 2 µs of progress is resolvable
+                    // above the completion epsilon).
+                    if dt > SimDuration::from_micros(2)
+                        && rate * 2e-6 > 10.0 * COMPLETION_EPSILON_MBIT
+                    {
+                        let early = dt - SimDuration::from_micros(2);
+                        assert!(net.advance(early).is_empty(), "fired early: {ctx}");
+                        let done = net.advance(dt - early + COMPLETION_CHECK_SLACK);
+                        assert_eq!(done, vec![f], "missed completion: {ctx}");
+                    } else {
+                        let done = net.advance(dt + COMPLETION_CHECK_SLACK);
+                        assert_eq!(done, vec![f], "missed completion: {ctx}");
+                    }
+                    // No double-fire: nothing left to complete.
+                    assert!(net.advance(SimDuration::from_secs(1)).is_empty(), "{ctx}");
+                    assert_eq!(net.next_completion(), None);
+                }
+            }
+        }
     }
 
     mod max_min_properties {
@@ -879,7 +1529,7 @@ mod tests {
                     let residual = (caps[i] - net.background(l).as_f64()).max(0.0);
                     prop_assert!(
                         net.link_flow_load(l).as_f64() <= residual + 1e-6,
-                        "link {l} oversubscribed"
+                        "link {} oversubscribed", l
                     );
                 }
                 // (b) every flow is bottlenecked by a saturated link.
@@ -890,7 +1540,7 @@ mod tests {
                         let residual = (caps[i] - net.background(l).as_f64()).max(0.0);
                         net.link_flow_load(l).as_f64() >= residual - 1e-6
                     });
-                    prop_assert!(bottlenecked, "flow {id} is not bottlenecked");
+                    prop_assert!(bottlenecked, "flow {} is not bottlenecked", id);
                 }
             }
 
@@ -908,8 +1558,117 @@ mod tests {
                 }
                 if let Some((first, dt)) = net.next_completion() {
                     let done = net.advance(dt);
-                    prop_assert!(done.contains(&first), "{first} predicted, got {done:?}");
+                    prop_assert!(done.contains(&first), "{} predicted, got {:?}", first, done);
                 }
+            }
+        }
+    }
+
+    mod kernel_parity {
+        use super::*;
+        use proptest::prelude::*;
+        use vod_net::topologies::patterns::line;
+
+        /// Drives a Lazy and a Reference network through the same random
+        /// schedule of adds, removes, background changes and advances,
+        /// asserting after every operation that rates and link loads are
+        /// *bitwise* equal, SNMP volume integrals are bitwise equal, and
+        /// completions happen in the same order at the same events.
+        fn drive(ops: &[(u8, usize, f64)]) -> Result<(), TestCaseError> {
+            let topo = line(4, Mbps::new(4.0));
+            let links: Vec<LinkId> = topo.link_ids().collect();
+            let mut lazy = FlowNetwork::with_kernel(topo.clone(), FlowKernel::Lazy);
+            let mut reference = FlowNetwork::with_kernel(topo, FlowKernel::Reference);
+            let mut live: Vec<FlowId> = Vec::new();
+            for &(op, sel, val) in ops {
+                match op {
+                    0 => {
+                        let s = sel % links.len();
+                        let e = (s + 1 + sel % 2).min(links.len());
+                        let route: Vec<LinkId> = links[s..e].to_vec();
+                        let a = lazy.add_flow(route.clone(), val).unwrap();
+                        let b = reference.add_flow(route, val).unwrap();
+                        prop_assert_eq!(a, b);
+                        live.push(a);
+                    }
+                    1 => {
+                        let a = lazy.add_local_flow(val, Mbps::new(val)).unwrap();
+                        let b = reference.add_local_flow(val, Mbps::new(val)).unwrap();
+                        prop_assert_eq!(a, b);
+                        live.push(a);
+                    }
+                    2 if !live.is_empty() => {
+                        let id = live.remove(sel % live.len());
+                        let ra = lazy.remove_flow(id).unwrap();
+                        let rb = reference.remove_flow(id).unwrap();
+                        // Anchored vs stepwise remaining may differ at ulp.
+                        prop_assert!((ra - rb).abs() <= 1e-6, "remove {}: {} vs {}", id, ra, rb);
+                    }
+                    3 => {
+                        let l = links[sel % links.len()];
+                        let bg = Mbps::new(val * 0.08); // residual ≥ 0.8 Mbps
+                        lazy.set_background(l, bg);
+                        reference.set_background(l, bg);
+                    }
+                    4 => {
+                        if let Some((_, dt)) = lazy.next_completion() {
+                            let da = lazy.advance(dt);
+                            let db = reference.advance(dt);
+                            prop_assert_eq!(&da, &db, "advance-to-completion disagrees");
+                            live.retain(|id| !da.contains(id));
+                        }
+                    }
+                    _ => {
+                        let dt = SimDuration::from_millis((sel as u64 % 900) + 100);
+                        let da = lazy.advance(dt);
+                        let db = reference.advance(dt);
+                        prop_assert_eq!(&da, &db, "timed advance disagrees");
+                        live.retain(|id| !da.contains(id));
+                    }
+                }
+                // Bitwise invariants after every operation.
+                for &id in &live {
+                    prop_assert_eq!(
+                        lazy.rate(id).unwrap(),
+                        reference.rate(id).unwrap(),
+                        "rate of {} diverged",
+                        id
+                    );
+                }
+                for &l in &links {
+                    prop_assert_eq!(lazy.link_flow_load(l), reference.link_flow_load(l));
+                    prop_assert_eq!(
+                        lazy.link_cumulative_mbit(l).to_bits(),
+                        reference.link_cumulative_mbit(l).to_bits(),
+                        "SNMP integral of {} diverged",
+                        l
+                    );
+                }
+                prop_assert_eq!(lazy.flow_count(), reference.flow_count());
+                // Predictions agree to the µs-rounding of the contract.
+                match (lazy.next_completion(), reference.next_completion()) {
+                    (None, None) => {}
+                    (Some((_, da)), Some((_, db))) => {
+                        let diff = da.as_micros() as i128 - db.as_micros() as i128;
+                        prop_assert!(
+                            diff.abs() <= 1,
+                            "predictions {} vs {} µs",
+                            da.as_micros(),
+                            db.as_micros()
+                        );
+                    }
+                    other => prop_assert!(false, "prediction disagreement: {:?}", other),
+                }
+            }
+            Ok(())
+        }
+
+        proptest! {
+            #[test]
+            fn lazy_and_reference_kernels_agree(
+                ops in proptest::collection::vec((0u8..6, 0usize..100, 0.5f64..40.0), 1..60),
+            ) {
+                drive(&ops)?;
             }
         }
     }

@@ -182,6 +182,20 @@ impl AddAssign for SimDuration {
     }
 }
 
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is larger; saturates to zero in
+    /// release builds (use [`SimDuration::saturating_sub`] to opt in
+    /// explicitly).
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs <= self, "duration subtraction underflow");
+        self.saturating_sub(rhs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +227,7 @@ mod tests {
         let a = SimDuration::from_secs(3);
         let b = SimDuration::from_secs(5);
         assert_eq!(a.min(b), a);
+        assert_eq!(b - a, SimDuration::from_secs(2));
         assert_eq!(b.saturating_sub(a), SimDuration::from_secs(2));
         assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
         assert!(SimDuration::ZERO.is_zero());

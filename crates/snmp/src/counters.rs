@@ -71,6 +71,32 @@ impl CounterBank {
         }
     }
 
+    /// Overwrites every counter with the volume integrals `net` maintains
+    /// incrementally (see `FlowNetwork::link_cumulative_mbit`) — the
+    /// event-driven replacement for calling [`CounterBank::accumulate`]
+    /// once per simulation event. Counters and integrals share the same
+    /// origin (both start at zero), so the sync preserves monotonicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` covers a different number of links, or if a
+    /// counter would move backwards.
+    pub fn sync_from_network(&mut self, net: &FlowNetwork) {
+        assert_eq!(
+            net.topology().link_count(),
+            self.accumulated_mbit.len(),
+            "counter bank does not match topology"
+        );
+        for i in 0..self.accumulated_mbit.len() {
+            let total = net.link_cumulative_mbit(LinkId::new(i as u32));
+            assert!(
+                total >= self.accumulated_mbit[i] - 1e-9,
+                "SNMP counters are monotone"
+            );
+            self.accumulated_mbit[i] = total;
+        }
+    }
+
     /// Average rate on `link` given a baseline counter value and the
     /// elapsed time; this is the SNMP delta computation.
     ///

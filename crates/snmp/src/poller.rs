@@ -115,6 +115,18 @@ impl SnmpSystem {
         self.counters.accumulate(net, dt);
     }
 
+    /// Adopts the volume integrals `net` maintains incrementally as the
+    /// counter values — call once just before [`SnmpSystem::poll`]
+    /// instead of calling [`SnmpSystem::accumulate`] on every event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` has a different link count or a counter would
+    /// move backwards.
+    pub fn sync_counters(&mut self, net: &FlowNetwork) {
+        self.counters.sync_from_network(net);
+    }
+
     /// The instant of the most recent poll (or the epoch start before
     /// any) — the age of the database's traffic view is `now −
     /// last_poll_at()`, the staleness the routing application works

@@ -122,6 +122,46 @@ impl Scenario {
         }
     }
 
+    /// A kernel-scale stress: roughly `target_sessions` arrivals squeezed
+    /// into a ten-minute window on GRNET, against a small library of
+    /// identical 150 MB features (800 s of playout at 1.5 Mbps), so that
+    /// essentially every session is still live when the last one arrives.
+    /// Run it with every title replicated on all six cities (all serves
+    /// local) and the event-driven flow kernel to hold 10⁵+ concurrent
+    /// sessions; the arrival count is Poisson around the target
+    /// (deterministic per seed).
+    pub fn scale_stress(seed: u64, target_sessions: usize) -> Self {
+        assert!(target_sessions > 0, "need at least one session");
+        let grnet = Grnet::new();
+        let library = LibraryGenerator::new(LibraryConfig {
+            titles: 20,
+            min_size_mb: 150.0,
+            max_size_mb: 150.0,
+            ..LibraryConfig::default()
+        })
+        .generate(seed);
+        let window = SimDuration::from_secs(600);
+        let cfg = TraceConfig {
+            start: SimTime::ZERO,
+            duration: window,
+            rate_per_sec: target_sessions as f64 / window.as_secs_f64(),
+            shape: HourlyShape::flat(),
+            zipf_skew: 0.8,
+            client_weights: None,
+        };
+        let trace = cfg.generate(grnet.topology(), &library, seed);
+        let background =
+            BackgroundModel::uniform(grnet.topology().link_count(), vod_net::Mbps::ZERO);
+        Scenario {
+            name: "scale-stress".into(),
+            topology: grnet.topology().clone(),
+            library,
+            trace,
+            background,
+            seed,
+        }
+    }
+
     /// A randomized 12-node network with idle background traffic and a
     /// flat request rate — for experiments that should not inherit
     /// GRNET's structure.
@@ -219,6 +259,26 @@ mod tests {
             at_patra * 2 > s.trace().len(),
             "flash crowd should mostly originate at Patra: {at_patra}/{}",
             s.trace().len()
+        );
+    }
+
+    #[test]
+    fn scale_stress_hits_its_target_within_poisson_noise() {
+        let s = Scenario::scale_stress(5, 10_000);
+        assert_eq!(s.name(), "scale-stress");
+        assert_eq!(s.topology().node_count(), 6);
+        assert_eq!(s.library().len(), 20);
+        // Poisson(10_000) stays within ±5% with overwhelming probability.
+        let n = s.trace().len() as f64;
+        assert!((9_500.0..10_500.0).contains(&n), "got {n} arrivals");
+        // All titles are the same 150 MB / 800 s feature, so every
+        // session arriving in the 600 s window outlives it.
+        for id in s.library().ids() {
+            assert_eq!(s.library().get(id).unwrap().size().as_f64(), 150.0);
+        }
+        assert_eq!(
+            Scenario::scale_stress(5, 100),
+            Scenario::scale_stress(5, 100)
         );
     }
 
