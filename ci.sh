@@ -25,24 +25,32 @@ cargo bench --no-run
 echo "==> trace determinism (golden JSONL test)"
 cargo test -q -p vod-integration-tests --test observability
 
+echo "==> series determinism (golden --series test, lazy vs reference kernels)"
+cargo test -q -p vod-integration-tests --test series
+
 echo "==> vod-check lint (zero findings, zero stale allowlist entries)"
 cargo run -q --release -p vod-check -- lint
 
 echo "==> vod-check audit (GRNET case-study trace replays clean)"
 cargo run -q --release -p vod-check -- audit --grnet
 
-echo "==> E13 chaos smoke (fault plan + retry sweep, trace audits clean)"
+echo "==> E13/E15 chaos smoke (fault plan + retry sweep; trace and series audit clean)"
 chaos_trace="$(mktemp -t chaos-XXXXXX.jsonl)"
+chaos_series="$(mktemp -t chaos-XXXXXX.series.json)"
 scale_trace="$(mktemp -t scale-XXXXXX.jsonl)"
 scale_json="$(mktemp -t scale-XXXXXX.json)"
-trap 'rm -f "$chaos_trace" "$scale_trace" "$scale_json"' EXIT
-cargo run -q --release -p vod-bench --bin ext_chaos -- --trace "$chaos_trace" > /dev/null
-cargo run -q --release -p vod-check -- audit "$chaos_trace"
+trap 'rm -f "$chaos_trace" "$chaos_series" "$scale_trace" "$scale_json"' EXIT
+cargo run -q --release -p vod-bench --bin ext_chaos -- \
+  --trace "$chaos_trace" --series "$chaos_series" > /dev/null
+cargo run -q --release -p vod-check -- audit --series "$chaos_series" "$chaos_trace"
 
 echo "==> E14 scale smoke (10^5 concurrent sessions, >=10x kernel speedup, trace audits clean)"
 cargo run -q --release -p vod-bench --bin scale -- \
   --gate --baseline-budget-secs 5 --json "$scale_json" --trace "$scale_trace"
 cargo run -q --release -p vod-check -- audit "$scale_trace"
+
+echo "==> perf-regression gate (fresh scale run vs committed BENCH_sim.json)"
+cargo run -q --release -p vod-bench -- compare --json BENCH_sim.json "$scale_json"
 
 echo "==> rustdoc (no broken intra-doc links)"
 RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc --no-deps --workspace -q

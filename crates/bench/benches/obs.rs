@@ -7,16 +7,24 @@
 //! the number that justifies leaving the instrumentation compiled into
 //! the paper-exact binaries.
 //!
+//! `obs/scale_stress` measures the end-to-end cost of the time-series
+//! pipeline: two full 100k-session `scale_stress` runs, one with a
+//! [`NullSink`] and one with a [`TimeSeriesSink`]. The ISSUE budget is
+//! ≤15% wall-clock overhead for the instrumented run.
+//!
 //! Run with `CRITERION_JSON=BENCH_obs.json cargo bench --bench obs` to
 //! regenerate the committed results file.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use vod_net::NodeId;
-use vod_obs::{Event, EventSink, JsonlWriter, NullSink, RingRecorder};
+use vod_core::service::{ServiceConfig, VodService};
+use vod_core::vra::Vra;
+use vod_net::{Mbps, NodeId};
+use vod_obs::{Event, EventSink, JsonlWriter, NullSink, RingRecorder, TeeSink, TimeSeriesSink};
 use vod_sim::SimTime;
 use vod_storage::video::VideoId;
+use vod_workload::scenario::Scenario;
 
 /// One guarded emission site, exactly as the service is instrumented.
 fn emit<S: EventSink>(sink: &mut S, at: SimTime, event: &Event) {
@@ -59,6 +67,60 @@ fn bench_emit(c: &mut Criterion) {
         b.iter(|| emit(&mut jsonl, black_box(at), black_box(&event)))
     });
 
+    let mut series = TimeSeriesSink::new();
+    group.bench_function("time_series_sink", |b| {
+        b.iter(|| emit(&mut series, black_box(at), black_box(&event)))
+    });
+
+    let mut tee = TeeSink::new(NullSink, TimeSeriesSink::new());
+    group.bench_function("tee_null_series", |b| {
+        b.iter(|| emit(&mut tee, black_box(at), black_box(&event)))
+    });
+
+    group.finish();
+}
+
+/// End-to-end instrumentation overhead: a full 100k-session
+/// `scale_stress` run with the time-series pipeline attached, against
+/// the same run with the no-op sink. The two ids share a group so the
+/// compare harness can hold their ratio to the ≤15% budget.
+fn bench_scale_stress(c: &mut Criterion) {
+    let scenario = Scenario::scale_stress(42, 100_000);
+    // The config the scale scenario is designed around (same as the
+    // `scale` binary's): all-local serves at a 2 Mbps streaming ceiling.
+    let config = || ServiceConfig {
+        initial_replicas: 6,
+        local_rate: Mbps::new(2.0),
+        ..ServiceConfig::default()
+    };
+    let mut group = c.benchmark_group("obs/scale_stress");
+    group.sample_size(2);
+
+    group.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let service = VodService::with_sink(
+                black_box(&scenario),
+                Box::new(Vra::default()),
+                config(),
+                NullSink,
+            );
+            black_box(service.run_full().0)
+        })
+    });
+
+    group.bench_function("time_series_sink", |b| {
+        b.iter(|| {
+            let service = VodService::with_sink(
+                black_box(&scenario),
+                Box::new(Vra::default()),
+                config(),
+                TimeSeriesSink::new(),
+            );
+            let (report, _, sink) = service.run_full();
+            black_box((report, sink.finish().windows.len()))
+        })
+    });
+
     group.finish();
 }
 
@@ -77,5 +139,5 @@ fn bench_serialize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_emit, bench_serialize);
+criterion_group!(benches, bench_emit, bench_serialize, bench_scale_stress);
 criterion_main!(benches);

@@ -11,6 +11,9 @@
 //!   its deterministic JSONL event trace to `path`.
 //! - `--metrics <path>`: write the same run's aggregated `RunReport`
 //!   JSON (histograms + subsystem counters) to `path`.
+//! - `--series <path>`: write the same run's windowed time-series
+//!   (one-minute windows; byte-stable JSON, or CSV when `path` ends in
+//!   `.csv`) to `path`.
 //! - `--stats`: append the run's routing-engine and per-server DMA
 //!   counters to stdout.
 
@@ -28,6 +31,7 @@ use vod_net::NodeId;
 struct ObsOptions {
     trace: Option<String>,
     metrics: Option<String>,
+    series: Option<String>,
     stats: bool,
 }
 
@@ -50,10 +54,20 @@ fn parse_obs_options() -> ObsOptions {
                     std::process::exit(2);
                 }
             },
+            "--series" => match args.next() {
+                Some(path) => opts.series = Some(path),
+                None => {
+                    eprintln!("--series requires a path");
+                    std::process::exit(2);
+                }
+            },
             "--stats" => opts.stats = true,
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: experiments [--trace <path>] [--metrics <path>] [--stats]");
+                eprintln!(
+                    "usage: experiments [--trace <path>] [--metrics <path>] \
+                     [--series <path>] [--stats]"
+                );
                 std::process::exit(2);
             }
         }
@@ -154,12 +168,25 @@ fn main() {
         if all_ok { "YES" } else { "NO" }
     );
 
-    if obs.trace.is_some() || obs.metrics.is_some() || obs.stats {
-        let (report, run_report) =
+    if obs.trace.is_some() || obs.metrics.is_some() || obs.series.is_some() || obs.stats {
+        let (report, run_report) = if let Some(series_path) = &obs.series {
+            let artifacts =
+                obs_cli::case_study_run_full(obs.trace.as_deref()).unwrap_or_else(|e| {
+                    eprintln!("observability run failed: {e}");
+                    std::process::exit(1);
+                });
+            if let Err(e) = obs_cli::write_series(&artifacts.series, series_path) {
+                eprintln!("failed to write series to {series_path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("series written to {series_path}");
+            (artifacts.report, artifacts.run_report)
+        } else {
             obs_cli::case_study_run(obs.trace.as_deref()).unwrap_or_else(|e| {
                 eprintln!("observability run failed: {e}");
                 std::process::exit(1);
-            });
+            })
+        };
         if let Some(path) = &obs.trace {
             eprintln!("trace written to {path}");
         }

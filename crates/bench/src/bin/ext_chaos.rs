@@ -10,21 +10,25 @@
 //! budget grows past the outage, at the same seed and fault plan.
 //!
 //! Run with: `cargo run --release -p vod-bench --bin ext_chaos
-//! [--seed N] [--trace <path>]` — `--trace` writes the budget-5 run's
-//! JSONL event trace (faults, retries, staleness flags included) for
-//! `vod-check audit`.
+//! [--seed N] [--trace <path>] [--series <path>]` — `--trace` writes
+//! the budget-5 run's JSONL event trace (faults, retries, staleness
+//! flags included) for `vod-check audit`, and `--series` writes the
+//! same run's one-minute windowed time-series (the E15 outage-window
+//! utilization study; byte-stable JSON, or CSV when the path ends in
+//! `.csv`).
 
 #![forbid(unsafe_code)]
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 
+use vod_bench::obs_cli;
 use vod_bench::Table;
 use vod_core::service::{RetryPolicy, ServiceConfig, VodService};
 use vod_core::vra::Vra;
 use vod_core::ServiceReport;
 use vod_net::topologies::grnet::{Grnet, GrnetLink};
-use vod_obs::JsonlWriter;
+use vod_obs::{JsonlWriter, TeeSink, TimeSeriesSink};
 use vod_sim::fault::FaultPlan;
 use vod_sim::traffic::BackgroundModel;
 use vod_sim::{SimDuration, SimTime};
@@ -36,12 +40,14 @@ use vod_workload::trace::TraceConfig;
 struct ChaosOptions {
     seed: u64,
     trace: Option<String>,
+    series: Option<String>,
 }
 
 fn parse_args() -> Result<ChaosOptions, String> {
     let mut opts = ChaosOptions {
         seed: 42,
         trace: None,
+        series: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,8 +61,13 @@ fn parse_args() -> Result<ChaosOptions, String> {
             "--trace" => {
                 opts.trace = Some(args.next().ok_or("--trace requires a path")?);
             }
+            "--series" => {
+                opts.series = Some(args.next().ok_or("--series requires a path")?);
+            }
             "--help" | "-h" => {
-                return Err("usage: ext_chaos [--seed <u64>] [--trace <path>]".into());
+                return Err(
+                    "usage: ext_chaos [--seed <u64>] [--trace <path>] [--series <path>]".into(),
+                );
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -134,16 +145,28 @@ fn run(
     scenario: &Scenario,
     config: ServiceConfig,
     trace: Option<&str>,
+    series: Option<&str>,
 ) -> std::io::Result<ServiceReport> {
-    Ok(match trace {
-        Some(path) => {
-            let sink = JsonlWriter::new(BufWriter::new(File::create(path)?));
+    Ok(match (trace, series) {
+        (None, None) => VodService::new(scenario, Box::new(Vra::default()), config).run(),
+        (trace, series) => {
+            // One instrumented run feeds both artifacts through a tee:
+            // the JSONL trace (or a discarding writer) and the
+            // one-minute windowed series.
+            let writer: Box<dyn Write> = match trace {
+                Some(path) => Box::new(BufWriter::new(File::create(path)?)),
+                None => Box::new(std::io::sink()),
+            };
+            let sink = TeeSink::new(JsonlWriter::new(writer), TimeSeriesSink::new());
             let (report, _, sink) =
                 VodService::with_sink(scenario, Box::new(Vra::default()), config, sink).run_full();
-            sink.into_inner().flush()?;
+            let (jsonl, series_sink) = sink.into_parts();
+            jsonl.into_inner().flush()?;
+            if let Some(path) = series {
+                obs_cli::write_series(&series_sink.finish(), path)?;
+            }
             report
         }
-        None => VodService::new(scenario, Box::new(Vra::default()), config).run(),
     })
 }
 
@@ -191,7 +214,8 @@ fn main() {
         // The budget-5 run is the most eventful (faults, retries and
         // staleness flags all fire), so that is the one worth tracing.
         let trace = opts.trace.as_deref().filter(|_| budget == 5);
-        let report = run(&scenario, config, trace).unwrap_or_else(|e| {
+        let series = opts.series.as_deref().filter(|_| budget == 5);
+        let report = run(&scenario, config, trace, series).unwrap_or_else(|e| {
             eprintln!("failed to write trace: {e}");
             std::process::exit(1);
         });
@@ -218,5 +242,8 @@ fn main() {
     }
     if let Some(path) = &opts.trace {
         eprintln!("trace written to {path}");
+    }
+    if let Some(path) = &opts.series {
+        eprintln!("series written to {path}");
     }
 }

@@ -12,14 +12,16 @@
 //!
 //! Run with: `cargo run --release -p vod-bench --bin scale
 //! [--seed N] [--sessions N] [--baseline-budget-secs S]
-//! [--json BENCH_sim.json] [--gate] [--trace <path> --trace-sessions N]`
+//! [--json BENCH_sim.json] [--gate] [--trace <path> --trace-sessions N]
+//! [--series <path>]`
 //!
 //! `--json` writes the machine-readable results (the committed
 //! `BENCH_sim.json`). `--gate` turns the run into a CI assertion: the
 //! lazy kernel must hold ≥ 100 000 concurrent sessions and finish the
 //! full run within the wall budget. `--trace` additionally writes the
 //! JSONL event trace of a smaller (`--trace-sessions`) scale run for
-//! `vod-check audit`.
+//! `vod-check audit`; `--series` writes the same smaller run's
+//! one-minute windowed time-series alongside it.
 
 #![forbid(unsafe_code)]
 
@@ -29,10 +31,11 @@ use std::time::Instant;
 
 use serde::Serialize;
 
+use vod_bench::obs_cli;
 use vod_core::service::{ServiceConfig, VodService};
 use vod_core::vra::Vra;
 use vod_net::Mbps;
-use vod_obs::JsonlWriter;
+use vod_obs::{JsonlWriter, TeeSink, TimeSeriesSink};
 use vod_sim::{FlowKernel, SimDuration, SimTime};
 use vod_workload::scenario::Scenario;
 
@@ -44,6 +47,7 @@ struct Options {
     gate: bool,
     trace: Option<String>,
     trace_sessions: usize,
+    series: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -55,6 +59,7 @@ fn parse_args() -> Result<Options, String> {
         gate: false,
         trace: None,
         trace_sessions: 2_000,
+        series: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -88,6 +93,9 @@ fn parse_args() -> Result<Options, String> {
             "--trace" => {
                 opts.trace = Some(args.next().ok_or("--trace requires a path")?);
             }
+            "--series" => {
+                opts.series = Some(args.next().ok_or("--series requires a path")?);
+            }
             "--trace-sessions" => {
                 let value = args.next().ok_or("--trace-sessions requires a value")?;
                 opts.trace_sessions = value
@@ -97,7 +105,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err("usage: scale [--seed <u64>] [--sessions <n>] \
                             [--baseline-budget-secs <f64>] [--json <path>] [--gate] \
-                            [--trace <path>] [--trace-sessions <n>]"
+                            [--trace <path>] [--trace-sessions <n>] [--series <path>]"
                     .into());
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -211,9 +219,18 @@ fn run_reference(scenario: &Scenario, budget_secs: f64) -> KernelResult {
     }
 }
 
-fn write_trace(seed: u64, sessions: usize, path: &str) -> std::io::Result<()> {
+fn write_trace(
+    seed: u64,
+    sessions: usize,
+    trace: Option<&str>,
+    series: Option<&str>,
+) -> std::io::Result<()> {
     let scenario = Scenario::scale_stress(seed, sessions);
-    let sink = JsonlWriter::new(BufWriter::new(File::create(path)?));
+    let writer: Box<dyn Write> = match trace {
+        Some(path) => Box::new(BufWriter::new(File::create(path)?)),
+        None => Box::new(std::io::sink()),
+    };
+    let sink = TeeSink::new(JsonlWriter::new(writer), TimeSeriesSink::new());
     let (_, _, sink) = VodService::with_sink(
         &scenario,
         Box::new(Vra::default()),
@@ -221,7 +238,12 @@ fn write_trace(seed: u64, sessions: usize, path: &str) -> std::io::Result<()> {
         sink,
     )
     .run_full();
-    sink.into_inner().flush()
+    let (jsonl, series_sink) = sink.into_parts();
+    jsonl.into_inner().flush()?;
+    if let Some(path) = series {
+        obs_cli::write_series(&series_sink.finish(), path)?;
+    }
+    Ok(())
 }
 
 fn main() {
@@ -303,11 +325,25 @@ fn main() {
         println!("wrote {path}");
     }
 
-    if let Some(path) = &opts.trace {
-        write_trace(opts.seed, opts.trace_sessions, path).expect("write trace");
-        println!(
-            "wrote trace of a {}-session run to {path}",
-            opts.trace_sessions
-        );
+    if opts.trace.is_some() || opts.series.is_some() {
+        write_trace(
+            opts.seed,
+            opts.trace_sessions,
+            opts.trace.as_deref(),
+            opts.series.as_deref(),
+        )
+        .expect("write trace");
+        if let Some(path) = &opts.trace {
+            println!(
+                "wrote trace of a {}-session run to {path}",
+                opts.trace_sessions
+            );
+        }
+        if let Some(path) = &opts.series {
+            println!(
+                "wrote series of a {}-session run to {path}",
+                opts.trace_sessions
+            );
+        }
     }
 }

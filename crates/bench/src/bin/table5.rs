@@ -4,8 +4,9 @@
 //! Run with: `cargo run -p vod-bench --bin table5`
 //!
 //! Pass `--stats` to additionally run the GRNET case-study service and
-//! append its routing-engine and per-server DMA counters (the default
-//! output is unchanged without the flag).
+//! append its routing-engine and per-server DMA counters, and/or
+//! `--series <path>` to write that run's windowed time-series (the
+//! default output is unchanged without the flags).
 
 #![forbid(unsafe_code)]
 
@@ -64,9 +65,20 @@ fn main() {
     );
     println!("\nchecks passed: Table 5 reproduced exactly (to the paper's printed precision)");
 
-    if obs_cli::stats_flag() {
-        let (report, _) = obs_cli::case_study_run(None).expect("no trace file involved");
-        println!();
-        obs_cli::print_stats(&report);
+    let series = obs_cli::series_flag();
+    if obs_cli::stats_flag() || series.is_some() {
+        let report = if let Some(series_path) = series {
+            let artifacts = obs_cli::case_study_run_full(None).expect("no trace file involved");
+            obs_cli::write_series(&artifacts.series, &series_path).expect("write series");
+            eprintln!("series written to {series_path}");
+            artifacts.report
+        } else {
+            let (report, _) = obs_cli::case_study_run(None).expect("no trace file involved");
+            report
+        };
+        if obs_cli::stats_flag() {
+            println!();
+            obs_cli::print_stats(&report);
+        }
     }
 }

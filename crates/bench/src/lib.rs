@@ -25,14 +25,18 @@
 //! | `ext_smoothing` | E9: EWMA-smoothed SNMP view for the VRA |
 //!
 //! This support library provides the shared pieces: text tables,
-//! seed/CLI handling, the paper's expected values, and the simple
-//! LRU/LFU baseline caches used by E1.
+//! seed/CLI handling, the paper's expected values, the simple LRU/LFU
+//! baseline caches used by E1, and the [`compare`] perf-regression
+//! harness behind the `vod-bench` binary itself (`cargo run -p
+//! vod-bench -- compare`), which diffs fresh `BENCH_*.json` runs
+//! against the committed baselines.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod caches;
 pub mod cli;
+pub mod compare;
 pub mod expected;
 pub mod obs_cli;
 pub mod table;

@@ -1,0 +1,121 @@
+//! The `vod-bench` command: perf-regression tooling over the committed
+//! `BENCH_*.json` baselines.
+//!
+//! ```text
+//! cargo run -p vod-bench -- compare [--json] [--tolerance R] [--floor-ns N]
+//!     [--threshold id=R]... BASELINE CURRENT [BASELINE CURRENT]...
+//! ```
+//!
+//! Each `BASELINE CURRENT` pair is diffed with
+//! [`vod_bench::compare`]; the process exits nonzero when any
+//! benchmark id degrades past its tolerance (or vanishes), naming the
+//! id and the delta. `--json` emits the machine-readable verdict
+//! instead of human lines.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use vod_bench::compare::{compare_pair, CompareConfig, CompareReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vod-bench compare [--json] [--tolerance <ratio>] [--floor-ns <ns>] \
+         [--threshold <id>=<ratio>]... <baseline> <current> [<baseline> <current>]..."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("compare") => run_compare(args.collect()),
+        _ => usage(),
+    }
+}
+
+fn run_compare(args: Vec<String>) -> ExitCode {
+    let mut config = CompareConfig::default();
+    let mut json = false;
+    let mut files = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--tolerance" => {
+                let Some(value) = iter.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--tolerance requires a numeric ratio");
+                    usage();
+                };
+                config.tolerance = value;
+            }
+            "--floor-ns" => {
+                let Some(value) = iter.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--floor-ns requires a numeric value");
+                    usage();
+                };
+                config.floor_ns = value;
+            }
+            "--threshold" => {
+                let Some(spec) = iter.next() else {
+                    eprintln!("--threshold requires <id>=<ratio>");
+                    usage();
+                };
+                let Some((id, ratio)) = spec.split_once('=') else {
+                    eprintln!("--threshold requires <id>=<ratio>, got {spec:?}");
+                    usage();
+                };
+                let Ok(ratio) = ratio.parse() else {
+                    eprintln!("invalid --threshold ratio in {spec:?}");
+                    usage();
+                };
+                config.overrides.insert(id.to_string(), ratio);
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other:?}");
+                usage();
+            }
+            path => files.push(path.to_string()),
+        }
+    }
+    if files.is_empty() || files.len() % 2 != 0 {
+        eprintln!("compare needs one or more <baseline> <current> path pairs");
+        usage();
+    }
+
+    let mut report = CompareReport::default();
+    for pair in files.chunks(2) {
+        let baseline_text = match std::fs::read_to_string(&pair[0]) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", pair[0]);
+                return ExitCode::from(2);
+            }
+        };
+        let current_text = match std::fs::read_to_string(&pair[1]) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read current {}: {e}", pair[1]);
+                return ExitCode::from(2);
+            }
+        };
+        match compare_pair(&pair[0], &baseline_text, &pair[1], &current_text, &config) {
+            Ok(p) => report.pairs.push(p),
+            Err(e) => {
+                eprintln!("compare failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

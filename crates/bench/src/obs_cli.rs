@@ -5,10 +5,14 @@
 //!
 //! - `--stats` appends the routing-engine and per-server DMA counters of
 //!   a full GRNET case-study service run to stdout.
+//! - `--series <path>` writes the run's windowed time-series
+//!   ([`TimeSeriesSink`], one-minute windows) as byte-stable JSON — or
+//!   CSV when `path` ends in `.csv`.
 //! - `--trace <path>` (experiments only) writes the run's JSONL event
 //!   trace to `path`.
 //! - `--metrics <path>` (experiments only) writes the run's
-//!   [`RunReport`] JSON to `path`.
+//!   [`RunReport`] JSON to `path` (with the span-derived time-to-switch
+//!   histogram attached).
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -16,13 +20,47 @@ use std::io::{BufWriter, Write};
 use vod_core::service::{ServiceConfig, VodService};
 use vod_core::vra::Vra;
 use vod_core::ServiceReport;
-use vod_obs::{JsonlWriter, RunReport};
+use vod_obs::{
+    JsonlWriter, RunReport, SeriesReport, SpanBuilder, SpanReport, TeeSink, TimeSeriesSink,
+};
 use vod_workload::scenario::Scenario;
 
 /// Returns true when `--stats` appears in the process arguments.
 /// Unknown arguments are left for the binary's own parser to reject.
 pub fn stats_flag() -> bool {
     std::env::args().skip(1).any(|a| a == "--stats")
+}
+
+/// Returns the path following `--series` in the process arguments, if
+/// any. Like [`stats_flag`], unknown arguments are left to the
+/// binary's own parser.
+pub fn series_flag() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--series" {
+            match args.next() {
+                Some(path) => return Some(path),
+                None => {
+                    eprintln!("--series requires a path");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Everything an instrumented GRNET case-study run produces.
+pub struct CaseStudyArtifacts {
+    /// The paper-facing service report.
+    pub report: ServiceReport,
+    /// Aggregated metrics, with the span-derived time-to-switch
+    /// histogram attached.
+    pub run_report: RunReport,
+    /// Windowed time-series of the run.
+    pub series: SeriesReport,
+    /// Assembled per-session lifecycle spans.
+    pub spans: SpanReport,
 }
 
 /// Runs the GRNET case study (seed 42, the VRA selector) and returns
@@ -45,6 +83,51 @@ pub fn case_study_run(trace: Option<&str>) -> std::io::Result<(ServiceReport, Ru
             (report, run_report)
         }
     })
+}
+
+/// Runs the GRNET case study once with the full observability stack —
+/// a [`TeeSink`] fanning the stream out to a JSONL trace (or a
+/// discarding writer when `trace` is `None`), a [`TimeSeriesSink`]
+/// (one-minute windows) and a [`SpanBuilder`] — and returns all the
+/// artifacts. The simulation itself is identical to
+/// [`case_study_run`]'s; only the sinks differ.
+pub fn case_study_run_full(trace: Option<&str>) -> std::io::Result<CaseStudyArtifacts> {
+    let scenario = Scenario::grnet_case_study(42);
+    let selector = Box::new(Vra::default());
+    let config = ServiceConfig::default();
+    let writer: Box<dyn Write> = match trace {
+        Some(path) => Box::new(BufWriter::new(File::create(path)?)),
+        None => Box::new(std::io::sink()),
+    };
+    let sink = TeeSink::new(
+        JsonlWriter::new(writer),
+        TeeSink::new(TimeSeriesSink::new(), SpanBuilder::new()),
+    );
+    let (report, mut run_report, sink) =
+        VodService::with_sink(&scenario, selector, config, sink).run_full();
+    let (jsonl, aggregators) = sink.into_parts();
+    jsonl.into_inner().flush()?;
+    let (series_sink, span_builder) = aggregators.into_parts();
+    let series = series_sink.finish();
+    let spans = span_builder.finish();
+    run_report.attach_spans(&spans);
+    Ok(CaseStudyArtifacts {
+        report,
+        run_report,
+        series,
+        spans,
+    })
+}
+
+/// Writes a finished series to `path`: CSV when the path ends in
+/// `.csv`, byte-stable JSON otherwise.
+pub fn write_series(series: &SeriesReport, path: &str) -> std::io::Result<()> {
+    let rendered = if path.ends_with(".csv") {
+        series.to_csv()
+    } else {
+        series.to_json()
+    };
+    std::fs::write(path, rendered)
 }
 
 /// Prints the subsystem counters of a service run: the epoch-cached

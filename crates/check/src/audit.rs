@@ -1,4 +1,4 @@
-//! The trace invariant auditor: rules `A000`–`A012` over JSONL traces.
+//! The trace invariant auditor: rules `A000`–`A013` over JSONL traces.
 //!
 //! A trace written by `vod-obs`'s `JsonlWriter` is *self-auditing*: it
 //! opens with the topology, the run configuration, each server's DMA
@@ -22,6 +22,7 @@
 //! | A010 | fault windows: `link_down`/`link_up` pair up, `link_state.down` matches the replayed outage set, and the A005 reference masks down links (no selection routes over them) |
 //! | A011 | retry budget: `session_retry` attempts are 1-based, step by one within an episode, and never exceed `retry_max_attempts` from the run config |
 //! | A012 | abort accounting: every `session_aborted.reason` is a known cause and consistent with the configured budget and the session's observed retries |
+//! | A013 | series reconciliation ([`crate::series`]): a `TimeSeriesSink` export's windows are contiguous and aligned, per-window counter sums equal the raw trace's event counts, and per-link utilization never exceeds capacity |
 //!
 //! The replayed DMA popularity counter exploits that every `dma_*`
 //! decision event corresponds to exactly one `on_request` call, which
@@ -41,7 +42,7 @@ use serde::Value;
 /// One invariant violation, pointing at a trace line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
-    /// The violated rule (`"A000"`…`"A012"`).
+    /// The violated rule (`"A000"`…`"A013"`).
     pub rule: &'static str,
     /// 1-based line number in the trace.
     pub line: usize,

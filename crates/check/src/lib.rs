@@ -14,12 +14,17 @@
 //!   (Figure 3), and VRA selections re-derived by a from-scratch
 //!   LVN-weighted Dijkstra (Figure 5) over the traced link state.
 //!
-//! Both run behind the `vod-check` binary:
+//! * [`series`] — rule `A013`, reconciling a `--series` time-series
+//!   export (windowed counters and per-link utilization) against the
+//!   raw trace the same run emitted.
+//!
+//! All run behind the `vod-check` binary:
 //!
 //! ```text
 //! cargo run -p vod-check -- lint            # zero findings gate
 //! cargo run -p vod-check -- audit --grnet   # replay the GRNET case study
 //! cargo run -p vod-check -- audit run.jsonl # audit a stored trace
+//! cargo run -p vod-check -- audit --series run.series.json run.jsonl
 //! ```
 //!
 //! The rule catalog with its mapping to the paper's figures lives in
@@ -29,3 +34,4 @@
 
 pub mod audit;
 pub mod lint;
+pub mod series;

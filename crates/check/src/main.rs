@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! vod-check lint  [--root DIR] [--allowlist FILE] [--json]
-//! vod-check audit [--json] (--grnet | TRACE.jsonl ...)
+//! vod-check audit [--json] [--series SERIES.json] (--grnet | TRACE.jsonl ...)
 //! ```
+//!
+//! `--series` reconciles a `--series` export (rule `A013`) against the
+//! run's trace — the `--grnet` replay, or the single trace file given.
 //!
 //! Exit codes: 0 clean, 1 findings/violations, 2 usage or I/O error.
 
@@ -14,6 +17,7 @@ use std::process::ExitCode;
 
 use vod_check::audit::{audit_trace, AuditSummary};
 use vod_check::lint::{lint, workspace_sources, Allowlist, LintOutcome};
+use vod_check::series::audit_series;
 use vod_core::service::{ServiceConfig, VodService};
 use vod_core::vra::Vra;
 use vod_obs::JsonlWriter;
@@ -27,7 +31,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: vod-check lint [--root DIR] [--allowlist FILE] [--json]\n\
-                        vod-check audit [--json] (--grnet | TRACE.jsonl ...)"
+                        vod-check audit [--json] [--series SERIES.json] (--grnet | TRACE.jsonl ...)"
             );
             ExitCode::from(2)
         }
@@ -132,11 +136,17 @@ fn print_lint_json(outcome: &LintOutcome) {
 fn run_audit(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut grnet = false;
+    let mut series: Option<PathBuf> = None;
     let mut traces: Vec<PathBuf> = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
             "--grnet" => grnet = true,
+            "--series" => match it.next() {
+                Some(v) => series = Some(PathBuf::from(v)),
+                None => return usage("--series needs a file"),
+            },
             other if other.starts_with("--") => {
                 return usage(&format!("unknown audit option `{other}`"))
             }
@@ -146,10 +156,15 @@ fn run_audit(args: &[String]) -> ExitCode {
     if !grnet && traces.is_empty() {
         return usage("audit needs --grnet or at least one trace file");
     }
+    if series.is_some() && (traces.len() > 1 || (grnet && !traces.is_empty())) {
+        return usage("--series reconciles against exactly one run (--grnet or one trace)");
+    }
     let mut clean = true;
+    let mut series_trace: Option<(String, String)> = None;
     if grnet {
         let text = grnet_case_study_trace();
         clean &= report_audit("grnet-case-study", &audit_trace(&text), json);
+        series_trace = Some(("grnet-case-study".into(), text));
     }
     for path in traces {
         let text = match std::fs::read_to_string(&path) {
@@ -161,12 +176,62 @@ fn run_audit(args: &[String]) -> ExitCode {
         };
         let label = path.display().to_string();
         clean &= report_audit(&label, &audit_trace(&text), json);
+        series_trace = Some((label, text));
+    }
+    if let Some(series_path) = series {
+        let series_text = match std::fs::read_to_string(&series_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("vod-check: cannot read {}: {e}", series_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let (trace_label, trace_text) =
+            series_trace.expect("audit requires --grnet or a trace before this point");
+        let label = format!("{} vs {trace_label}", series_path.display());
+        clean &= report_series(&label, &audit_series(&series_text, &trace_text), json);
     }
     if clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Prints one series-reconciliation result; returns true when clean.
+fn report_series(label: &str, summary: &vod_check::series::SeriesAuditSummary, json: bool) -> bool {
+    if json {
+        let mut out = format!(
+            "{{\"series\":{},\"windows\":{},\"totals_verified\":{},\"violations\":[",
+            json_string(label),
+            summary.windows,
+            summary.totals_verified
+        );
+        for (i, v) in summary.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"window\":{},\"message\":{}}}",
+                v.rule,
+                v.line,
+                json_string(&v.message)
+            ));
+        }
+        out.push_str("]}");
+        println!("{out}");
+    } else {
+        for v in &summary.violations {
+            println!("{label}:window {}: [{}] {}", v.line, v.rule, v.message);
+        }
+        println!(
+            "vod-check audit {label}: {} windows, {} totals verified, {} violations",
+            summary.windows,
+            summary.totals_verified,
+            summary.violations.len()
+        );
+    }
+    summary.is_clean()
 }
 
 /// Runs the paper's GRNET case study (seed 42, VRA selector) with a

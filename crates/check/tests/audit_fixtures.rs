@@ -346,10 +346,10 @@ fn clean_fault_fixture_audits_green() {
 fn fixtures_cover_distinct_rules() {
     let rules = [
         "A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008", "A009", "A010",
-        "A011", "A012",
+        "A011", "A012", "A013",
     ];
     let distinct: std::collections::BTreeSet<&str> = rules.iter().copied().collect();
-    assert_eq!(distinct.len(), 13);
+    assert_eq!(distinct.len(), 14);
 }
 
 /// Runs one full service simulation and returns its JSONL trace.

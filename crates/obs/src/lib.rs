@@ -15,9 +15,20 @@
 //!   (bounded in-memory flight recorder), or [`JsonlWriter`] (streaming
 //!   JSON Lines);
 //! * [`MetricsRegistry`] / [`RunReport`] — run-level aggregation:
-//!   startup-latency, stall-duration and fetch-cost
+//!   startup-latency, stall-duration, fetch-cost and time-to-switch
 //!   [`Histogram`](vod_sim::metrics::Histogram)s plus the DMA, routing
-//!   engine and SNMP counters, exposed as JSON or Prometheus text.
+//!   engine and SNMP counters, exposed as JSON or Prometheus text;
+//! * [`TimeSeriesSink`] / [`SeriesReport`] — fixed-width sim-time
+//!   windows aggregated online (concurrent sessions, per-link
+//!   utilization, admissions/aborts/retries, DMA hit ratio, VRA
+//!   local-vs-remote split, SNMP staleness), exported as byte-stable
+//!   JSON/CSV — the time-resolved view behind the paper's Figs 2/3/5;
+//! * [`SpanBuilder`] / [`SpanReport`] — per-session
+//!   request → admission → streaming → switch → completion/abort
+//!   lifecycle spans assembled from any trace (live, ring or JSONL),
+//!   feeding the phase-duration histograms;
+//! * [`TeeSink`] — fan-out combinator so one run can, say, stream
+//!   JSONL *and* feed the series/span aggregators simultaneously.
 //!
 //! # Determinism contract
 //!
@@ -43,8 +54,12 @@
 
 pub mod event;
 pub mod registry;
+pub mod series;
 pub mod sink;
+pub mod span;
 
 pub use event::{DmaRejectKind, Event};
 pub use registry::{MetricsRegistry, RunReport, RunSummary};
-pub use sink::{EventSink, JsonlWriter, NullSink, RingRecorder};
+pub use series::{SeriesReport, SeriesWindow, TimeSeriesSink};
+pub use sink::{EventSink, JsonlWriter, NullSink, RingRecorder, TeeSink};
+pub use span::{SessionSpan, SpanBuilder, SpanOutcome, SpanReport};

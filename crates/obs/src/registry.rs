@@ -112,6 +112,7 @@ impl MetricsRegistry {
             startup_latency: self.startup,
             stall_duration: self.stall,
             fetch_cost: self.fetch_cost,
+            time_to_switch: Histogram::default(),
         }
     }
 }
@@ -129,9 +130,22 @@ pub struct RunReport {
     pub stall_duration: Histogram,
     /// Per-cluster fetch-cost distribution (LVN cost units).
     pub fetch_cost: Histogram,
+    /// Time-to-switch distribution (seconds): playout start (or the
+    /// previous switch) to each mid-stream server switch. Empty until
+    /// spans are attached with [`RunReport::attach_spans`] — switch
+    /// instants are a lifecycle property, assembled post-run by
+    /// [`SpanBuilder`](crate::SpanBuilder) rather than paid for on the
+    /// hot path.
+    pub time_to_switch: Histogram,
 }
 
 impl RunReport {
+    /// Folds a [`SpanReport`](crate::SpanReport)'s phase-duration view
+    /// into the report, populating [`RunReport::time_to_switch`].
+    pub fn attach_spans(&mut self, spans: &crate::SpanReport) {
+        self.time_to_switch = spans.time_to_switch_histogram();
+    }
+
     /// The report as one JSON object. Deterministic: field order is
     /// fixed by the struct definitions and floats round-trip exactly.
     pub fn to_json(&self) -> String {
@@ -203,6 +217,7 @@ impl RunReport {
         );
         write_histogram(&mut out, "vod_stall_duration_seconds", &self.stall_duration);
         write_histogram(&mut out, "vod_fetch_cost", &self.fetch_cost);
+        write_histogram(&mut out, "vod_time_to_switch_seconds", &self.time_to_switch);
         out
     }
 }

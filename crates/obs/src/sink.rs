@@ -6,9 +6,10 @@
 //! monomorphization, and the instrumented service is byte-for-byte the
 //! uninstrumented one. [`RingRecorder`] keeps the last N events in
 //! memory (a flight recorder for post-mortem inspection); [`JsonlWriter`]
-//! streams every event as one JSON line.
+//! streams every event as one JSON line; [`TeeSink`] fans one stream
+//! out to two sinks (e.g. a JSONL trace *and* a
+//! [`TimeSeriesSink`](crate::TimeSeriesSink) in the same run).
 
-use std::collections::VecDeque;
 use std::io;
 
 use vod_sim::SimTime;
@@ -65,15 +66,26 @@ impl EventSink for NullSink {
 ///
 /// Keeps the most recent `capacity` events, overwriting the oldest
 /// when full and counting what it dropped. Iteration is chronological.
+///
+/// Internally a pre-sized circular buffer: the backing `Vec` is
+/// allocated once at construction and a saturated ring overwrites the
+/// oldest slot in place, so steady-state recording never reallocates
+/// or shifts entries — the emission tail stays flat at capacity
+/// (`benches/obs.rs`, `obs/emit/ring_recorder`).
 #[derive(Debug, Clone)]
 pub struct RingRecorder {
     capacity: usize,
-    entries: VecDeque<(SimTime, Event)>,
+    entries: Vec<(SimTime, Event)>,
+    /// Oldest retained entry once the ring is full; always the next
+    /// slot to overwrite.
+    head: usize,
     dropped: u64,
 }
 
 impl RingRecorder {
-    /// Creates a recorder holding at most `capacity` events.
+    /// Creates a recorder holding at most `capacity` events. The
+    /// backing storage is reserved up front so recording never grows
+    /// the allocation.
     ///
     /// # Panics
     ///
@@ -82,7 +94,8 @@ impl RingRecorder {
         assert!(capacity > 0, "flight recorder capacity must be positive");
         RingRecorder {
             capacity,
-            entries: VecDeque::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            head: 0,
             dropped: 0,
         }
     }
@@ -109,15 +122,16 @@ impl RingRecorder {
 
     /// Retained events, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, &Event)> {
-        self.entries.iter().map(|(at, e)| (*at, e))
+        let (tail, front) = self.entries.split_at(self.head);
+        front.iter().chain(tail).map(|(at, e)| (*at, e))
     }
 
     /// Renders the retained events as JSONL (one event per line, oldest
     /// first, trailing newline after each line).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.entries.len() * 96);
-        for (at, event) in &self.entries {
-            event.write_json(*at, &mut out);
+        for (at, event) in self.iter() {
+            event.write_json(at, &mut out);
             out.push('\n');
         }
         out
@@ -126,11 +140,67 @@ impl RingRecorder {
 
 impl EventSink for RingRecorder {
     fn record(&mut self, at: SimTime, event: &Event) {
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
+        if self.entries.len() < self.capacity {
+            self.entries.push((at, event.clone()));
+        } else {
+            self.entries[self.head] = (at, event.clone());
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
             self.dropped += 1;
         }
-        self.entries.push_back((at, event.clone()));
+    }
+}
+
+/// Fans one event stream out to two sinks.
+///
+/// `enabled()` is the OR of the parts and each part only sees events
+/// while it is itself enabled, so a `TeeSink<NullSink, NullSink>`
+/// still folds away entirely. Nest tees for wider fan-out:
+/// `TeeSink::new(jsonl, TeeSink::new(series, spans))` records a trace
+/// and feeds both aggregators in a single run.
+#[derive(Debug, Default, Clone)]
+pub struct TeeSink<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: EventSink, B: EventSink> TeeSink<A, B> {
+    /// Combines two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// The first sink, shared.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second sink, shared.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Splits the tee back into its parts.
+    pub fn into_parts(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.first.enabled() || self.second.enabled()
+    }
+
+    fn record(&mut self, at: SimTime, event: &Event) {
+        if self.first.enabled() {
+            self.first.record(at, event);
+        }
+        if self.second.enabled() {
+            self.second.record(at, event);
+        }
     }
 }
 
@@ -226,6 +296,40 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn ring_rejects_zero_capacity() {
         let _ = RingRecorder::new(0);
+    }
+
+    #[test]
+    fn ring_never_reallocates_and_stays_chronological() {
+        let mut ring = RingRecorder::new(3);
+        let backing = ring.entries.capacity();
+        for i in 0..10 {
+            ring.record(SimTime::from_secs(i as u64), &event(i));
+            let kept: Vec<_> = ring.iter().map(|(at, _)| at.as_micros()).collect();
+            let mut sorted = kept.clone();
+            sorted.sort_unstable();
+            assert_eq!(kept, sorted, "iteration stays oldest-first");
+        }
+        assert_eq!(ring.entries.capacity(), backing, "no reallocation on wrap");
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let kept: Vec<_> = ring.iter().map(|(at, _)| at.as_micros()).collect();
+        assert_eq!(kept, vec![7_000_000, 8_000_000, 9_000_000]);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks_and_ors_enabled() {
+        let tee = TeeSink::new(NullSink, NullSink);
+        assert!(!tee.enabled());
+
+        let mut tee = TeeSink::new(RingRecorder::new(4), JsonlWriter::new(Vec::new()));
+        assert!(tee.enabled());
+        tee.record(SimTime::ZERO, &event(1));
+        tee.record(SimTime::from_secs(1), &event(2));
+        assert_eq!(tee.first().len(), 2);
+        assert_eq!(tee.second().lines(), 2);
+        let (ring, writer) = tee.into_parts();
+        let text = String::from_utf8(writer.into_inner()).unwrap_or_default();
+        assert_eq!(ring.to_jsonl(), text);
     }
 
     #[test]

@@ -572,7 +572,12 @@ impl FlowNetwork {
                             // not drive the completion schedule (the
                             // reference scan filters rate > 0 the same
                             // way). Stash it aside and keep looking.
-                            dust.push(self.completions.pop().expect("pop follows a successful peek").0);
+                            dust.push(
+                                self.completions
+                                    .pop()
+                                    .expect("pop follows a successful peek")
+                                    .0,
+                            );
                         }
                         // Stale: flow gone or re-rated since the entry was
                         // pushed. Drop it for good.
@@ -648,7 +653,10 @@ impl FlowNetwork {
             if top.finish_secs > now_secs + POP_SLACK_SECS {
                 break;
             }
-            let Reverse(entry) = self.completions.pop().expect("pop follows a successful peek");
+            let Reverse(entry) = self
+                .completions
+                .pop()
+                .expect("pop follows a successful peek");
             match self.flows.get(&entry.id) {
                 Some(f) if f.epoch == entry.epoch => {
                     if f.remaining_at(self.clock_us) <= COMPLETION_EPSILON_MBIT {
