@@ -31,6 +31,9 @@ cargo test -q -p vod-integration-tests --test series
 echo "==> vod-check lint (zero findings, zero stale allowlist entries)"
 cargo run -q --release -p vod-check -- lint
 
+echo "==> vod-check analyze (panic-reachability, determinism, obs-taxonomy drift)"
+cargo run -q --release -p vod-check -- analyze
+
 echo "==> vod-check audit (GRNET case-study trace replays clean)"
 cargo run -q --release -p vod-check -- audit --grnet
 
@@ -39,7 +42,8 @@ chaos_trace="$(mktemp -t chaos-XXXXXX.jsonl)"
 chaos_series="$(mktemp -t chaos-XXXXXX.series.json)"
 scale_trace="$(mktemp -t scale-XXXXXX.jsonl)"
 scale_json="$(mktemp -t scale-XXXXXX.json)"
-trap 'rm -f "$chaos_trace" "$chaos_series" "$scale_trace" "$scale_json"' EXIT
+analyze_json="$(mktemp -t analyze-XXXXXX.json)"
+trap 'rm -f "$chaos_trace" "$chaos_series" "$scale_trace" "$scale_json" "$analyze_json"' EXIT
 cargo run -q --release -p vod-bench --bin ext_chaos -- \
   --trace "$chaos_trace" --series "$chaos_series" > /dev/null
 cargo run -q --release -p vod-check -- audit --series "$chaos_series" "$chaos_trace"
@@ -51,6 +55,11 @@ cargo run -q --release -p vod-check -- audit "$scale_trace"
 
 echo "==> perf-regression gate (fresh scale run vs committed BENCH_sim.json)"
 cargo run -q --release -p vod-bench -- compare --json BENCH_sim.json "$scale_json"
+
+echo "==> analyzer wall-time gate (full analyze pass under 2 s, no regression vs BENCH_obs.json)"
+cargo run -q --release -p vod-bench --bin check_analyze -- \
+  --json "$analyze_json" --gate 2
+cargo run -q --release -p vod-bench -- compare --only check/ BENCH_obs.json "$analyze_json"
 
 echo "==> rustdoc (no broken intra-doc links)"
 RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc --no-deps --workspace -q

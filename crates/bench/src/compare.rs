@@ -56,6 +56,10 @@ pub struct CompareConfig {
     pub floor_ns: f64,
     /// Per-benchmark-id overrides of `tolerance`.
     pub overrides: BTreeMap<String, f64>,
+    /// When set, only ids with this prefix are compared — both sides
+    /// are filtered, so a baseline holding many suites can gate one
+    /// (`--only check/` compares just the analyzer timing).
+    pub only: Option<String>,
 }
 
 impl Default for CompareConfig {
@@ -64,6 +68,7 @@ impl Default for CompareConfig {
             tolerance: 1.75,
             floor_ns: 5.0,
             overrides: BTreeMap::new(),
+            only: None,
         }
     }
 }
@@ -321,8 +326,20 @@ pub fn compare_pair(
     current_text: &str,
     config: &CompareConfig,
 ) -> Result<PairReport, String> {
-    let baseline = extract_entries(baseline_text).map_err(|e| format!("{baseline_label}: {e}"))?;
-    let current = extract_entries(current_text).map_err(|e| format!("{current_label}: {e}"))?;
+    let keep = |e: &Entry| match &config.only {
+        Some(prefix) => e.id.starts_with(prefix.as_str()),
+        None => true,
+    };
+    let baseline: Vec<Entry> = extract_entries(baseline_text)
+        .map_err(|e| format!("{baseline_label}: {e}"))?
+        .into_iter()
+        .filter(|e| keep(e))
+        .collect();
+    let current: Vec<Entry> = extract_entries(current_text)
+        .map_err(|e| format!("{current_label}: {e}"))?
+        .into_iter()
+        .filter(|e| keep(e))
+        .collect();
     let current_by_id: BTreeMap<&str, &Entry> =
         current.iter().map(|e| (e.id.as_str(), e)).collect();
     let baseline_ids: BTreeMap<&str, ()> = baseline.iter().map(|e| (e.id.as_str(), ())).collect();
@@ -512,6 +529,23 @@ mod tests {
         let pair = compare_pair("base", SIM, "cur", &slow, &cfg).expect("compare");
         let regressed: Vec<_> = pair.regressions().map(|c| c.id.clone()).collect();
         assert_eq!(regressed, vec!["sim/lazy/events_per_sec".to_string()]);
+    }
+
+    #[test]
+    fn only_prefix_scopes_the_comparison() {
+        let cfg = CompareConfig {
+            only: Some("obs/emit/".to_string()),
+            ..Default::default()
+        };
+        // A 2x slowdown outside the prefix is invisible; the prefixed
+        // entries are still held to their limits.
+        let slow = doubled(CRITERION, "obs/serialize/write_json");
+        let pair = compare_pair("base", CRITERION, "cur", &slow, &cfg).expect("compare");
+        assert_eq!(pair.regressions().count(), 0);
+        let ids: Vec<_> = pair.comparisons.iter().map(|c| c.id.as_str()).collect();
+        assert_eq!(ids, vec!["obs/emit/null_sink", "obs/emit/ring_recorder"]);
+        // A current-only id outside the prefix is not reported as new.
+        assert!(pair.new_ids.is_empty());
     }
 
     #[test]

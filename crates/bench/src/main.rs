@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run -p vod-bench -- compare [--json] [--tolerance R] [--floor-ns N]
-//!     [--threshold id=R]... BASELINE CURRENT [BASELINE CURRENT]...
+//!     [--threshold id=R]... [--only PREFIX] BASELINE CURRENT [BASELINE CURRENT]...
 //! ```
 //!
 //! Each `BASELINE CURRENT` pair is diffed with
@@ -21,7 +21,8 @@ use vod_bench::compare::{compare_pair, CompareConfig, CompareReport};
 fn usage() -> ! {
     eprintln!(
         "usage: vod-bench compare [--json] [--tolerance <ratio>] [--floor-ns <ns>] \
-         [--threshold <id>=<ratio>]... <baseline> <current> [<baseline> <current>]..."
+         [--threshold <id>=<ratio>]... [--only <id-prefix>] \
+         <baseline> <current> [<baseline> <current>]..."
     );
     std::process::exit(2);
 }
@@ -70,6 +71,13 @@ fn run_compare(args: Vec<String>) -> ExitCode {
                     usage();
                 };
                 config.overrides.insert(id.to_string(), ratio);
+            }
+            "--only" => {
+                let Some(prefix) = iter.next() else {
+                    eprintln!("--only requires an id prefix");
+                    usage();
+                };
+                config.only = Some(prefix);
             }
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other:?}");

@@ -1,0 +1,550 @@
+//! The semantic analyzer: rules `L006`–`L012` over the extracted
+//! workspace model.
+//!
+//! Where the [`lint`](crate::lint) pass matches line needles, this pass
+//! reasons about *structure*:
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | L006 | `.unwrap()` reachable from a sim hot-path root |
+//! | L007 | `.expect(…)` reachable from a root and not allowlisted |
+//! | L008 | `panic!`-family macro or computed slice index reachable from a root and not allowlisted |
+//! | L009 | `spawn`/channel primitive outside `vod-net`'s batch engine |
+//! | L010 | float sort key via `partial_cmp` without `total_cmp` |
+//! | L011 | `Hash`-without-`Ord` type used as a `HashMap`/`HashSet` key |
+//! | L012 | `Event` taxonomy drift (see [`drift`](crate::drift)) |
+//!
+//! The hot-path roots are the entry points the paper's experiments
+//! drive — [`ROOTS`] — and reachability is computed over the
+//! [`callgraph`](crate::callgraph)'s over-approximating resolution, so
+//! dynamic dispatch cannot hide a panic. `L007` honors the existing
+//! `L004` allowlist grants (an expect proven infallible for the lint
+//! pass is equally infallible here) plus `L008`-tagged grants for
+//! release-mode asserts whose invariant is documented. Stale `L007`/
+//! `L008` grants are hard findings (`L000`), mirroring the lint pass's
+//! allowlist ownership of `L001`–`L005` entries.
+//!
+//! `vod-bench` and `vod-check` itself are tooling, exempt from the
+//! reachability and determinism passes exactly as they are exempt from
+//! `L001`/`L004`; the drift pass still reads `vod-check`'s auditor
+//! source, which is one of the taxonomy's consumers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph;
+use crate::drift;
+use crate::lex::{lex, Tok, TokKind};
+use crate::lint::{strip_source, test_line_mask, AllowEntry, Allowlist, Finding, Rule, SourceFile};
+use crate::model::{self, PanicKind};
+
+/// The sim hot-path roots reachability starts from: the service's
+/// experiment drivers, the flow kernel's advancement entry points, and
+/// the routing engine's batch selector.
+pub const ROOTS: &[&str] = &[
+    "VodService::run_full",
+    "VodService::run_to_end",
+    "FlowNetwork::advance",
+    "FlowNetwork::advance_into",
+    "FlowNetwork::next_completion",
+    "RoutingEngine::select_batch",
+];
+
+/// Crates exempt from the reachability and determinism passes
+/// (measurement and analysis tooling, same exemption as `L001`/`L004`).
+pub const EXEMPT_CRATES: &[&str] = &["bench", "check"];
+
+/// The one file allowed to use thread primitives: `vod-net`'s batch
+/// routing engine, whose scoped fork/join keeps results in
+/// deterministic submission order.
+pub const THREAD_EXEMPT_FILE: &str = "crates/net/src/engine.rs";
+
+/// Comparator-taking sort/search functions whose key function must be
+/// a total order.
+const SORT_FNS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "min_by",
+    "max_by",
+    "binary_search_by",
+];
+
+/// The outcome of one analyzer run.
+#[derive(Debug, Default)]
+pub struct AnalyzeOutcome {
+    /// All findings (including hard `L000` stale-allowlist findings),
+    /// sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Stale `L007`/`L008` allowlist entries (also present in
+    /// `findings` as `L000`).
+    pub unused_allow: Vec<AllowEntry>,
+    /// Files analyzed (after crate exemptions).
+    pub files: usize,
+    /// Functions extracted.
+    pub fns: usize,
+    /// Functions reachable from the roots.
+    pub reachable_fns: usize,
+}
+
+/// True for files the reachability/determinism passes skip.
+fn exempt(path: &str) -> bool {
+    EXEMPT_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/")))
+}
+
+/// Runs rules `L006`–`L012` over `files` (the full workspace source
+/// set; crate exemptions are applied internally).
+pub fn analyze(files: &[SourceFile], allow: &Allowlist) -> AnalyzeOutcome {
+    let mut out = AnalyzeOutcome::default();
+    let analyzed: Vec<SourceFile> = files.iter().filter(|f| !exempt(&f.path)).cloned().collect();
+    out.files = analyzed.len();
+
+    let ws = model::extract(&analyzed);
+    out.fns = ws.fns.len();
+    let graph = callgraph::build(&ws);
+    let reach = callgraph::reach(&ws, &graph, ROOTS);
+    out.reachable_fns = (0..ws.fns.len()).filter(|&i| reach.is_reachable(i)).count();
+
+    // A root that stopped resolving means the analyzer is anchored to
+    // nothing — fail loudly instead of passing vacuously.
+    for root in &reach.unresolved_roots {
+        out.findings.push(Finding {
+            rule: Rule::StaleAllow,
+            path: "crates/check/src/analyze.rs".to_string(),
+            line: 0,
+            message: format!(
+                "analyzer root `{root}` resolves to no workspace function; \
+                 update ROOTS to the current hot-path entry points"
+            ),
+        });
+    }
+
+    // Raw line text by (path, 1-based line), for allowlist needles.
+    let raw_lines: BTreeMap<&str, Vec<&str>> = files
+        .iter()
+        .map(|f| (f.path.as_str(), f.text.lines().collect()))
+        .collect();
+    // A needle window of three lines starting at the finding line: a
+    // multi-line `assert!` puts its condition and message on the lines
+    // after the one holding `assert!(`, and the needle should be able
+    // to quote the invariant, not the macro name.
+    let raw_line = |path: &str, line: u32| -> String {
+        raw_lines
+            .get(path)
+            .map(|ls| {
+                let start = (line as usize).saturating_sub(1);
+                ls.iter()
+                    .skip(start)
+                    .take(3)
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })
+            .unwrap_or_default()
+    };
+
+    let mut allow_used = vec![false; allow.entries().len()];
+    let grant = |rule_code: &[&str], path: &str, line_text: &str, used: &mut Vec<bool>| {
+        let mut granted = false;
+        for (i, e) in allow.entries().iter().enumerate() {
+            if rule_code.contains(&e.rule.as_str())
+                && e.path == path
+                && line_text.contains(&e.needle)
+            {
+                granted = true;
+                if e.rule != "L004" {
+                    // L004 entries belong to the lint pass's staleness
+                    // accounting; analyze only consumes them.
+                    used[i] = true;
+                }
+            }
+        }
+        granted
+    };
+
+    for (idx, f) in ws.fns.iter().enumerate() {
+        if !reach.is_reachable(idx) {
+            continue;
+        }
+        let chain = reach.chain(&ws, idx);
+        let root = chain.first().cloned().unwrap_or_default();
+        let hops = chain.len().saturating_sub(1);
+        for site in &f.panics {
+            let line_text = raw_line(&f.file, site.line);
+            let (rule, message) = match &site.kind {
+                PanicKind::Unwrap => (
+                    Rule::ReachableUnwrap,
+                    format!(
+                        "`.unwrap()` in {} is reachable from hot-path root {root} \
+                         ({hops} calls); return a typed error",
+                        f.display()
+                    ),
+                ),
+                PanicKind::Expect => {
+                    if grant(&["L004", "L007"], &f.file, &line_text, &mut allow_used) {
+                        continue;
+                    }
+                    (
+                        Rule::ReachableExpect,
+                        format!(
+                            "`.expect(…)` in {} is reachable from hot-path root {root} \
+                             ({hops} calls) and not allowlisted; document infallibility \
+                             in lint_allow.txt or return an error",
+                            f.display()
+                        ),
+                    )
+                }
+                PanicKind::Macro(name) => {
+                    if grant(&["L008"], &f.file, &line_text, &mut allow_used) {
+                        continue;
+                    }
+                    (
+                        Rule::ReachablePanic,
+                        format!(
+                            "`{name}!` in {} is reachable from hot-path root {root} \
+                             ({hops} calls); prove the invariant in an L008 allowlist \
+                             entry or return an error",
+                            f.display()
+                        ),
+                    )
+                }
+                PanicKind::Index(expr) => {
+                    if grant(&["L008"], &f.file, &line_text, &mut allow_used) {
+                        continue;
+                    }
+                    (
+                        Rule::ReachablePanic,
+                        format!(
+                            "computed slice index `[{expr}]` in {} is reachable from \
+                             hot-path root {root} ({hops} calls); bounds-check it or \
+                             prove it in an L008 allowlist entry",
+                            f.display()
+                        ),
+                    )
+                }
+            };
+            out.findings.push(Finding {
+                rule,
+                path: f.file.clone(),
+                line: site.line as usize,
+                message,
+            });
+        }
+    }
+
+    // Determinism dataflow rules over the token streams.
+    let hash_no_ord: BTreeSet<&str> = ws
+        .types
+        .iter()
+        .filter(|t| t.derives.iter().any(|d| d == "Hash") && !t.derives.iter().any(|d| d == "Ord"))
+        .map(|t| t.name.as_str())
+        .collect();
+    for file in &analyzed {
+        scan_determinism(file, &hash_no_ord, &mut out.findings);
+    }
+
+    // Obs-taxonomy drift runs over the *full* file set: the auditor
+    // source in the exempt check crate is one of the consumers.
+    out.findings.extend(drift::check(files));
+
+    // Stale L007/L008 grants are hard findings, same contract as the
+    // lint pass's L004 staleness.
+    for (i, e) in allow.entries().iter().enumerate() {
+        let analyzer_owned = e.rule == "L007" || e.rule == "L008";
+        if analyzer_owned && !allow_used[i] {
+            out.findings.push(Finding {
+                rule: Rule::StaleAllow,
+                path: e.path.clone(),
+                line: 0,
+                message: format!(
+                    "stale allowlist entry `{} {} {}` granted nothing; remove it",
+                    e.rule, e.path, e.needle
+                ),
+            });
+            out.unused_allow.push(e.clone());
+        }
+    }
+
+    out.findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// Token-level determinism rules (`L009`–`L011`) for one file.
+fn scan_determinism(file: &SourceFile, hash_no_ord: &BTreeSet<&str>, findings: &mut Vec<Finding>) {
+    let stripped = strip_source(&file.text);
+    let mask = test_line_mask(&stripped);
+    let toks: Vec<Tok> = lex(&stripped)
+        .into_iter()
+        .filter(|t| !mask.get(t.line as usize - 1).copied().unwrap_or(false))
+        .collect();
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text(&stripped);
+        let called = matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct(b'('));
+
+        // L009: thread spawn / mpsc channels outside the batch engine.
+        if file.path != THREAD_EXEMPT_FILE && ((name == "spawn" && called) || name == "mpsc") {
+            findings.push(Finding {
+                rule: Rule::ThreadOutsideBatch,
+                path: file.path.clone(),
+                line: t.line as usize,
+                message: format!(
+                    "`{name}` outside {THREAD_EXEMPT_FILE}: thread scheduling order \
+                     would leak into traces; only the batch engine's deterministic \
+                     fork/join may use threads"
+                ),
+            });
+        }
+
+        // L010: comparator built on partial_cmp without total_cmp.
+        if called && SORT_FNS.contains(&name) {
+            let end = balanced_end(&toks, i + 1);
+            let span = &toks[i + 2..end.saturating_sub(1).max(i + 2)];
+            let has = |needle: &str| {
+                span.iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text(&stripped) == needle)
+            };
+            if has("partial_cmp") && !has("total_cmp") {
+                findings.push(Finding {
+                    rule: Rule::FloatSortKey,
+                    path: file.path.clone(),
+                    line: t.line as usize,
+                    message: format!(
+                        "`{name}` comparator uses `partial_cmp`, which is not a total \
+                         order over floats (NaN breaks sort stability); use `total_cmp`"
+                    ),
+                });
+            }
+        }
+
+        // L011: Hash-without-Ord workspace type as an unordered-map key.
+        if (name == "HashMap" || name == "HashSet")
+            && matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct(b'<'))
+        {
+            let mut j = i + 2;
+            while matches!(
+                toks.get(j),
+                Some(n) if n.kind == TokKind::Punct(b'&') || n.kind == TokKind::Lifetime
+            ) {
+                j += 1;
+            }
+            if let Some(key) = toks.get(j).filter(|n| n.kind == TokKind::Ident) {
+                let key_name = key.text(&stripped);
+                if hash_no_ord.contains(key_name) {
+                    findings.push(Finding {
+                        rule: Rule::HashKeyIteration,
+                        path: file.path.clone(),
+                        line: t.line as usize,
+                        message: format!(
+                            "`{key_name}` derives Hash but not Ord and keys a {name}; \
+                             iterating it leaks nondeterministic order — derive Ord and \
+                             use a BTree collection in trace-feeding code"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Index one past the `)` matching the `(` at `open`.
+fn balanced_end(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct(b'(') => depth += 1,
+            TokKind::Punct(b')') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    /// Stubs for all six hot-path roots, so fixture workspaces resolve
+    /// the anchor without dragging in the real tree. `run_full` calls
+    /// `step()`, the hook each fixture hangs its violation on.
+    fn roots_stub() -> SourceFile {
+        file(
+            "crates/core/src/roots.rs",
+            "impl VodService {\n    pub fn run_full(&self) { step(); }\n    pub fn run_to_end(&self) {}\n}\n\
+             impl FlowNetwork {\n    pub fn advance(&self) {}\n    pub fn advance_into(&self) {}\n    pub fn next_completion(&self) {}\n}\n\
+             impl RoutingEngine {\n    pub fn select_batch(&self) {}\n}\n",
+        )
+    }
+
+    fn analyze_with(extra: &[SourceFile], allow: &Allowlist) -> AnalyzeOutcome {
+        let mut files = vec![roots_stub()];
+        files.extend(extra.iter().cloned());
+        analyze(&files, allow)
+    }
+
+    fn codes(out: &AnalyzeOutcome) -> Vec<&'static str> {
+        out.findings.iter().map(|f| f.rule.code()).collect()
+    }
+
+    #[test]
+    fn reachable_unwrap_is_l006_unreachable_is_not() {
+        let out = analyze_with(
+            &[file(
+                "crates/core/src/step.rs",
+                "fn step() { x.unwrap(); }\nfn dead() { y.unwrap(); }\n",
+            )],
+            &Allowlist::default(),
+        );
+        assert_eq!(codes(&out), vec!["L006"]);
+        assert_eq!(out.findings[0].line, 1);
+        assert!(out.findings[0].message.contains("run_full"));
+    }
+
+    #[test]
+    fn reachable_expect_honors_l004_grants() {
+        let f = file(
+            "crates/core/src/step.rs",
+            "fn step() { x.expect(\"always set\"); }\n",
+        );
+        let out = analyze_with(std::slice::from_ref(&f), &Allowlist::default());
+        assert_eq!(codes(&out), vec!["L007"]);
+        let allow = Allowlist::parse("L004 crates/core/src/step.rs always set\n");
+        let out = analyze_with(&[f], &allow);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn reachable_panic_macro_is_l008_and_grantable() {
+        let f = file(
+            "crates/core/src/step.rs",
+            "fn step(i: usize) { assert!(i > 0, \"i is positive\"); }\n",
+        );
+        let out = analyze_with(std::slice::from_ref(&f), &Allowlist::default());
+        assert_eq!(codes(&out), vec!["L008"]);
+        let allow = Allowlist::parse("L008 crates/core/src/step.rs i is positive\n");
+        let out = analyze_with(&[f], &allow);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+
+    #[test]
+    fn computed_index_is_l008_plain_index_is_not() {
+        let out = analyze_with(
+            &[file(
+                "crates/core/src/step.rs",
+                "fn step(xs: &[u32], i: usize) { let _ = xs[i + 1]; let _ = xs[i]; }\n",
+            )],
+            &Allowlist::default(),
+        );
+        assert_eq!(codes(&out), vec!["L008"]);
+    }
+
+    #[test]
+    fn spawn_outside_engine_is_l009() {
+        let out = analyze_with(
+            &[file(
+                "crates/sim/src/exec.rs",
+                "fn f() { std::thread::spawn(|| {}); }\n",
+            )],
+            &Allowlist::default(),
+        );
+        assert_eq!(codes(&out), vec!["L009"]);
+        // The batch engine itself is exempt.
+        let out = analyze_with(
+            &[file(
+                "crates/net/src/engine.rs",
+                "fn f(s: &Scope) { s.spawn(|| {}); }\n",
+            )],
+            &Allowlist::default(),
+        );
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_sort_key_is_l010_total_cmp_is_not() {
+        let out = analyze_with(
+            &[file(
+                "crates/net/src/rank.rs",
+                "fn f(xs: &mut [f64]) { xs.sort_by(|a, b| cmp(a, b)); }\n\
+                 fn g(xs: &mut [f64]) { xs.sort_by(|a, b| a.partial_cmp(b).expect(\"no NaN\")); }\n",
+            )],
+            &Allowlist::default(),
+        );
+        assert_eq!(codes(&out), vec!["L010"]);
+        assert_eq!(out.findings[0].line, 2);
+        let out = analyze_with(
+            &[file(
+                "crates/net/src/rank.rs",
+                "fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.total_cmp(b)); }\n",
+            )],
+            &Allowlist::default(),
+        );
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn hash_without_ord_key_is_l011() {
+        let src = "#[derive(Hash, PartialEq, Eq)]\nstruct Key(u32);\n\
+                   fn f(m: &HashMap<Key, u32>) {}\n";
+        let out = analyze_with(
+            &[file("crates/net/src/keys.rs", src)],
+            &Allowlist::default(),
+        );
+        assert_eq!(codes(&out), vec!["L011"]);
+        let ok = "#[derive(Hash, PartialEq, Eq, PartialOrd, Ord)]\nstruct Key(u32);\n\
+                  fn f(m: &HashMap<Key, u32>) {}\n";
+        let out = analyze_with(&[file("crates/net/src/keys.rs", ok)], &Allowlist::default());
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn stale_analyzer_grants_are_hard_findings() {
+        let allow = Allowlist::parse(
+            "L008 crates/core/src/step.rs never matches\n\
+             L004 crates/core/src/step.rs lint owns this one\n",
+        );
+        let out = analyze_with(&[file("crates/core/src/step.rs", "fn step() {}\n")], &allow);
+        assert_eq!(codes(&out), vec!["L000"]);
+        assert_eq!(out.unused_allow.len(), 1);
+        assert_eq!(out.unused_allow[0].rule, "L008");
+    }
+
+    #[test]
+    fn exempt_crates_are_skipped() {
+        let out = analyze_with(
+            &[file(
+                "crates/bench/src/timing.rs",
+                "fn f() { std::thread::spawn(|| {}); x.unwrap(); }\n",
+            )],
+            &Allowlist::default(),
+        );
+        assert!(out.findings.is_empty());
+    }
+
+    #[test]
+    fn unresolved_roots_fail_loudly() {
+        let out = analyze(
+            &[file("crates/core/src/lib.rs", "fn nothing_here() {}\n")],
+            &Allowlist::default(),
+        );
+        assert!(codes(&out).iter().all(|c| *c == "L000"));
+        assert_eq!(out.findings.len(), ROOTS.len());
+    }
+}

@@ -145,6 +145,33 @@ struct Auditor {
 /// sums and path costs re-derived in a different evaluation order).
 const EPS: f64 = 1e-6;
 
+/// Trace kinds the auditor deliberately does not replay: they carry no
+/// invariant beyond the time-order check every event already gets.
+/// Request and session-lifecycle markers are reconciled against the
+/// time-series export by rule `A013` instead; SNMP/outage/degrade and
+/// background-update markers only *explain* the link-state snapshots
+/// that the replay rules (`A005`, `A008`, `A010`) verify directly.
+///
+/// The analyzer's `L012` drift rule cross-references every `Event`
+/// variant's kind string against this file, so adding a new variant
+/// without either a dispatch arm or an entry here fails the gate.
+const UNAUDITED: &[&str] = &[
+    "request_arrival",
+    "request_failed",
+    "request_rejected",
+    "session_start",
+    "session_stall",
+    "session_resume",
+    "snmp_poll",
+    "background_update",
+    "server_up",
+    "link_degrade_start",
+    "link_degrade_end",
+    "snmp_outage_start",
+    "snmp_outage_end",
+    "snmp_stale_view",
+];
+
 /// Audits one JSONL trace; never panics on malformed input — every
 /// problem becomes an [`AuditSummary`] violation instead.
 pub fn audit_trace(text: &str) -> AuditSummary {
@@ -281,9 +308,12 @@ impl Auditor {
                 }
                 Some(())
             }
-            // Sessions, SNMP and background events carry no replayable
-            // invariant beyond time order; unknown kinds are tolerated
-            // for forward compatibility.
+            k if UNAUDITED.contains(&k) => Some(()),
+            // Unknown kinds are tolerated for forward compatibility:
+            // a trace from a newer writer must still replay under the
+            // invariants this auditor does know. (The analyzer's L012
+            // drift rule guarantees every *workspace* Event variant is
+            // either dispatched above or acknowledged in UNAUDITED.)
             _ => Some(()),
         };
         if handled.is_none() {

@@ -1,0 +1,418 @@
+//! Rule `L012`: obs-taxonomy drift detection.
+//!
+//! The `Event` enum in `crates/obs/src/event.rs` is the workspace's
+//! event taxonomy; three downstream consumers must account for every
+//! variant or the paper's derived artifacts silently under-report:
+//!
+//! * `TimeSeriesSink::apply` (`crates/obs/src/series.rs`) — windowed
+//!   counter folds;
+//! * `SpanBuilder`'s `EventSink` impl (`crates/obs/src/span.rs`) —
+//!   session lifecycle assembly;
+//! * the trace auditor (`crates/check/src/audit.rs`) — replayable
+//!   invariants, dispatched on the variant's `kind()` string.
+//!
+//! This pass parses the enum (variants and the `kind()` mapping) from
+//! tokens and cross-references each variant against the consumers: the
+//! obs-side consumers must *name* the variant (`Event::X`) — their
+//! matches are exhaustive, so handling and deliberate ignoring are both
+//! explicit arms — and the auditor must contain the variant's kind
+//! string, either as a dispatch arm or in its `UNAUDITED`
+//! acknowledgment list. A variant that any consumer silently ignores is
+//! a hard finding, which is exactly how a new counter-worthy event is
+//! forced into the series/span/audit surface the moment it is added.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lex::{lex, Tok, TokKind};
+use crate::lint::{strip_source, test_line_mask, Finding, Rule, SourceFile};
+
+/// The taxonomy source: the `Event` enum and its `kind()` mapping.
+pub const EVENT_FILE: &str = "crates/obs/src/event.rs";
+
+/// The consumers that must name every variant (`Event::X`).
+pub const VARIANT_CONSUMERS: &[(&str, &str)] = &[
+    ("crates/obs/src/series.rs", "TimeSeriesSink"),
+    ("crates/obs/src/span.rs", "SpanBuilder"),
+];
+
+/// The consumer that must contain every variant's kind string.
+pub const KIND_CONSUMER: &str = "crates/check/src/audit.rs";
+
+/// The parsed taxonomy: declaration order and the `kind()` strings.
+#[derive(Debug, Default)]
+pub struct Taxonomy {
+    /// `(variant name, 1-based line of its declaration)`.
+    pub variants: Vec<(String, u32)>,
+    /// Variant name → `kind()` string.
+    pub kinds: BTreeMap<String, String>,
+}
+
+fn masked_tokens(file: &SourceFile) -> (String, Vec<Tok>) {
+    let stripped = strip_source(&file.text);
+    let mask = test_line_mask(&stripped);
+    let toks = lex(&stripped)
+        .into_iter()
+        .filter(|t| !mask.get(t.line as usize - 1).copied().unwrap_or(false))
+        .collect();
+    (stripped, toks)
+}
+
+/// Parses the `Event` enum's variants and `kind()` mapping from the
+/// taxonomy file's raw text.
+pub fn parse_taxonomy(file: &SourceFile) -> Taxonomy {
+    let (stripped, toks) = masked_tokens(file);
+    let mut tax = Taxonomy::default();
+
+    // Variants: idents at brace depth 1 inside `enum Event { … }`,
+    // skipping attributes and the variants' own field blocks.
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text(&stripped) == "enum"
+            && toks[i + 1].text(&stripped) == "Event"
+        {
+            break;
+        }
+        i += 1;
+    }
+    let mut depth = 0u32;
+    let mut expecting_variant = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct(b'#') if matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct(b'[')) =>
+            {
+                i = skip_balanced(&toks, i + 1, b'[', b']');
+                continue;
+            }
+            TokKind::Punct(b'{') => {
+                depth += 1;
+                if depth == 1 {
+                    expecting_variant = true;
+                }
+            }
+            TokKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    // The enum body closed.
+                    break;
+                }
+                if depth == 1 {
+                    // A variant's field block closed.
+                    expecting_variant = false;
+                }
+            }
+            TokKind::Punct(b',') if depth == 1 => expecting_variant = true,
+            TokKind::Punct(b'(') if depth >= 1 => {
+                i = skip_balanced(&toks, i, b'(', b')');
+                continue;
+            }
+            TokKind::Ident if depth == 1 && expecting_variant => {
+                tax.variants.push((t.text(&stripped).to_string(), t.line));
+                expecting_variant = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // kind() mapping: inside `fn kind`'s body, `Event::X … => "str"`.
+    let mut j = 0;
+    while j + 1 < toks.len() {
+        if toks[j].kind == TokKind::Ident
+            && toks[j].text(&stripped) == "fn"
+            && toks[j + 1].text(&stripped) == "kind"
+        {
+            break;
+        }
+        j += 1;
+    }
+    // Find the body `{`, then walk it tracking depth.
+    while j < toks.len() && toks[j].kind != TokKind::Punct(b'{') {
+        j += 1;
+    }
+    let mut kdepth = 0u32;
+    let mut pending_variant: Option<String> = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct(b'{') => kdepth += 1,
+            TokKind::Punct(b'}') => {
+                kdepth = kdepth.saturating_sub(1);
+                if kdepth == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident
+                if t.text(&stripped) == "Event"
+                    && matches!(toks.get(j + 1), Some(c) if c.kind == TokKind::Punct(b':'))
+                    && matches!(toks.get(j + 2), Some(c) if c.kind == TokKind::Punct(b':')) =>
+            {
+                if let Some(v) = toks.get(j + 3).filter(|v| v.kind == TokKind::Ident) {
+                    pending_variant = Some(v.text(&stripped).to_string());
+                }
+            }
+            TokKind::Str => {
+                if let Some(v) = pending_variant.take() {
+                    tax.kinds.insert(v, t.str_value(&file.text));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tax
+}
+
+fn skip_balanced(toks: &[Tok], start: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct(c) if c == open => depth += 1,
+            TokKind::Punct(c) if c == close => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The set of variant names a consumer file references as `Event::X`.
+fn referenced_variants(file: &SourceFile) -> BTreeSet<String> {
+    let (stripped, toks) = masked_tokens(file);
+    let mut out = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text(&stripped) == "Event"
+            && matches!(toks.get(i + 1), Some(c) if c.kind == TokKind::Punct(b':'))
+            && matches!(toks.get(i + 2), Some(c) if c.kind == TokKind::Punct(b':'))
+        {
+            if let Some(v) = toks.get(i + 3).filter(|v| v.kind == TokKind::Ident) {
+                out.insert(v.text(&stripped).to_string());
+            }
+        }
+    }
+    out
+}
+
+/// The set of string literal values in a consumer file (dispatch arms
+/// and the `UNAUDITED` acknowledgment list both count).
+fn string_literals(file: &SourceFile) -> BTreeSet<String> {
+    let (_, toks) = masked_tokens(file);
+    toks.iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.str_value(&file.text))
+        .collect()
+}
+
+/// Runs the drift check over `files`. Returns no findings when the
+/// taxonomy file itself is absent (a workspace without the obs layer
+/// has nothing to drift).
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    let Some(event_file) = files.iter().find(|f| f.path == EVENT_FILE) else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+    let tax = parse_taxonomy(event_file);
+    if tax.variants.is_empty() {
+        findings.push(Finding {
+            rule: Rule::ObsTaxonomyDrift,
+            path: EVENT_FILE.to_string(),
+            line: 1,
+            message: "no variants parsed from the Event enum; the taxonomy source moved"
+                .to_string(),
+        });
+        return findings;
+    }
+
+    let consumers: Vec<(&str, &str, Option<BTreeSet<String>>)> = VARIANT_CONSUMERS
+        .iter()
+        .map(|(path, name)| {
+            let set = files
+                .iter()
+                .find(|f| f.path == *path)
+                .map(referenced_variants);
+            (*path, *name, set)
+        })
+        .collect();
+    let audit_strings = files
+        .iter()
+        .find(|f| f.path == KIND_CONSUMER)
+        .map(string_literals);
+
+    for (path, name, set) in &consumers {
+        if set.is_none() {
+            findings.push(Finding {
+                rule: Rule::ObsTaxonomyDrift,
+                path: path.to_string(),
+                line: 0,
+                message: format!("taxonomy consumer {name} ({path}) is missing"),
+            });
+        }
+    }
+    if audit_strings.is_none() {
+        findings.push(Finding {
+            rule: Rule::ObsTaxonomyDrift,
+            path: KIND_CONSUMER.to_string(),
+            line: 0,
+            message: format!("taxonomy consumer auditor ({KIND_CONSUMER}) is missing"),
+        });
+    }
+
+    for (variant, line) in &tax.variants {
+        let line = *line as usize;
+        let kind = tax.kinds.get(variant);
+        if kind.is_none() {
+            findings.push(Finding {
+                rule: Rule::ObsTaxonomyDrift,
+                path: EVENT_FILE.to_string(),
+                line,
+                message: format!("`Event::{variant}` has no kind() string; traces cannot name it"),
+            });
+        }
+        for (path, name, set) in &consumers {
+            if let Some(set) = set {
+                if !set.contains(variant) {
+                    findings.push(Finding {
+                        rule: Rule::ObsTaxonomyDrift,
+                        path: path.to_string(),
+                        line,
+                        message: format!(
+                            "`Event::{variant}` is silently ignored by {name} ({path}); \
+                             count it or add it to the explicit ignore arm"
+                        ),
+                    });
+                }
+            }
+        }
+        if let (Some(kind), Some(strings)) = (kind, &audit_strings) {
+            if !strings.contains(kind) {
+                findings.push(Finding {
+                    rule: Rule::ObsTaxonomyDrift,
+                    path: KIND_CONSUMER.to_string(),
+                    line,
+                    message: format!(
+                        "trace kind \"{kind}\" (`Event::{variant}`) has no auditor \
+                         dispatch arm or UNAUDITED acknowledgment in {KIND_CONSUMER}"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: path.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    const ENUM: &str =
+        "pub enum Event {\n    /// Doc.\n    Alpha { x: u64 },\n    Beta(u32),\n    Gamma,\n}\n\
+        impl Event {\n    pub fn kind(&self) -> &'static str {\n        match self {\n            \
+        Event::Alpha { .. } => \"alpha\",\n            Event::Beta(_) => \"beta\",\n            \
+        Event::Gamma => \"gamma\",\n        }\n    }\n}\n";
+
+    fn consumers(series: &str, span: &str, audit: &str) -> Vec<SourceFile> {
+        vec![
+            file(EVENT_FILE, ENUM),
+            file("crates/obs/src/series.rs", series),
+            file("crates/obs/src/span.rs", span),
+            file(KIND_CONSUMER, audit),
+        ]
+    }
+
+    const ALL_VARIANTS: &str =
+        "fn apply(e: &Event) { match e { Event::Alpha { .. } => {} Event::Beta(_) => {} Event::Gamma => {} } }\n";
+    const ALL_KINDS: &str = "const KINDS: &[&str] = &[\"alpha\", \"beta\", \"gamma\"];\n";
+
+    #[test]
+    fn parses_variants_and_kinds() {
+        let tax = parse_taxonomy(&file(EVENT_FILE, ENUM));
+        let names: Vec<&str> = tax.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Alpha", "Beta", "Gamma"]);
+        assert_eq!(tax.kinds.get("Alpha").map(String::as_str), Some("alpha"));
+        assert_eq!(tax.kinds.get("Gamma").map(String::as_str), Some("gamma"));
+    }
+
+    #[test]
+    fn fully_consumed_taxonomy_is_clean() {
+        let findings = check(&consumers(ALL_VARIANTS, ALL_VARIANTS, ALL_KINDS));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn ignored_variant_fires_per_consumer() {
+        let partial = "fn apply(e: &Event) { match e { Event::Alpha { .. } => {} _ => {} } }\n";
+        let findings = check(&consumers(partial, ALL_VARIANTS, ALL_KINDS));
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings
+            .iter()
+            .all(|f| f.path == "crates/obs/src/series.rs" && f.rule.code() == "L012"));
+        assert!(findings[0].message.contains("Event::Beta"));
+    }
+
+    #[test]
+    fn unacknowledged_kind_fires_for_the_auditor() {
+        let partial_kinds = "const KINDS: &[&str] = &[\"alpha\", \"beta\"];\n";
+        let findings = check(&consumers(ALL_VARIANTS, ALL_VARIANTS, partial_kinds));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("\"gamma\""));
+        assert_eq!(findings[0].path, KIND_CONSUMER);
+    }
+
+    #[test]
+    fn variant_without_kind_mapping_fires() {
+        let enum_no_kind = "pub enum Event {\n    Alpha,\n}\nimpl Event {\n    pub fn kind(&self) -> &'static str {\n        match self {\n        }\n    }\n}\n";
+        let files = vec![
+            file(EVENT_FILE, enum_no_kind),
+            file(
+                "crates/obs/src/series.rs",
+                "fn f(e: &Event) { match e { Event::Alpha => {} } }\n",
+            ),
+            file(
+                "crates/obs/src/span.rs",
+                "fn f(e: &Event) { match e { Event::Alpha => {} } }\n",
+            ),
+            file(KIND_CONSUMER, "const K: &[&str] = &[\"alpha\"];\n"),
+        ];
+        let findings = check(&files);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no kind() string"));
+    }
+
+    #[test]
+    fn missing_consumer_file_is_a_finding() {
+        let files = vec![file(EVENT_FILE, ENUM), file(KIND_CONSUMER, ALL_KINDS)];
+        let findings = check(&files);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("TimeSeriesSink") && f.message.contains("missing")));
+    }
+
+    #[test]
+    fn no_taxonomy_file_means_nothing_to_drift() {
+        assert!(check(&[file("crates/core/src/lib.rs", "fn f() {}")]).is_empty());
+    }
+
+    #[test]
+    fn test_code_does_not_count_as_consumption() {
+        let test_only = "fn apply(e: &Event) { match e { Event::Alpha { .. } => {} Event::Beta(_) => {} _ => {} } }\n\
+            #[cfg(test)]\nmod tests {\n    fn t() { let _ = Event::Gamma; }\n}\n";
+        let findings = check(&consumers(test_only, ALL_VARIANTS, ALL_KINDS));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("Event::Gamma"));
+    }
+}

@@ -1,4 +1,4 @@
-//! Static analysis for the VoD workspace, in two engines:
+//! Static analysis for the VoD workspace, in three engines:
 //!
 //! * [`lint`] — a dependency-free source scanner over `crates/*/src`
 //!   enforcing the repo's determinism and panic-hygiene rules
@@ -7,31 +7,44 @@
 //!   feeds reports or traces, no `unwrap`/un-allowlisted `expect` in
 //!   library crates, and `#![forbid(unsafe_code)]` in every crate root.
 //!
+//! * [`analyze`] — the semantic analyzer (`L006`–`L012`): a
+//!   dependency-free [`lex`]er and [`model`] item extractor feed a
+//!   [`callgraph`] whose reachability from the sim hot-path roots
+//!   scopes the panic rules (`unwrap`/`expect`/panic macros/computed
+//!   slice indexing), plus determinism dataflow rules (threads outside
+//!   the batch engine, `partial_cmp` sort keys, `Hash`-without-`Ord`
+//!   map keys) and the [`drift`] pass cross-referencing every `Event`
+//!   variant against its series/span/audit consumers.
+//!
 //! * [`audit`] — a JSONL trace replayer verifying the paper's runtime
 //!   invariants (`A000`–`A012`) against independent reference
 //!   implementations: DMA cache occupancy and admission thresholds
 //!   (Figure 2), least-popular eviction victims, `i mod n` striping
 //!   (Figure 3), and VRA selections re-derived by a from-scratch
 //!   LVN-weighted Dijkstra (Figure 5) over the traced link state.
-//!
-//! * [`series`] — rule `A013`, reconciling a `--series` time-series
-//!   export (windowed counters and per-link utilization) against the
-//!   raw trace the same run emitted.
+//!   [`series`] adds rule `A013`, reconciling a `--series` time-series
+//!   export against the raw trace the same run emitted.
 //!
 //! All run behind the `vod-check` binary:
 //!
 //! ```text
-//! cargo run -p vod-check -- lint            # zero findings gate
+//! cargo run -p vod-check -- lint            # L001–L005, zero findings gate
+//! cargo run -p vod-check -- analyze         # L006–L012 semantic pass
 //! cargo run -p vod-check -- audit --grnet   # replay the GRNET case study
 //! cargo run -p vod-check -- audit run.jsonl # audit a stored trace
 //! cargo run -p vod-check -- audit --series run.series.json run.jsonl
 //! ```
 //!
 //! The rule catalog with its mapping to the paper's figures lives in
-//! DESIGN.md §11.
+//! DESIGN.md §11 (lint/audit) and §15 (analyzer).
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod audit;
+pub mod callgraph;
+pub mod drift;
+pub mod lex;
 pub mod lint;
+pub mod model;
 pub mod series;

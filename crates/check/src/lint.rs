@@ -23,9 +23,13 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// A lint rule identifier.
+/// A lint/analyzer rule identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
+    /// L000: allowlist or analyzer-configuration staleness (a grant
+    /// that matches nothing, or a hot-path root that stopped
+    /// resolving). Hard failure so the allowlist can only shrink.
+    StaleAllow,
     /// L001: wall-clock time read outside `vod-bench`.
     Wallclock,
     /// L002: ambient (unseeded) RNG outside `vod-bench`.
@@ -36,20 +40,47 @@ pub enum Rule {
     PanicHygiene,
     /// L005: crate root without `#![forbid(unsafe_code)]`.
     ForbidUnsafe,
+    /// L006: `.unwrap()` reachable from a sim hot-path root.
+    ReachableUnwrap,
+    /// L007: un-allowlisted `.expect(` reachable from a hot-path root.
+    ReachableExpect,
+    /// L008: panic-family macro or computed slice index reachable from
+    /// a hot-path root without an allowlist grant.
+    ReachablePanic,
+    /// L009: thread/channel primitive outside `vod-net`'s batch engine.
+    ThreadOutsideBatch,
+    /// L010: float sort key via `partial_cmp` without `total_cmp`.
+    FloatSortKey,
+    /// L011: `Hash`-without-`Ord` type keying an unordered map.
+    HashKeyIteration,
+    /// L012: `Event` taxonomy variant with a silent consumer.
+    ObsTaxonomyDrift,
 }
 
 impl Rule {
-    /// The stable rule code (`"L001"`…`"L005"`).
+    /// The stable rule code (`"L000"`…`"L012"`).
     pub fn code(self) -> &'static str {
         match self {
+            Rule::StaleAllow => "L000",
             Rule::Wallclock => "L001",
             Rule::AmbientRng => "L002",
             Rule::UnorderedCollection => "L003",
             Rule::PanicHygiene => "L004",
             Rule::ForbidUnsafe => "L005",
+            Rule::ReachableUnwrap => "L006",
+            Rule::ReachableExpect => "L007",
+            Rule::ReachablePanic => "L008",
+            Rule::ThreadOutsideBatch => "L009",
+            Rule::FloatSortKey => "L010",
+            Rule::HashKeyIteration => "L011",
+            Rule::ObsTaxonomyDrift => "L012",
         }
     }
 }
+
+/// Rule codes whose allowlist entries the `lint` pass owns (and
+/// stale-checks). `L007`/`L008` entries belong to the `analyze` pass.
+pub const LINT_OWNED_RULES: &[&str] = &["L001", "L002", "L003", "L004", "L005"];
 
 /// One lint finding, pointing at a source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,9 +155,11 @@ impl Allowlist {
 /// The outcome of a lint run: findings plus allowlist bookkeeping.
 #[derive(Debug, Default)]
 pub struct LintOutcome {
-    /// All findings, sorted by `(path, line, rule)`.
+    /// All findings, sorted by `(path, line, rule)`. Stale lint-owned
+    /// allowlist entries appear here as hard `L000` findings.
     pub findings: Vec<Finding>,
-    /// Allowlist entries that granted nothing — stale, should be removed.
+    /// Stale lint-owned allowlist entries (also present in `findings`
+    /// as `L000`).
     pub unused_allow: Vec<AllowEntry>,
     /// Number of files scanned.
     pub files: usize,
@@ -498,14 +531,28 @@ pub fn lint(files: &[SourceFile], allow: &Allowlist) -> LintOutcome {
             }
         }
     }
-    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    let unused_allow = allow
+    // Stale lint-owned grants are hard findings so the allowlist can
+    // only shrink in CI; `L007`/`L008` entries belong to the analyze
+    // pass and are stale-checked there.
+    let unused_allow: Vec<AllowEntry> = allow
         .entries
         .iter()
         .zip(&allow_used)
-        .filter(|(_, &used)| !used)
+        .filter(|(e, &used)| LINT_OWNED_RULES.contains(&e.rule.as_str()) && !used)
         .map(|(e, _)| e.clone())
         .collect();
+    for e in &unused_allow {
+        findings.push(Finding {
+            rule: Rule::StaleAllow,
+            path: e.path.clone(),
+            line: 0,
+            message: format!(
+                "stale allowlist entry `{} {} {}` granted nothing; remove it",
+                e.rule, e.path, e.needle
+            ),
+        });
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     LintOutcome {
         findings,
         unused_allow,
@@ -602,12 +649,22 @@ mod tests {
     }
 
     #[test]
-    fn unused_allow_entries_are_reported() {
+    fn unused_allow_entries_are_hard_findings() {
         let allow = Allowlist::parse("# comment\nL004 crates/db/src/x.rs never matches anything\n");
         let out = lint(&[file("crates/db/src/x.rs", "fn f() {}\n")], &allow);
-        assert!(out.findings.is_empty());
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, Rule::StaleAllow);
+        assert!(out.findings[0].message.contains("never matches anything"));
         assert_eq!(out.unused_allow.len(), 1);
         assert_eq!(out.unused_allow[0].needle, "never matches anything");
+    }
+
+    #[test]
+    fn analyzer_owned_entries_are_not_lint_stale() {
+        let allow = Allowlist::parse("L008 crates/db/src/x.rs some proven assert\n");
+        let out = lint(&[file("crates/db/src/x.rs", "fn f() {}\n")], &allow);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+        assert!(out.unused_allow.is_empty());
     }
 
     #[test]

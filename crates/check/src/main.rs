@@ -1,44 +1,156 @@
-//! `vod-check` — workspace lint pass and trace invariant auditor.
+//! `vod-check` — workspace lint, semantic analyzer, and trace auditor.
 //!
 //! ```text
-//! vod-check lint  [--root DIR] [--allowlist FILE] [--json]
-//! vod-check audit [--json] [--series SERIES.json] (--grnet | TRACE.jsonl ...)
+//! vod-check lint    [--root DIR] [--allowlist FILE] [--json]
+//! vod-check analyze [--root DIR] [--allowlist FILE] [--json]
+//! vod-check audit   [--json] [--series SERIES.json] (--grnet | TRACE.jsonl ...)
+//! vod-check help
 //! ```
 //!
-//! `--series` reconciles a `--series` export (rule `A013`) against the
-//! run's trace — the `--grnet` replay, or the single trace file given.
-//!
-//! Exit codes: 0 clean, 1 findings/violations, 2 usage or I/O error.
+//! All three subcommands share one contract (`vod-check help` prints
+//! it): exit 0 when clean, 1 when any finding was emitted, 2 on a
+//! usage or I/O error, and `--json` emits a single object of the shape
+//! `{"tool":...,"findings":[{"rule","where","line","message"}],"stats":{...}}`.
 
 #![forbid(unsafe_code)]
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use vod_check::analyze::analyze;
 use vod_check::audit::{audit_trace, AuditSummary};
-use vod_check::lint::{lint, workspace_sources, Allowlist, LintOutcome};
+use vod_check::lint::{lint, workspace_sources, Allowlist, Finding, SourceFile};
 use vod_check::series::audit_series;
 use vod_core::service::{ServiceConfig, VodService};
 use vod_core::vra::Vra;
 use vod_obs::JsonlWriter;
 use vod_workload::scenario::Scenario;
 
+const HELP: &str = "vod-check — static analysis and trace auditing for the VoD workspace
+
+USAGE:
+    vod-check lint    [--root DIR] [--allowlist FILE] [--json]
+    vod-check analyze [--root DIR] [--allowlist FILE] [--json]
+    vod-check audit   [--json] [--series SERIES.json] (--grnet | TRACE.jsonl ...)
+    vod-check help
+
+SUBCOMMANDS:
+    lint      Line-level source rules over crates/*/src (L001-L005):
+              wall-clock reads, ambient RNG, unordered collections in
+              report paths, panic hygiene, missing forbid(unsafe_code).
+    analyze   Semantic rules (L006-L012): call-graph panic reachability
+              from the sim hot-path roots, determinism dataflow (threads
+              outside the batch engine, partial_cmp sort keys,
+              Hash-without-Ord map keys), and Event-taxonomy drift
+              across the series/span/audit consumers.
+    audit     Replays a JSONL trace against reference implementations of
+              the paper's invariants (A000-A012); --series reconciles a
+              time-series export against the same run's trace (A013).
+
+OPTIONS:
+    --root DIR        Workspace root to scan (default: current directory).
+    --allowlist FILE  Allowlist path (default: ROOT/crates/check/lint_allow.txt).
+                      Lines are `RULE PATH NEEDLE`; lint owns L001-L005
+                      entries, analyze owns L007/L008 entries, and a
+                      stale entry is itself a finding (L000).
+    --json            Emit one JSON object instead of human-readable text.
+    --series FILE     (audit) Reconcile FILE against the run's trace.
+    --grnet           (audit) Replay the paper's GRNET case study in-process.
+
+JSON SHAPE (same for every subcommand):
+    {\"tool\":\"lint|analyze|audit\",
+     \"findings\":[{\"rule\":\"L006\",\"where\":\"crates/...\",\"line\":42,\"message\":\"...\"}],
+     \"stats\":{...per-tool counters...}}
+    `where` is a source path for lint/analyze, a trace or series label
+    for audit. `line` is a source line, trace line, or window index.
+
+EXIT CODES:
+    0  clean — no findings
+    1  at least one finding
+    2  usage or I/O error
+";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("analyze") => run_analyze(&args[1..]),
         Some("audit") => run_audit(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
         _ => {
             eprintln!(
-                "usage: vod-check lint [--root DIR] [--allowlist FILE] [--json]\n\
-                        vod-check audit [--json] [--series SERIES.json] (--grnet | TRACE.jsonl ...)"
+                "usage: vod-check lint    [--root DIR] [--allowlist FILE] [--json]\n\
+                        vod-check analyze [--root DIR] [--allowlist FILE] [--json]\n\
+                        vod-check audit   [--json] [--series SERIES.json] (--grnet | TRACE.jsonl ...)\n\
+                 see `vod-check help` for the JSON shape and exit codes"
             );
             ExitCode::from(2)
         }
     }
 }
 
-fn run_lint(args: &[String]) -> ExitCode {
+/// One entry of the unified findings array shared by every subcommand.
+struct UnifiedFinding {
+    rule: String,
+    location: String,
+    line: usize,
+    message: String,
+}
+
+impl UnifiedFinding {
+    fn from_lint(f: &Finding) -> Self {
+        UnifiedFinding {
+            rule: f.rule.code().to_string(),
+            location: f.path.clone(),
+            line: f.line,
+            message: f.message.clone(),
+        }
+    }
+}
+
+/// Prints the unified JSON object: findings array plus per-tool stats.
+fn print_json(tool: &str, findings: &[UnifiedFinding], stats: &[(&str, usize)]) {
+    let mut out = format!("{{\"tool\":{},\"findings\":[", json_string(tool));
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"where\":{},\"line\":{},\"message\":{}}}",
+            json_string(&f.rule),
+            json_string(&f.location),
+            f.line,
+            json_string(&f.message)
+        ));
+    }
+    out.push_str("],\"stats\":{");
+    for (i, (k, v)) in stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{v}", json_string(k)));
+    }
+    out.push_str("}}");
+    println!("{out}");
+}
+
+fn verdict(findings: usize) -> ExitCode {
+    if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Shared `--root/--allowlist/--json` parsing and source loading for
+/// the lint and analyze subcommands.
+fn load_sources(
+    args: &[String],
+    cmd: &str,
+) -> Result<(Vec<SourceFile>, Allowlist, PathBuf, bool), ExitCode> {
     let mut root = PathBuf::from(".");
     let mut allowlist: Option<PathBuf> = None;
     let mut json = false;
@@ -47,14 +159,14 @@ fn run_lint(args: &[String]) -> ExitCode {
         match a.as_str() {
             "--root" => match it.next() {
                 Some(v) => root = PathBuf::from(v),
-                None => return usage("--root needs a directory"),
+                None => return Err(usage("--root needs a directory")),
             },
             "--allowlist" => match it.next() {
                 Some(v) => allowlist = Some(PathBuf::from(v)),
-                None => return usage("--allowlist needs a file"),
+                None => return Err(usage("--allowlist needs a file")),
             },
             "--json" => json = true,
-            other => return usage(&format!("unknown lint option `{other}`")),
+            other => return Err(usage(&format!("unknown {cmd} option `{other}`"))),
         }
     }
     let allow_path = allowlist.unwrap_or_else(|| root.join("crates/check/lint_allow.txt"));
@@ -66,71 +178,86 @@ fn run_lint(args: &[String]) -> ExitCode {
         Ok(f) => f,
         Err(e) => {
             eprintln!("vod-check: cannot scan {}: {e}", root.display());
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
-    let outcome = lint(&files, &allow);
-    if json {
-        print_lint_json(&outcome);
-    } else {
-        print_lint_human(&outcome, &allow_path);
-    }
-    if outcome.findings.is_empty() && outcome.unused_allow.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    }
+    Ok((files, allow, allow_path, json))
 }
 
-fn print_lint_human(outcome: &LintOutcome, allow_path: &Path) {
-    for f in &outcome.findings {
-        println!("{}:{}: [{}] {}", f.path, f.line, f.rule.code(), f.message);
-    }
-    for e in &outcome.unused_allow {
+fn run_lint(args: &[String]) -> ExitCode {
+    let (files, allow, allow_path, json) = match load_sources(args, "lint") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let outcome = lint(&files, &allow);
+    let findings: Vec<UnifiedFinding> = outcome
+        .findings
+        .iter()
+        .map(UnifiedFinding::from_lint)
+        .collect();
+    if json {
+        print_json(
+            "lint",
+            &findings,
+            &[
+                ("files", outcome.files),
+                ("stale_allow", outcome.unused_allow.len()),
+            ],
+        );
+    } else {
+        print_findings_human(&findings);
         println!(
-            "{}: stale allowlist entry `{} {} {}` granted nothing",
+            "vod-check lint: {} findings ({} stale entries in {}) across {} files",
+            findings.len(),
+            outcome.unused_allow.len(),
             allow_path.display(),
-            e.rule,
-            e.path,
-            e.needle
+            outcome.files
         );
     }
-    println!(
-        "vod-check lint: {} findings, {} stale allowlist entries across {} files",
-        outcome.findings.len(),
-        outcome.unused_allow.len(),
-        outcome.files
-    );
+    verdict(findings.len())
 }
 
-fn print_lint_json(outcome: &LintOutcome) {
-    let mut out = String::from("{\"findings\":[");
-    for (i, f) in outcome.findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"rule\":\"{}\",\"path\":{},\"line\":{},\"message\":{}}}",
-            f.rule.code(),
-            json_string(&f.path),
-            f.line,
-            json_string(&f.message)
-        ));
+fn run_analyze(args: &[String]) -> ExitCode {
+    let (files, allow, allow_path, json) = match load_sources(args, "analyze") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let outcome = analyze(&files, &allow);
+    let findings: Vec<UnifiedFinding> = outcome
+        .findings
+        .iter()
+        .map(UnifiedFinding::from_lint)
+        .collect();
+    if json {
+        print_json(
+            "analyze",
+            &findings,
+            &[
+                ("files", outcome.files),
+                ("fns", outcome.fns),
+                ("reachable_fns", outcome.reachable_fns),
+                ("stale_allow", outcome.unused_allow.len()),
+            ],
+        );
+    } else {
+        print_findings_human(&findings);
+        println!(
+            "vod-check analyze: {} findings ({} stale entries in {}); {} files, {} fns ({} reachable from sim roots)",
+            findings.len(),
+            outcome.unused_allow.len(),
+            allow_path.display(),
+            outcome.files,
+            outcome.fns,
+            outcome.reachable_fns
+        );
     }
-    out.push_str("],\"unused_allow\":[");
-    for (i, e) in outcome.unused_allow.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"rule\":{},\"path\":{},\"needle\":{}}}",
-            json_string(&e.rule),
-            json_string(&e.path),
-            json_string(&e.needle)
-        ));
+    verdict(findings.len())
+}
+
+fn print_findings_human(findings: &[UnifiedFinding]) {
+    for f in findings {
+        println!("{}:{}: [{}] {}", f.location, f.line, f.rule, f.message);
     }
-    out.push_str(&format!("],\"files\":{}}}", outcome.files));
-    println!("{out}");
 }
 
 fn run_audit(args: &[String]) -> ExitCode {
@@ -159,11 +286,19 @@ fn run_audit(args: &[String]) -> ExitCode {
     if series.is_some() && (traces.len() > 1 || (grnet && !traces.is_empty())) {
         return usage("--series reconciles against exactly one run (--grnet or one trace)");
     }
-    let mut clean = true;
+
+    let mut findings: Vec<UnifiedFinding> = Vec::new();
+    let mut stats = AuditStats::default();
     let mut series_trace: Option<(String, String)> = None;
     if grnet {
         let text = grnet_case_study_trace();
-        clean &= report_audit("grnet-case-study", &audit_trace(&text), json);
+        collect_audit(
+            "grnet-case-study",
+            &audit_trace(&text),
+            &mut findings,
+            &mut stats,
+            json,
+        );
         series_trace = Some(("grnet-case-study".into(), text));
     }
     for path in traces {
@@ -175,7 +310,7 @@ fn run_audit(args: &[String]) -> ExitCode {
             }
         };
         let label = path.display().to_string();
-        clean &= report_audit(&label, &audit_trace(&text), json);
+        collect_audit(&label, &audit_trace(&text), &mut findings, &mut stats, json);
         series_trace = Some((label, text));
     }
     if let Some(series_path) = series {
@@ -189,49 +324,93 @@ fn run_audit(args: &[String]) -> ExitCode {
         let (trace_label, trace_text) =
             series_trace.expect("audit requires --grnet or a trace before this point");
         let label = format!("{} vs {trace_label}", series_path.display());
-        clean &= report_series(&label, &audit_series(&series_text, &trace_text), json);
+        let summary = audit_series(&series_text, &trace_text);
+        stats.windows += summary.windows;
+        stats.totals_verified += summary.totals_verified;
+        for v in &summary.violations {
+            findings.push(UnifiedFinding {
+                rule: v.rule.to_string(),
+                location: label.clone(),
+                line: v.line,
+                message: v.message.clone(),
+            });
+        }
+        if !json {
+            for v in &summary.violations {
+                println!("{label}:window {}: [{}] {}", v.line, v.rule, v.message);
+            }
+            println!(
+                "vod-check audit {label}: {} windows, {} totals verified, {} violations",
+                summary.windows,
+                summary.totals_verified,
+                summary.violations.len()
+            );
+        }
     }
-    if clean {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
+    if json {
+        print_json(
+            "audit",
+            &findings,
+            &[
+                ("traces", stats.traces),
+                ("events", stats.events),
+                ("selections_verified", stats.selections_verified),
+                ("admits_verified", stats.admits_verified),
+                ("evictions_verified", stats.evictions_verified),
+                ("windows", stats.windows),
+                ("totals_verified", stats.totals_verified),
+            ],
+        );
     }
+    verdict(findings.len())
 }
 
-/// Prints one series-reconciliation result; returns true when clean.
-fn report_series(label: &str, summary: &vod_check::series::SeriesAuditSummary, json: bool) -> bool {
-    if json {
-        let mut out = format!(
-            "{{\"series\":{},\"windows\":{},\"totals_verified\":{},\"violations\":[",
-            json_string(label),
-            summary.windows,
-            summary.totals_verified
-        );
-        for (i, v) in summary.violations.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"rule\":\"{}\",\"window\":{},\"message\":{}}}",
-                v.rule,
-                v.line,
-                json_string(&v.message)
-            ));
-        }
-        out.push_str("]}");
-        println!("{out}");
-    } else {
+#[derive(Default)]
+struct AuditStats {
+    traces: usize,
+    events: usize,
+    selections_verified: usize,
+    admits_verified: usize,
+    evictions_verified: usize,
+    windows: usize,
+    totals_verified: usize,
+}
+
+/// Folds one trace's audit into the unified findings and stats; prints
+/// the per-trace human summary unless in JSON mode.
+fn collect_audit(
+    label: &str,
+    summary: &AuditSummary,
+    findings: &mut Vec<UnifiedFinding>,
+    stats: &mut AuditStats,
+    json: bool,
+) {
+    stats.traces += 1;
+    stats.events += summary.events;
+    stats.selections_verified += summary.selections_verified;
+    stats.admits_verified += summary.admits_verified;
+    stats.evictions_verified += summary.evictions_verified;
+    for v in &summary.violations {
+        findings.push(UnifiedFinding {
+            rule: v.rule.to_string(),
+            location: label.to_string(),
+            line: v.line,
+            message: v.message.clone(),
+        });
+    }
+    if !json {
         for v in &summary.violations {
-            println!("{label}:window {}: [{}] {}", v.line, v.rule, v.message);
+            println!("{label}:{}: [{}] {}", v.line, v.rule, v.message);
         }
         println!(
-            "vod-check audit {label}: {} windows, {} totals verified, {} violations",
-            summary.windows,
-            summary.totals_verified,
+            "vod-check audit {label}: {} events, {} selections / {} admits / {} evictions verified, {} violations",
+            summary.events,
+            summary.selections_verified,
+            summary.admits_verified,
+            summary.evictions_verified,
             summary.violations.len()
         );
     }
-    summary.is_clean()
 }
 
 /// Runs the paper's GRNET case study (seed 42, VRA selector) with a
@@ -247,46 +426,6 @@ fn grnet_case_study_trace() -> String {
     );
     let (_, _, sink) = service.run_full();
     String::from_utf8(sink.into_inner()).unwrap_or_default()
-}
-
-/// Prints one audit result; returns true when the trace was clean.
-fn report_audit(label: &str, summary: &AuditSummary, json: bool) -> bool {
-    if json {
-        let mut out = format!(
-            "{{\"trace\":{},\"events\":{},\"selections_verified\":{},\"admits_verified\":{},\"evictions_verified\":{},\"violations\":[",
-            json_string(label),
-            summary.events,
-            summary.selections_verified,
-            summary.admits_verified,
-            summary.evictions_verified
-        );
-        for (i, v) in summary.violations.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"rule\":\"{}\",\"line\":{},\"message\":{}}}",
-                v.rule,
-                v.line,
-                json_string(&v.message)
-            ));
-        }
-        out.push_str("]}");
-        println!("{out}");
-    } else {
-        for v in &summary.violations {
-            println!("{label}:{}: [{}] {}", v.line, v.rule, v.message);
-        }
-        println!(
-            "vod-check audit {label}: {} events, {} selections / {} admits / {} evictions verified, {} violations",
-            summary.events,
-            summary.selections_verified,
-            summary.admits_verified,
-            summary.evictions_verified,
-            summary.violations.len()
-        );
-    }
-    summary.is_clean()
 }
 
 fn json_string(s: &str) -> String {
@@ -308,6 +447,6 @@ fn json_string(s: &str) -> String {
 }
 
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("vod-check: {msg}");
+    eprintln!("vod-check: {msg} (see `vod-check help`)");
     ExitCode::from(2)
 }

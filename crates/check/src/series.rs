@@ -67,6 +67,7 @@ const RECONCILED: &[(&str, &str)] = &[
     ("switches", "switch"),
     ("dma_hits", "dma_hit"),
     ("dma_admits", "dma_admit"),
+    ("dma_evicts", "dma_evict"),
     ("dma_rejects", "dma_reject"),
 ];
 

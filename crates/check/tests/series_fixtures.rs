@@ -55,8 +55,8 @@ fn real_run_series_reconciles_clean() {
         summary.violations
     );
     assert!(summary.windows > 0, "case study must span several windows");
-    // 11 one-to-one counters + the two-way VRA split.
-    assert_eq!(summary.totals_verified, 13);
+    // 12 one-to-one counters + the two-way VRA split.
+    assert_eq!(summary.totals_verified, 14);
 }
 
 #[test]
@@ -77,7 +77,7 @@ fn over_capacity_utilization_trips_a013() {
         r#"{"window_us":60000000,"links":1,"events":1,"windows":["#,
         "\n",
         r#"{"start_us":0,"end_us":60000000,"arrivals":1,"starts":0,"completes":0,"aborts":0,"#,
-        r#""failures":0,"rejections":0,"retries":0,"switches":0,"dma_hits":0,"dma_admits":0,"#,
+        r#""failures":0,"rejections":0,"retries":0,"switches":0,"dma_hits":0,"dma_admits":0,"dma_evicts":0,"#,
         r#""dma_rejects":0,"dma_hit_ratio":null,"vra_local":0,"vra_remote":0,"snmp_polls":0,"#,
         r#""max_staleness_us":0,"sessions":0,"peak_sessions":0,"utilization":[1.5],"util_max":[1.5]}"#,
         "\n]}\n",
@@ -114,12 +114,12 @@ fn gapped_series_trips_a013() {
         r#"{"window_us":10,"links":0,"events":0,"windows":["#,
         "\n",
         r#"{"start_us":0,"end_us":10,"arrivals":0,"starts":0,"completes":0,"aborts":0,"#,
-        r#""failures":0,"rejections":0,"retries":0,"switches":0,"dma_hits":0,"dma_admits":0,"#,
+        r#""failures":0,"rejections":0,"retries":0,"switches":0,"dma_hits":0,"dma_admits":0,"dma_evicts":0,"#,
         r#""dma_rejects":0,"dma_hit_ratio":null,"vra_local":0,"vra_remote":0,"snmp_polls":0,"#,
         r#""max_staleness_us":0,"sessions":0,"peak_sessions":0,"utilization":[],"util_max":[]}"#,
         ",\n",
         r#"{"start_us":20,"end_us":30,"arrivals":0,"starts":0,"completes":0,"aborts":0,"#,
-        r#""failures":0,"rejections":0,"retries":0,"switches":0,"dma_hits":0,"dma_admits":0,"#,
+        r#""failures":0,"rejections":0,"retries":0,"switches":0,"dma_hits":0,"dma_admits":0,"dma_evicts":0,"#,
         r#""dma_rejects":0,"dma_hit_ratio":null,"vra_local":0,"vra_remote":0,"snmp_polls":0,"#,
         r#""max_staleness_us":0,"sessions":0,"peak_sessions":0,"utilization":[],"util_max":[]}"#,
         "\n]}\n",

@@ -60,6 +60,8 @@ pub struct SeriesWindow {
     pub dma_hits: u64,
     /// DMA admissions (movements into a cache).
     pub dma_admits: u64,
+    /// DMA evictions (titles displaced to make room for an admission).
+    pub dma_evicts: u64,
     /// DMA rejections.
     pub dma_rejects: u64,
     /// VRA selections that chose the client's local server.
@@ -98,6 +100,7 @@ impl SeriesWindow {
             switches: 0,
             dma_hits: 0,
             dma_admits: 0,
+            dma_evicts: 0,
             dma_rejects: 0,
             vra_local: 0,
             vra_remote: 0,
@@ -128,7 +131,7 @@ impl SeriesWindow {
             "{{\"start_us\":{},\"end_us\":{},\"arrivals\":{},\"starts\":{},\
              \"completes\":{},\"aborts\":{},\"failures\":{},\"rejections\":{},\
              \"retries\":{},\"switches\":{},\"dma_hits\":{},\"dma_admits\":{},\
-             \"dma_rejects\":{}",
+             \"dma_evicts\":{},\"dma_rejects\":{}",
             self.start_us,
             self.end_us,
             self.arrivals,
@@ -141,6 +144,7 @@ impl SeriesWindow {
             self.switches,
             self.dma_hits,
             self.dma_admits,
+            self.dma_evicts,
             self.dma_rejects,
         );
         match self.dma_hit_ratio() {
@@ -219,9 +223,9 @@ impl SeriesReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "start_us,end_us,arrivals,starts,completes,aborts,failures,\
-             rejections,retries,switches,dma_hits,dma_admits,dma_rejects,\
-             dma_hit_ratio,vra_local,vra_remote,snmp_polls,max_staleness_us,\
-             sessions,peak_sessions",
+             rejections,retries,switches,dma_hits,dma_admits,dma_evicts,\
+             dma_rejects,dma_hit_ratio,vra_local,vra_remote,snmp_polls,\
+             max_staleness_us,sessions,peak_sessions",
         );
         for i in 0..self.links {
             let _ = write!(out, ",util_{i}");
@@ -230,7 +234,7 @@ impl SeriesReport {
         for w in &self.windows {
             let _ = write!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},",
                 w.start_us,
                 w.end_us,
                 w.arrivals,
@@ -243,6 +247,7 @@ impl SeriesReport {
                 w.switches,
                 w.dma_hits,
                 w.dma_admits,
+                w.dma_evicts,
                 w.dma_rejects,
             );
             if let Some(r) = w.dma_hit_ratio() {
@@ -386,6 +391,7 @@ impl TimeSeriesSink {
             Event::RequestRejected { .. } => self.acc.rejections += 1,
             Event::DmaHit { .. } => self.acc.dma_hits += 1,
             Event::DmaAdmit { .. } => self.acc.dma_admits += 1,
+            Event::DmaEvict { .. } => self.acc.dma_evicts += 1,
             Event::DmaReject { .. } => self.acc.dma_rejects += 1,
             Event::VraSelect { local, .. } => {
                 if *local {
@@ -425,7 +431,29 @@ impl TimeSeriesSink {
                     self.acc.max_staleness_us = us;
                 }
             }
-            _ => {}
+            // Deliberately not aggregated: run preamble/config events
+            // carry no per-window signal, catalog and fault transitions
+            // are reflected in the counters and gauges they cause
+            // (arrivals, aborts, link_state utilization), and stall/
+            // resume pairs surface through SessionComplete's stall
+            // totals. Listing them keeps this match exhaustive so a new
+            // Event variant is a compile error here, not silent drift.
+            Event::RunConfig { .. }
+            | Event::CacheConfig { .. }
+            | Event::DmaSeed { .. }
+            | Event::CatalogAdd { .. }
+            | Event::CatalogRemove { .. }
+            | Event::SessionStall { .. }
+            | Event::SessionResume { .. }
+            | Event::BackgroundUpdate
+            | Event::ServerDown { .. }
+            | Event::ServerUp { .. }
+            | Event::LinkDown { .. }
+            | Event::LinkUp { .. }
+            | Event::LinkDegradeStart { .. }
+            | Event::LinkDegradeEnd { .. }
+            | Event::SnmpOutageStart
+            | Event::SnmpOutageEnd => {}
         }
     }
 }

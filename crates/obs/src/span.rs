@@ -360,7 +360,39 @@ impl EventSink for SpanBuilder {
             } => self.on_complete(at, *session, *stalls, *stall_time),
             Event::SessionAborted { session, reason } => self.on_abort(at, *session, reason),
             Event::SessionRetry { session, .. } => self.on_retry(at, *session),
-            _ => {}
+            // Deliberately outside the span model: spans trace one
+            // session's lifecycle, so run preamble, catalog, cache,
+            // link and poller events have no session to attach to, and
+            // a stall's duration reaches the span through the matching
+            // SessionResume. Listing them keeps this match exhaustive
+            // so a new Event variant is a compile error here, not
+            // silent drift.
+            Event::TopologySnapshot { .. }
+            | Event::RunConfig { .. }
+            | Event::CacheConfig { .. }
+            | Event::DmaSeed { .. }
+            | Event::CatalogAdd { .. }
+            | Event::CatalogRemove { .. }
+            | Event::LinkState { .. }
+            | Event::RequestArrival { .. }
+            | Event::RequestFailed { .. }
+            | Event::RequestRejected { .. }
+            | Event::DmaHit { .. }
+            | Event::DmaAdmit { .. }
+            | Event::DmaEvict { .. }
+            | Event::DmaReject { .. }
+            | Event::SessionStall { .. }
+            | Event::SnmpPoll { .. }
+            | Event::BackgroundUpdate
+            | Event::ServerDown { .. }
+            | Event::ServerUp { .. }
+            | Event::LinkDown { .. }
+            | Event::LinkUp { .. }
+            | Event::LinkDegradeStart { .. }
+            | Event::LinkDegradeEnd { .. }
+            | Event::SnmpOutageStart
+            | Event::SnmpOutageEnd
+            | Event::SnmpStaleView { .. } => {}
         }
     }
 }

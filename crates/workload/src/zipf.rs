@@ -84,11 +84,9 @@ impl Zipf {
     /// Draws a rank (0-based; 0 is the hottest).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        // First index with cdf >= u.
-        match self
-            .cdf
-            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf has no NaN"))
-        {
+        // First index with cdf >= u; total_cmp keeps the comparator a
+        // total order even if a NaN ever slipped into the table.
+        match self.cdf.binary_search_by(|probe| probe.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.n - 1),
         }
