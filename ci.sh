@@ -43,7 +43,8 @@ chaos_series="$(mktemp -t chaos-XXXXXX.series.json)"
 scale_trace="$(mktemp -t scale-XXXXXX.jsonl)"
 scale_json="$(mktemp -t scale-XXXXXX.json)"
 analyze_json="$(mktemp -t analyze-XXXXXX.json)"
-trap 'rm -f "$chaos_trace" "$chaos_series" "$scale_trace" "$scale_json" "$analyze_json"' EXIT
+routing_json="$(mktemp -t routing-XXXXXX.json)"
+trap 'rm -f "$chaos_trace" "$chaos_series" "$scale_trace" "$scale_json" "$analyze_json" "$routing_json"' EXIT
 cargo run -q --release -p vod-bench --bin ext_chaos -- \
   --trace "$chaos_trace" --series "$chaos_series" > /dev/null
 cargo run -q --release -p vod-check -- audit --series "$chaos_series" "$chaos_trace"
@@ -60,6 +61,22 @@ echo "==> analyzer wall-time gate (full analyze pass under 2 s, no regression vs
 cargo run -q --release -p vod-bench --bin check_analyze -- \
   --json "$analyze_json" --gate 2
 cargo run -q --release -p vod-bench -- compare --only check/ BENCH_obs.json "$analyze_json"
+
+echo "==> routing-engine perf gate (fresh bench vs committed BENCH_routing.json)"
+# The warm gnp200 row is the headline dynamic-SSSP win: its tightened
+# threshold (1.30x of the ~0.77 ms baseline ~= the 1 ms budget) fails a
+# build that silently loses sub-millisecond warm batch selection, long
+# before the 9x cliff of falling back to from-scratch Dijkstra. The
+# repair rows get a mild tightening; the rest keep the noise-tolerant
+# 1.75x default. The 500 ns floor mutes the ns-scale GRNET rows, which
+# swing 2-3x from cache pressure right after the E14 scale run — the
+# rows this gate exists for are all well above it.
+CRITERION_JSON="$routing_json" cargo bench -q --bench routing_engine > /dev/null
+cargo run -q --release -p vod-bench -- compare --only engine/ --floor-ns 500 \
+  --threshold engine/select_batch/gnp200/warm=1.30 \
+  --threshold engine/sssp_repair/1_dirty=1.60 \
+  --threshold engine/sssp_repair/8_dirty=1.60 \
+  BENCH_routing.json "$routing_json"
 
 echo "==> rustdoc (no broken intra-doc links)"
 RUSTDOCFLAGS="-D rustdoc::broken_intra_doc_links" cargo doc --no-deps --workspace -q

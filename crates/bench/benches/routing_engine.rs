@@ -114,7 +114,7 @@ fn bench_batch(
     c: &mut Criterion,
     group_name: &str,
     topology: &Topology,
-    snapshot: &TrafficSnapshot,
+    snapshot: &mut TrafficSnapshot,
 ) {
     let candidates = [NodeId::new(0), NodeId::new(1)];
     let owned = batch_requests(topology, &candidates);
@@ -135,7 +135,7 @@ fn bench_batch(
                 engine
                     .select_batch_with_threads(
                         black_box(topology),
-                        black_box(snapshot),
+                        black_box(&*snapshot),
                         &requests,
                         t,
                     )
@@ -143,23 +143,84 @@ fn bench_batch(
             })
         });
     }
+
+    // The service's steady state: every tree cached, one link's SNMP
+    // reading drifting per poll — dynamic SSSP repairs the trees in
+    // place and the whole batch answers from cache.
+    let mut engine = RoutingEngine::new(LvnParams::default());
+    engine
+        .select_batch(topology, &*snapshot, &requests)
+        .unwrap();
+    let link = topology.link_ids().next().unwrap();
+    let capacity = topology.link(link).capacity();
+    let mut flip = false;
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            flip = !flip;
+            snapshot.set_used(link, capacity * if flip { 0.31 } else { 0.62 });
+            engine
+                .select_batch(black_box(topology), black_box(&*snapshot), &requests)
+                .unwrap()
+        })
+    });
     group.finish();
 }
 
 fn bench_batch_grnet(c: &mut Criterion) {
     let grnet = Grnet::new();
-    let snapshot = grnet.snapshot(TimeOfDay::T1000);
-    bench_batch(c, "engine/select_batch/grnet", grnet.topology(), &snapshot);
+    let mut snapshot = grnet.snapshot(TimeOfDay::T1000);
+    bench_batch(
+        c,
+        "engine/select_batch/grnet",
+        grnet.topology(),
+        &mut snapshot,
+    );
 }
 
-fn bench_batch_gnp200(c: &mut Criterion) {
+fn gnp200() -> (Topology, TrafficSnapshot) {
     let topology = connected_gnp(200, 0.05, 42);
     let mut snapshot = TrafficSnapshot::zero(&topology);
     for link in topology.link_ids() {
         let capacity = topology.link(link).capacity();
         snapshot.set_used(link, capacity * (0.1 + (link.index() % 7) as f64 * 0.1));
     }
-    bench_batch(c, "engine/select_batch/gnp200", &topology, &snapshot);
+    (topology, snapshot)
+}
+
+fn bench_batch_gnp200(c: &mut Criterion) {
+    let (topology, mut snapshot) = gnp200();
+    bench_batch(c, "engine/select_batch/gnp200", &topology, &mut snapshot);
+}
+
+/// Dynamic SSSP repair throughput: with all 200 trees cached, mutate k
+/// links per iteration and measure `prepare` alone — journal drain,
+/// incremental LVN patch, and in-place repair of every cached tree.
+fn bench_sssp_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/sssp_repair");
+    for &k in &[1usize, 8, 64] {
+        let (topology, mut snapshot) = gnp200();
+        let mut engine = RoutingEngine::new(LvnParams::default());
+        for home in topology.node_ids() {
+            engine.paths_from(&topology, &snapshot, home).unwrap();
+        }
+        // k links spread across the id space, re-read every iteration.
+        let step = (topology.link_count() / k).max(1);
+        let links: Vec<_> = topology.link_ids().step_by(step).take(k).collect();
+        let mut flip = false;
+        group.bench_function(BenchmarkId::from_parameter(format!("{k}_dirty")), |b| {
+            b.iter(|| {
+                flip = !flip;
+                for &link in &links {
+                    let capacity = topology.link(link).capacity();
+                    snapshot.set_used(link, capacity * if flip { 0.33 } else { 0.44 });
+                }
+                engine
+                    .prepare(black_box(&topology), black_box(&snapshot))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
 }
 
 criterion_group!(
@@ -167,6 +228,7 @@ criterion_group!(
     bench_grnet_select,
     bench_lvn_rebuild,
     bench_batch_grnet,
-    bench_batch_gnp200
+    bench_batch_gnp200,
+    bench_sssp_repair
 );
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! | L006 | `.unwrap()` reachable from a sim hot-path root |
 //! | L007 | `.expect(…)` reachable from a root and not allowlisted |
 //! | L008 | `panic!`-family macro or computed slice index reachable from a root and not allowlisted |
-//! | L009 | `spawn`/channel primitive outside `vod-net`'s batch engine |
+//! | L009 | `spawn`/channel primitive outside `vod-net`'s batch engine or worker pool |
 //! | L010 | float sort key via `partial_cmp` without `total_cmp` |
 //! | L011 | `Hash`-without-`Ord` type used as a `HashMap`/`HashSet` key |
 //! | L012 | `Event` taxonomy drift (see [`drift`](crate::drift)) |
@@ -53,10 +53,12 @@ pub const ROOTS: &[&str] = &[
 /// (measurement and analysis tooling, same exemption as `L001`/`L004`).
 pub const EXEMPT_CRATES: &[&str] = &["bench", "check"];
 
-/// The one file allowed to use thread primitives: `vod-net`'s batch
-/// routing engine, whose scoped fork/join keeps results in
-/// deterministic submission order.
-pub const THREAD_EXEMPT_FILE: &str = "crates/net/src/engine.rs";
+/// The only files allowed to use thread primitives: `vod-net`'s batch
+/// routing engine and its persistent worker pool, whose slot-indexed
+/// channel protocol keeps results in deterministic submission order.
+/// This is a named set, not a directory grant — a new thread site must
+/// be added here explicitly, with its determinism argument.
+pub const THREAD_EXEMPT_FILES: &[&str] = &["crates/net/src/engine.rs", "crates/net/src/pool.rs"];
 
 /// Comparator-taking sort/search functions whose key function must be
 /// a total order.
@@ -286,16 +288,20 @@ fn scan_determinism(file: &SourceFile, hash_no_ord: &BTreeSet<&str>, findings: &
         let name = t.text(&stripped);
         let called = matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct(b'('));
 
-        // L009: thread spawn / mpsc channels outside the batch engine.
-        if file.path != THREAD_EXEMPT_FILE && ((name == "spawn" && called) || name == "mpsc") {
+        // L009: thread spawn / mpsc channels outside the batch engine
+        // and its worker pool.
+        if !THREAD_EXEMPT_FILES.contains(&file.path.as_str())
+            && ((name == "spawn" && called) || name == "mpsc")
+        {
             findings.push(Finding {
                 rule: Rule::ThreadOutsideBatch,
                 path: file.path.clone(),
                 line: t.line as usize,
                 message: format!(
-                    "`{name}` outside {THREAD_EXEMPT_FILE}: thread scheduling order \
-                     would leak into traces; only the batch engine's deterministic \
-                     fork/join may use threads"
+                    "`{name}` outside {}: thread scheduling order would leak \
+                     into traces; only the batch engine's deterministic \
+                     worker-pool fork/join may use threads",
+                    THREAD_EXEMPT_FILES.join(", ")
                 ),
             });
         }
@@ -466,15 +472,23 @@ mod tests {
             &Allowlist::default(),
         );
         assert_eq!(codes(&out), vec!["L009"]);
-        // The batch engine itself is exempt.
+        // The batch engine and its worker pool are exempt — and nothing
+        // else in their directory is.
+        for exempt_path in THREAD_EXEMPT_FILES {
+            let out = analyze_with(
+                &[file(exempt_path, "fn f(s: &Scope) { s.spawn(|| {}); }\n")],
+                &Allowlist::default(),
+            );
+            assert!(out.findings.is_empty(), "{exempt_path}");
+        }
         let out = analyze_with(
             &[file(
-                "crates/net/src/engine.rs",
-                "fn f(s: &Scope) { s.spawn(|| {}); }\n",
+                "crates/net/src/dijkstra.rs",
+                "fn f() { let (tx, rx) = std::sync::mpsc::channel::<u8>(); }\n",
             )],
             &Allowlist::default(),
         );
-        assert!(out.findings.is_empty());
+        assert_eq!(codes(&out), vec!["L009"]);
     }
 
     #[test]

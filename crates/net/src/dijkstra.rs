@@ -22,10 +22,16 @@ use crate::topology::Topology;
 use crate::trace::{DijkstraTrace, NodeLabel, TraceStep};
 
 /// Shortest paths from a single source, as produced by [`dijkstra`].
+///
+/// Distances are stored densely as `f64` with `f64::INFINITY` marking
+/// unreachable nodes — every finite label is a genuine path cost (the
+/// relaxations skip non-finite weights), so the sentinel is unambiguous
+/// and the hot loops here and in `crate::sssp` compare plain floats
+/// instead of branching on an `Option` discriminant.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShortestPaths {
     source: NodeId,
-    dist: Vec<Option<f64>>,
+    dist: Vec<f64>,
     prev: Vec<Option<(NodeId, LinkId)>>,
 }
 
@@ -42,7 +48,8 @@ impl ShortestPaths {
     ///
     /// Panics if `target` is out of range.
     pub fn distance_to(&self, target: NodeId) -> Option<f64> {
-        self.dist[target.index()]
+        let d = self.dist[target.index()];
+        d.is_finite().then_some(d)
     }
 
     /// Returns true if `target` is reachable from the source.
@@ -51,7 +58,7 @@ impl ShortestPaths {
     ///
     /// Panics if `target` is out of range.
     pub fn is_reachable(&self, target: NodeId) -> bool {
-        self.dist[target.index()].is_some()
+        self.dist[target.index()].is_finite()
     }
 
     /// Reconstructs the cheapest route from the source to `target`, or
@@ -61,7 +68,7 @@ impl ShortestPaths {
     ///
     /// Panics if `target` is out of range.
     pub fn route_to(&self, target: NodeId) -> Option<Route> {
-        let cost = self.dist[target.index()]?;
+        let cost = self.distance_to(target)?;
         let mut nodes = vec![target];
         let mut links = Vec::new();
         let mut cur = target;
@@ -81,15 +88,35 @@ impl ShortestPaths {
         self.dist
             .iter()
             .enumerate()
-            .filter_map(|(i, d)| d.map(|d| (NodeId::new(i as u32), d)))
+            .filter(|(_, d)| d.is_finite())
+            .map(|(i, d)| (NodeId::new(i as u32), *d))
+    }
+
+    /// The parent edge of `target` in the shortest-path tree (`None` for
+    /// the source and for unreachable nodes). Crate-internal: the dynamic
+    /// repair pass ([`crate::sssp`]) walks and patches tree structure.
+    pub(crate) fn parent(&self, target: NodeId) -> Option<(NodeId, LinkId)> {
+        self.prev[target.index()]
+    }
+
+    /// Mutable access to the label arrays for in-place tree repair.
+    /// Returns `(dist, prev)`; the two slices stay index-aligned with the
+    /// topology's node ids, and `dist` uses the `f64::INFINITY` sentinel
+    /// for unreachable nodes.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn labels_mut(&mut self) -> (&mut [f64], &mut [Option<(NodeId, LinkId)>]) {
+        (&mut self.dist, &mut self.prev)
     }
 }
 
-/// Priority-queue entry ordered for a min-heap over f64 costs.
+/// Priority-queue entry ordered for a min-heap over f64 costs. Shared
+/// with the dynamic tree-repair pass ([`crate::sssp`]), whose boundary
+/// Dijkstra must pop in exactly the same (cost, node-id) order as the
+/// from-scratch runs here.
 #[derive(Debug, PartialEq)]
-struct HeapEntry {
-    cost: f64,
-    node: NodeId,
+pub(crate) struct HeapEntry {
+    pub(crate) cost: f64,
+    pub(crate) node: NodeId,
 }
 
 impl Eq for HeapEntry {}
@@ -163,13 +190,13 @@ pub fn dijkstra_with_scratch(
     topology.try_node(source)?;
 
     let n = topology.node_count();
-    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut dist: Vec<f64> = vec![f64::INFINITY; n];
     let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
     scratch.settled.clear();
     scratch.settled.resize(n, false);
     scratch.heap.clear();
 
-    dist[source.index()] = Some(0.0);
+    dist[source.index()] = 0.0;
     scratch.heap.push(HeapEntry {
         cost: 0.0,
         node: source,
@@ -190,8 +217,8 @@ pub fn dijkstra_with_scratch(
             }
             let next = cost + w;
             let entry = &mut dist[inc.neighbor.index()];
-            if entry.is_none_or(|d| next < d) {
-                *entry = Some(next);
+            if next < *entry {
+                *entry = next;
                 prev[inc.neighbor.index()] = Some((node, inc.link));
                 scratch.heap.push(HeapEntry {
                     cost: next,
@@ -230,13 +257,13 @@ fn run(
     topology.try_node(source)?;
 
     let n = topology.node_count();
-    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut dist: Vec<f64> = vec![f64::INFINITY; n];
     let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
     let mut settled = vec![false; n];
     let mut settled_order = Vec::with_capacity(n);
 
     let mut heap = BinaryHeap::new();
-    dist[source.index()] = Some(0.0);
+    dist[source.index()] = 0.0;
     heap.push(HeapEntry {
         cost: 0.0,
         node: source,
@@ -258,8 +285,8 @@ fn run(
             }
             let next = cost + w;
             let entry = &mut dist[inc.neighbor.index()];
-            if entry.is_none_or(|d| next < d) {
-                *entry = Some(next);
+            if next < *entry {
+                *entry = next;
                 prev[inc.neighbor.index()] = Some((node, inc.link));
                 heap.push(HeapEntry {
                     cost: next,
@@ -274,8 +301,8 @@ fn run(
                     let id = NodeId::new(i as u32);
                     NodeLabel {
                         node: id,
-                        dist: dist[i],
-                        path: label_path(&prev, source, id, dist[i].is_some()),
+                        dist: dist[i].is_finite().then_some(dist[i]),
+                        path: label_path(&prev, source, id, dist[i].is_finite()),
                     }
                 })
                 .collect();

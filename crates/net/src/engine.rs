@@ -17,14 +17,19 @@
 //!   links incident to them re-weighted) — bit-identical to a full
 //!   recompute because each NV is re-summed in the same adjacency order;
 //! * **shortest-path trees** are cached per home server in an
-//!   [`Arc<ShortestPaths>`], so repeated requests from the same edge of
-//!   the network skip Dijkstra entirely;
+//!   [`Arc<ShortestPaths>`] and survive epoch changes: a small journaled
+//!   mutation *repairs* every cached tree in place (dynamic SSSP,
+//!   `crate::sssp`) instead of dropping them, so the warm path after a
+//!   traffic update re-settles only the affected subtrees;
 //! * cold Dijkstra runs reuse a [`DijkstraScratch`], so the steady state
 //!   allocates nothing beyond the cached trees themselves.
 //!
 //! [`RoutingEngine::select_batch`] additionally fans independent Dijkstra
-//! runs for distinct home servers out over scoped threads (feature
-//! `parallel`, on by default).
+//! runs for distinct home servers out over a persistent worker pool
+//! (`crate::pool`, feature `parallel`, on by default) owned by the
+//! engine — jobs are channel-fed home partitions and results are
+//! reassembled by request index, so the outcome is deterministic and
+//! identical to the sequential path.
 //!
 //! The engine's results are bit-identical to the slow reference path —
 //! the property test `engine_vs_reference` and the unit tests below pin
@@ -66,8 +71,11 @@ use crate::dijkstra::{dijkstra_with_scratch, DijkstraScratch, ShortestPaths};
 use crate::error::NetError;
 use crate::ids::{LinkId, NodeId};
 use crate::lvn::{LinkWeights, LvnParams};
+#[cfg(feature = "parallel")]
+use crate::pool::WorkerPool;
 use crate::route::Route;
 use crate::snapshot::{SnapshotEpoch, TrafficSnapshot};
+use crate::sssp::{align_weights, repair_tree, RepairScratch};
 use crate::topology::Topology;
 use crate::units::Mbps;
 
@@ -117,6 +125,13 @@ pub struct EngineStats {
     pub dijkstra_runs: u64,
     /// Requests answered from a cached shortest-path tree.
     pub path_cache_hits: u64,
+    /// Incremental `prepare` calls that repaired the cached trees in
+    /// place (dynamic SSSP) instead of dropping them.
+    pub tree_repairs: u64,
+    /// Total shortest-path trees repaired across all those calls.
+    pub trees_repaired: u64,
+    /// Batches whose Dijkstra fan-out ran on the persistent worker pool.
+    pub pool_batches: u64,
 }
 
 /// The outcome of one engine selection: the chosen server and the
@@ -149,9 +164,18 @@ struct EngineCache {
     epoch: SnapshotEpoch,
     /// Per-node NV values (equation (2)), in node-id order.
     nv: Vec<f64>,
-    /// Per-link LVN weights (equation (1)), in link-id order.
-    weights: LinkWeights,
-    /// Shortest-path trees computed at this epoch, keyed by home server.
+    /// Per-link LVN weights (equation (1)), in link-id order. Behind an
+    /// `Arc` so pool workers can share the table without copying it;
+    /// mutation goes through [`Arc::make_mut`], which is a plain
+    /// dereference while no batch is in flight (the common case).
+    weights: Arc<LinkWeights>,
+    /// Number of links whose weight is exactly `0.0`. Dynamic tree
+    /// repair requires every finite weight to be strictly positive (see
+    /// [`crate::sssp`]); while this is non-zero an epoch change drops
+    /// the cached trees instead of repairing them.
+    zero_weights: usize,
+    /// Shortest-path trees at this epoch, keyed by home server —
+    /// built from scratch on demand, then *repaired* across epochs.
     paths: HashMap<NodeId, Arc<ShortestPaths>>,
 }
 
@@ -162,6 +186,26 @@ pub struct RoutingEngine {
     params: LvnParams,
     cache: Option<EngineCache>,
     scratch: DijkstraScratch,
+    /// Working memory for dynamic tree repair, shared across all trees.
+    repair: RepairScratch,
+    /// Reused dirty-link buffer for `prepare` (journal drain).
+    dirty_scratch: Vec<LinkId>,
+    /// Links whose weight *value* changed in the last incremental patch.
+    changed_scratch: Vec<LinkId>,
+    /// Per-epoch adjacency-aligned weight gather: `aligned_scratch[i]` is
+    /// the weight of `adjacency_entries()[i].link`, so tree repair reads
+    /// weights sequentially instead of through a link-indexed lookup.
+    aligned_scratch: Vec<f64>,
+    /// Explicit batch worker count; `None` = automatic policy (clamp to
+    /// hardware and batch size). See [`RoutingEngine::set_batch_workers`].
+    batch_workers: Option<usize>,
+    /// The topology shared with pool workers, keyed so a swap
+    /// invalidates it; cloned at most once per distinct topology.
+    #[cfg(feature = "parallel")]
+    shared_topology: Option<(TopologyKey, Arc<Topology>)>,
+    /// Lazily-spawned persistent Dijkstra worker pool.
+    #[cfg(feature = "parallel")]
+    pool: Option<WorkerPool>,
     stats: EngineStats,
 }
 
@@ -177,7 +221,18 @@ impl Clone for RoutingEngine {
             params: self.params,
             cache: self.cache.clone(),
             // Scratch buffers are cheap to regrow; don't clone the heap.
+            // The worker pool is per-engine (lazily respawned) and the
+            // shared-topology Arc is re-derived on first parallel batch.
             scratch: DijkstraScratch::new(),
+            repair: RepairScratch::new(),
+            dirty_scratch: Vec::new(),
+            changed_scratch: Vec::new(),
+            aligned_scratch: Vec::new(),
+            batch_workers: self.batch_workers,
+            #[cfg(feature = "parallel")]
+            shared_topology: self.shared_topology.clone(),
+            #[cfg(feature = "parallel")]
+            pool: None,
             stats: self.stats,
         }
     }
@@ -190,6 +245,15 @@ impl RoutingEngine {
             params,
             cache: None,
             scratch: DijkstraScratch::new(),
+            repair: RepairScratch::new(),
+            dirty_scratch: Vec::new(),
+            changed_scratch: Vec::new(),
+            aligned_scratch: Vec::new(),
+            batch_workers: None,
+            #[cfg(feature = "parallel")]
+            shared_topology: None,
+            #[cfg(feature = "parallel")]
+            pool: None,
             stats: EngineStats::default(),
         }
     }
@@ -214,6 +278,26 @@ impl RoutingEngine {
         self.cache = None;
     }
 
+    /// Overrides the batch worker count used by
+    /// [`RoutingEngine::select_batch`].
+    ///
+    /// `None` (the default) applies the automatic policy: clamp the
+    /// requested count to the machine's available parallelism and to one
+    /// worker per [`POOL_HOMES_PER_WORKER`] uncached homes. `Some(n)`
+    /// bypasses both clamps and dispatches `n` workers (capped at the
+    /// number of uncached homes) whenever a batch has ≥ 2 homes to
+    /// solve — the knob tests use to exercise the pool on hosts whose
+    /// hardware parallelism would otherwise force the sequential path,
+    /// and operators use to pin routing threads.
+    pub fn set_batch_workers(&mut self, workers: Option<usize>) {
+        self.batch_workers = workers;
+    }
+
+    /// The explicit batch worker override, if any.
+    pub fn batch_workers(&self) -> Option<usize> {
+        self.batch_workers
+    }
+
     /// Ensures the weight cache matches `snapshot`'s current epoch,
     /// rebuilding as little as possible.
     ///
@@ -236,16 +320,59 @@ impl RoutingEngine {
                     self.stats.weight_cache_hits += 1;
                     return Ok(());
                 }
-                if let Some(dirty) = collect_dirty(snapshot, cache.epoch) {
-                    // Patching beats a full pass only while the affected
-                    // neighbourhood is small relative to the graph.
-                    if 2 * dirty.len() < topology.node_count().max(1) {
-                        patch_cache(cache, topology, snapshot, self.params, &dirty);
-                        cache.epoch = epoch;
+                let in_window = snapshot.collect_dirty_into(cache.epoch, &mut self.dirty_scratch);
+                // Patching beats a full pass only while the affected
+                // neighbourhood is small relative to the graph; journal
+                // overflow (`!in_window`) always falls back to a full
+                // rebuild, which also drops the cached trees.
+                if in_window && 2 * self.dirty_scratch.len() < topology.node_count().max(1) {
+                    let zero_before = cache.zero_weights;
+                    patch_cache(
+                        cache,
+                        topology,
+                        snapshot,
+                        self.params,
+                        &self.dirty_scratch,
+                        &mut self.changed_scratch,
+                    );
+                    cache.epoch = epoch;
+                    self.stats.incremental_rebuilds += 1;
+                    if self.changed_scratch.is_empty() {
+                        // Every mutation cancelled out: the weight table
+                        // is bit-identical, so every cached tree is
+                        // still exact as-is.
+                    } else if zero_before == 0 && cache.zero_weights == 0 {
+                        // Dynamic SSSP: repair every cached tree in
+                        // place. Strict positivity held before and after
+                        // the patch, so the canonical-parent invariant
+                        // repair relies on is intact (crate::sssp docs).
+                        let weights = Arc::clone(&cache.weights);
+                        align_weights(topology, &weights, &mut self.aligned_scratch);
+                        let mut repaired = 0u64;
+                        for tree in cache.paths.values_mut() {
+                            repair_tree(
+                                topology,
+                                &weights,
+                                &self.aligned_scratch,
+                                &self.changed_scratch,
+                                Arc::make_mut(tree),
+                                &mut self.repair,
+                            );
+                            repaired += 1;
+                        }
+                        if repaired > 0 {
+                            self.stats.tree_repairs += 1;
+                            self.stats.trees_repaired += repaired;
+                        }
+                    } else {
+                        // A zero weight (fully idle link on an idle
+                        // neighbourhood) makes from-scratch parents
+                        // discovery-order-dependent; repair cannot
+                        // reproduce them bit-for-bit, so fall back to
+                        // the old behaviour and rebuild trees lazily.
                         cache.paths.clear();
-                        self.stats.incremental_rebuilds += 1;
-                        return Ok(());
                     }
+                    return Ok(());
                 }
             }
         }
@@ -267,11 +394,12 @@ impl RoutingEngine {
         snapshot: &TrafficSnapshot,
     ) -> Result<&LinkWeights, NetError> {
         self.prepare(topology, snapshot)?;
-        Ok(&self
+        Ok(self
             .cache
             .as_ref()
             .expect("prepare populates the cache")
-            .weights)
+            .weights
+            .as_ref())
     }
 
     /// The shortest-path tree from `home` at `snapshot`'s current epoch,
@@ -335,11 +463,12 @@ impl RoutingEngine {
     }
 
     /// Answers a batch of requests against one prepared epoch, running
-    /// Dijkstra for the distinct uncached home servers in parallel
-    /// (feature `parallel`; sequential otherwise). Uses one worker per
-    /// available CPU, capped at the number of homes to solve; small
-    /// batches run sequentially because thread spawn overhead dwarfs a
-    /// handful of Dijkstra runs.
+    /// Dijkstra for the distinct uncached home servers in parallel on
+    /// the engine's persistent worker pool (feature `parallel`;
+    /// sequential otherwise). By default one worker per available CPU,
+    /// capped at one worker per [`POOL_HOMES_PER_WORKER`] uncached
+    /// homes, so small batches take the sequential path; see
+    /// [`RoutingEngine::set_batch_workers`] to override the policy.
     ///
     /// # Errors
     ///
@@ -354,11 +483,13 @@ impl RoutingEngine {
     }
 
     /// [`RoutingEngine::select_batch`] with an explicit worker count.
-    /// The count is an upper bound, not a demand: it is clamped to the
-    /// machine's available parallelism and to roughly one worker per
-    /// [`HOMES_PER_THREAD`] uncached homes, so small batches always take
-    /// the sequential path regardless of the requested concurrency
-    /// (`1` forces it unconditionally).
+    /// Under the default policy the count is an upper bound, not a
+    /// demand: it is clamped to the machine's available parallelism and
+    /// to roughly one worker per [`POOL_HOMES_PER_WORKER`] uncached
+    /// homes, so small batches always take the sequential path
+    /// regardless of the requested concurrency (`1` forces it
+    /// unconditionally). An explicit [`RoutingEngine::set_batch_workers`]
+    /// override takes precedence over both `threads` and the clamps.
     ///
     /// # Errors
     ///
@@ -388,9 +519,21 @@ impl RoutingEngine {
             homes.retain(|h| !cache.paths.contains_key(h));
         }
 
-        let solved = {
+        let workers = self.plan_workers(homes.len(), threads);
+        let solved = if workers > 1 {
+            self.solve_homes_pooled(topology, homes.clone(), workers)?
+        } else {
             let cache = self.cache.as_ref().expect("prepare populates the cache");
-            solve_homes(topology, &cache.weights, &homes, threads, &mut self.scratch)?
+            let mut out = Vec::with_capacity(homes.len());
+            for &home in &homes {
+                out.push(dijkstra_with_scratch(
+                    topology,
+                    &cache.weights,
+                    home,
+                    &mut self.scratch,
+                )?);
+            }
+            out
         };
         self.stats.dijkstra_runs += homes.len() as u64;
         let cache = self.cache.as_mut().expect("prepare populates the cache");
@@ -413,6 +556,77 @@ impl RoutingEngine {
             .collect())
     }
 
+    /// Resolves the effective worker count for a batch with `uncached`
+    /// homes to solve: 1 (sequential) unless the `parallel` feature is
+    /// on and either the automatic policy or an explicit
+    /// [`RoutingEngine::set_batch_workers`] override asks for more.
+    fn plan_workers(&self, uncached: usize, requested: usize) -> usize {
+        if cfg!(not(feature = "parallel")) || uncached < 2 {
+            return 1;
+        }
+        match self.batch_workers {
+            Some(n) => n.clamp(1, uncached),
+            None => requested
+                .min(hardware_parallelism())
+                .min(uncached.div_ceil(POOL_HOMES_PER_WORKER))
+                .max(1),
+        }
+    }
+
+    /// Fans the uncached homes out over the persistent worker pool and
+    /// reassembles the trees in home order. Slots lost to a dead worker
+    /// (a panicked sibling cannot poison the job queue, but belt and
+    /// braces) are solved inline, so the result — including which error
+    /// surfaces first — is identical to the sequential path.
+    #[cfg(feature = "parallel")]
+    fn solve_homes_pooled(
+        &mut self,
+        topology: &Topology,
+        homes: Vec<NodeId>,
+        workers: usize,
+    ) -> Result<Vec<ShortestPaths>, NetError> {
+        let key = TopologyKey::of(topology);
+        let shared = match &self.shared_topology {
+            Some((k, arc)) if *k == key => Arc::clone(arc),
+            _ => {
+                let arc = Arc::new(topology.clone());
+                self.shared_topology = Some((key, Arc::clone(&arc)));
+                arc
+            }
+        };
+        let weights = {
+            let cache = self.cache.as_ref().expect("prepare populates the cache");
+            Arc::clone(&cache.weights)
+        };
+        let homes = Arc::new(homes);
+        let pool = self.pool.get_or_insert_with(WorkerPool::new);
+        let slots = pool.solve(&shared, &weights, &homes, workers);
+        self.stats.pool_batches += 1;
+        let mut out = Vec::with_capacity(homes.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(solved) => out.push(solved?),
+                None => out.push(dijkstra_with_scratch(
+                    topology,
+                    &weights,
+                    homes[i],
+                    &mut self.scratch,
+                )?),
+            }
+        }
+        Ok(out)
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn solve_homes_pooled(
+        &mut self,
+        _topology: &Topology,
+        _homes: Vec<NodeId>,
+        _workers: usize,
+    ) -> Result<Vec<ShortestPaths>, NetError> {
+        unreachable!("plan_workers returns 1 without the `parallel` feature")
+    }
+
     /// Rebuilds the whole cache for (`key`, `epoch`), reusing the path
     /// map's allocation when possible.
     fn rebuild_full(
@@ -429,6 +643,7 @@ impl RoutingEngine {
             .link_ids()
             .map(|l| link_weight(topology, snapshot, self.params, &nv, l))
             .collect();
+        let zero_weights = count_zero_weights(&weights);
         let paths = match self.cache.take() {
             Some(old) => {
                 let mut paths = old.paths;
@@ -441,7 +656,8 @@ impl RoutingEngine {
             key,
             epoch,
             nv,
-            weights,
+            weights: Arc::new(weights),
+            zero_weights,
             paths,
         });
         self.stats.full_rebuilds += 1;
@@ -486,26 +702,29 @@ fn link_weight(
     combined + snapshot.utilization(topology, link).get() * link_value
 }
 
-/// The deduplicated dirty-link set since `since`, or `None` when the
-/// journal window was exceeded and a full rebuild is required.
-fn collect_dirty(snapshot: &TrafficSnapshot, since: SnapshotEpoch) -> Option<Vec<LinkId>> {
-    let mut dirty: Vec<LinkId> = snapshot.dirty_links_since(since)?.collect();
-    dirty.sort_unstable();
-    dirty.dedup();
-    Some(dirty)
+/// Number of links whose weight is exactly `0.0` — the gate maintained in
+/// [`EngineCache::zero_weights`] for dynamic tree repair.
+fn count_zero_weights(weights: &LinkWeights) -> usize {
+    weights.values().iter().filter(|w| **w == 0.0).count()
 }
 
 /// Patches `cache` for the `dirty` links: re-derive NV for their ≤ 2k
 /// endpoint nodes, then re-weight every link incident to an affected node
 /// (which covers the dirty links themselves — their endpoints are
 /// affected by construction).
+///
+/// `changed` receives the sorted, deduplicated ids of the links whose
+/// weight *value* actually changed (bitwise) — the input dynamic tree
+/// repair needs. `cache.zero_weights` is kept in sync along the way.
 fn patch_cache(
     cache: &mut EngineCache,
     topology: &Topology,
     snapshot: &TrafficSnapshot,
     params: LvnParams,
     dirty: &[LinkId],
+    changed: &mut Vec<LinkId>,
 ) {
+    changed.clear();
     let mut affected: Vec<NodeId> = Vec::with_capacity(2 * dirty.len());
     for &link in dirty {
         let l = topology.link(link);
@@ -518,14 +737,30 @@ fn patch_cache(
     for &node in &affected {
         cache.nv[node.index()] = node_validation(topology, snapshot, node);
     }
+    // While no pool batch is in flight (always, between calls) the Arc is
+    // unique and `make_mut` is a plain dereference — no copy.
+    let weights = Arc::make_mut(&mut cache.weights);
     // Links incident to two affected nodes are re-weighted twice; both
-    // passes write the same value, so no dedup pass is needed.
+    // passes write the same value, so the second pass never re-pushes
+    // (the bitwise comparison sees the already-updated weight).
     for &node in &affected {
         for inc in topology.adjacent(node) {
             let w = link_weight(topology, snapshot, params, &cache.nv, inc.link);
-            cache.weights.set_weight(inc.link, w);
+            let old = weights.weight(inc.link);
+            if old.to_bits() != w.to_bits() {
+                changed.push(inc.link);
+                if old == 0.0 {
+                    cache.zero_weights -= 1;
+                }
+                if w == 0.0 {
+                    cache.zero_weights += 1;
+                }
+                weights.set_weight(inc.link, w);
+            }
         }
     }
+    changed.sort_unstable();
+    changed.dedup();
 }
 
 /// The trivial selection for a locally-served request.
@@ -565,12 +800,18 @@ fn pick_candidate(paths: &ShortestPaths, candidates: &[NodeId]) -> Option<Engine
     })
 }
 
-/// Minimum number of uncached homes each worker thread must have before
-/// [`solve_homes`] fans out. Spawning a scoped thread costs tens of
-/// microseconds while one GRNET-sized Dijkstra run costs a few hundred
-/// nanoseconds, so fanning out a small batch is a large net loss (the
-/// `select_batch/grnet/2` bench row regressed ~50x before this floor).
-pub const HOMES_PER_THREAD: usize = 8;
+/// Minimum number of uncached homes per pool worker before the automatic
+/// policy adds another worker to a batch. Dispatching a pooled job costs
+/// a couple of channel operations (≈ 1 µs, versus tens of µs for the
+/// scoped-thread spawn this floor originally guarded), so it can sit far
+/// lower than the old [`HOMES_PER_THREAD`] = 8: one GRNET-sized Dijkstra
+/// run costs a few hundred nanoseconds, so ≈ 4 runs still amortise the
+/// handoff.
+pub const POOL_HOMES_PER_WORKER: usize = 4;
+
+/// Former name of the fan-out floor, kept for downstream callers; the
+/// persistent pool sizes batches by [`POOL_HOMES_PER_WORKER`].
+pub const HOMES_PER_THREAD: usize = POOL_HOMES_PER_WORKER;
 
 /// [`std::thread::available_parallelism`], resolved once per process.
 /// The std call re-reads cgroup quota files on Linux (tens of
@@ -579,56 +820,6 @@ pub const HOMES_PER_THREAD: usize = 8;
 fn hardware_parallelism() -> usize {
     static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
-}
-
-/// Runs Dijkstra from every home, splitting the homes across scoped
-/// worker threads when the `parallel` feature is enabled and the batch
-/// is large enough to amortise thread spawn overhead. The requested
-/// worker count is clamped to the machine's available parallelism and
-/// to one worker per [`HOMES_PER_THREAD`] homes.
-fn solve_homes(
-    topology: &Topology,
-    weights: &LinkWeights,
-    homes: &[NodeId],
-    threads: usize,
-    scratch: &mut DijkstraScratch,
-) -> Result<Vec<ShortestPaths>, NetError> {
-    if homes.is_empty() {
-        return Ok(Vec::new());
-    }
-    #[cfg(feature = "parallel")]
-    {
-        let threads = threads
-            .min(hardware_parallelism())
-            .min(homes.len().div_ceil(HOMES_PER_THREAD))
-            .max(1);
-        if threads > 1 {
-            let chunk = homes.len().div_ceil(threads);
-            let mut out: Vec<Option<Result<ShortestPaths, NetError>>> =
-                (0..homes.len()).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (home_chunk, out_chunk) in homes.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                    scope.spawn(move || {
-                        let mut scratch = DijkstraScratch::new();
-                        for (&home, slot) in home_chunk.iter().zip(out_chunk.iter_mut()) {
-                            *slot =
-                                Some(dijkstra_with_scratch(topology, weights, home, &mut scratch));
-                        }
-                    });
-                }
-            });
-            return out
-                .into_iter()
-                .map(|slot| slot.expect("every home chunk was solved"))
-                .collect();
-        }
-    }
-    #[cfg(not(feature = "parallel"))]
-    let _ = threads;
-    homes
-        .iter()
-        .map(|&home| dijkstra_with_scratch(topology, weights, home, scratch))
-        .collect()
 }
 
 #[cfg(test)]
@@ -731,7 +922,7 @@ mod tests {
     }
 
     #[test]
-    fn epoch_change_invalidates_path_cache() {
+    fn epoch_change_repairs_cached_trees_instead_of_dropping_them() {
         let (grnet, mut snap) = grnet_fixture();
         let mut engine = RoutingEngine::default();
         let home = grnet.node(GrnetNode::Athens);
@@ -740,11 +931,22 @@ mod tests {
             .select(grnet.topology(), &snap, home, &candidates)
             .unwrap();
         snap.add_used(LinkId::new(2), Mbps::new(9.0));
-        engine
+        let warm = engine
             .select(grnet.topology(), &snap, home, &candidates)
             .unwrap();
-        assert_eq!(engine.stats().dijkstra_runs, 2);
-        assert_eq!(engine.stats().path_cache_hits, 0);
+        // Dynamic SSSP: the cached tree is repaired in place, so the
+        // second select never re-runs Dijkstra — and still answers
+        // exactly like a cold engine over the new weights.
+        let stats = engine.stats();
+        assert_eq!(stats.dijkstra_runs, 1);
+        assert_eq!(stats.path_cache_hits, 1);
+        assert_eq!(stats.tree_repairs, 1);
+        assert_eq!(stats.trees_repaired, 1);
+        let mut cold = RoutingEngine::default();
+        let expected = cold
+            .select(grnet.topology(), &snap, home, &candidates)
+            .unwrap();
+        assert_eq!(warm, expected);
     }
 
     #[test]
@@ -911,6 +1113,66 @@ mod tests {
                     .len() as u64
             );
         }
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn explicit_batch_workers_engage_the_pool_and_match_sequential() {
+        let (grnet, snap) = grnet_fixture();
+        let candidates: Vec<NodeId> = [GrnetNode::Thessaloniki, GrnetNode::Xanthi]
+            .iter()
+            .map(|&n| grnet.node(n))
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = (0..grnet.topology().node_count())
+            .map(|i| BatchRequest {
+                home: NodeId::new(i as u32),
+                candidates: &candidates,
+            })
+            .collect();
+
+        let mut sequential = RoutingEngine::default();
+        let expected = sequential
+            .select_batch(grnet.topology(), &snap, &requests)
+            .unwrap();
+        assert_eq!(sequential.stats().pool_batches, 0);
+
+        // The override bypasses the hardware clamp, so the pool engages
+        // even on a single-CPU host — and the answers are identical.
+        let mut pooled = RoutingEngine::default();
+        pooled.set_batch_workers(Some(3));
+        assert_eq!(pooled.batch_workers(), Some(3));
+        let got = pooled
+            .select_batch(grnet.topology(), &snap, &requests)
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(pooled.stats().pool_batches, 1);
+        assert_eq!(
+            pooled.stats().dijkstra_runs,
+            sequential.stats().dijkstra_runs
+        );
+    }
+
+    #[test]
+    fn zero_weights_gate_repair_and_drop_trees_instead() {
+        // A zero-traffic snapshot yields all-zero LVN weights, so the
+        // positivity gate must refuse to repair and drop the trees.
+        let mut b = TopologyBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|i| b.add_node(format!("n{i}"))).collect();
+        for i in 1..4 {
+            b.add_link(n[i - 1], n[i], Mbps::new(10.0)).unwrap();
+        }
+        let topo = b.build();
+        let mut snap = TrafficSnapshot::zero(&topo);
+        let mut engine = RoutingEngine::default();
+        engine.select(&topo, &snap, n[0], &[n[3]]).unwrap();
+        snap.add_used(LinkId::new(2), Mbps::new(1.0));
+        let warm = engine.select(&topo, &snap, n[0], &[n[3]]).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.incremental_rebuilds, 1);
+        assert_eq!(stats.tree_repairs, 0);
+        assert_eq!(stats.dijkstra_runs, 2); // tree was dropped and rebuilt
+        let mut cold = RoutingEngine::default();
+        assert_eq!(warm, cold.select(&topo, &snap, n[0], &[n[3]]).unwrap());
     }
 
     #[test]

@@ -53,8 +53,11 @@ pub mod kpaths;
 pub mod link;
 pub mod lvn;
 pub mod node;
+#[cfg(feature = "parallel")]
+mod pool;
 pub mod route;
 pub mod snapshot;
+mod sssp;
 pub mod topologies;
 pub mod topology;
 pub mod trace;

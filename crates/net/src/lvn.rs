@@ -152,6 +152,14 @@ impl LinkWeights {
         self.weights[link.index()] = weight;
     }
 
+    /// The raw weight values in [`LinkId`] order. Used by the routing
+    /// engine to maintain its zero-weight count (the gate for dynamic
+    /// shortest-path-tree repair; see `DESIGN.md` §16) without an
+    /// iterator adapter in the hot path.
+    pub fn values(&self) -> &[f64] {
+        &self.weights
+    }
+
     /// Iterates over `(link, weight)` pairs in id order.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (LinkId, f64)> + '_ {
         self.weights

@@ -207,6 +207,26 @@ impl TrafficSnapshot {
         )
     }
 
+    /// Collects the deduplicated, sorted dirty-link set since `since`
+    /// into `out` (cleared first), reusing the caller's allocation —
+    /// the journal-consumer shape of [`Self::dirty_links_since`] for
+    /// callers that poll every epoch, like the routing engine's
+    /// `prepare`. Returns `false` when the journal window was exceeded
+    /// (or `since` belongs to a different instance) and the caller must
+    /// rebuild from scratch; `out` is left empty in that case.
+    pub fn collect_dirty_into(&self, since: SnapshotEpoch, out: &mut Vec<LinkId>) -> bool {
+        out.clear();
+        match self.dirty_links_since(since) {
+            None => false,
+            Some(iter) => {
+                out.extend(iter);
+                out.sort_unstable();
+                out.dedup();
+                true
+            }
+        }
+    }
+
     /// Records `link` in the mutation journal and bumps the version.
     fn note_mutation(&mut self, link: LinkId) {
         let slot = (self.version % JOURNAL_CAPACITY as u64) as usize;

@@ -1,0 +1,521 @@
+//! Dynamic single-source shortest-path tree repair.
+//!
+//! When the traffic snapshot advances by a handful of journaled link
+//! mutations, the weight table changes on a few links while every cached
+//! [`ShortestPaths`] tree stays *mostly* correct. Instead of dropping the
+//! trees and re-running Dijkstra from scratch per home server (the
+//! pre-repair behaviour), [`repair_tree`] patches each tree in place with
+//! a Ramalingam–Reps-style *detach and re-settle* pass over the CSR
+//! adjacency:
+//!
+//! 1. **Detach**: for every changed link that is a tree edge, cut the
+//!    subtree hanging below it (children are discovered through the
+//!    adjacency lists — `prev[x] == (v, link)` — so the DFS costs
+//!    O(detached · degree), not O(n)) and clear its labels.
+//! 2. **Re-settle**: run a bounded Dijkstra seeded with (a) each
+//!    detached node's *minimum* intact-boundary offer and (b) improving
+//!    offers across the changed links between intact nodes. Intact
+//!    labels act as upper bounds; a strict improvement pulls an intact
+//!    node into the repair region, so weight *decreases* propagate
+//!    exactly as far as they reach. Work is O(affected · log affected),
+//!    not O(n log n).
+//! 3. **Re-parent**: recompute the *canonical* parent — the argmin of
+//!    `(dist[u], u)` over achieving neighbours `u` with
+//!    `dist[u] + w == dist[v]` bit-for-bit — over a provably minimal
+//!    set: the settled nodes, intact nodes a settled neighbour or
+//!    changed link now exactly ties for, and nothing else.
+//!
+//! # Exactness
+//!
+//! The repaired tree is **bit-identical** (`==` on [`ShortestPaths`],
+//! including parents) to a from-scratch
+//! [`dijkstra`](crate::dijkstra::dijkstra) run over the new weight table,
+//! provided every finite link weight is strictly positive:
+//!
+//! * distances are folds of the same f64 additions in the same operand
+//!   order, and each repaired label is the minimum of the same candidate
+//!   float set the from-scratch run minimises, so the values agree
+//!   bit-for-bit;
+//! * with strictly positive weights the from-scratch heap pops in
+//!   globally sorted `(cost, node-id)` order, which makes its last-writer
+//!   `prev` pointer equal the canonical argmin recomputed in step 3. A
+//!   zero-weight link breaks that sort (equal-cost entries can enter the
+//!   heap *after* pops at the same cost begin), so parents become
+//!   discovery-order-dependent and un-repairable — the engine gates
+//!   repair on a zero-weight count and falls back to dropping the trees
+//!   when any finite weight is exactly `0.0`.
+//!
+//! The property tests in `tests/tests/engine_vs_reference.rs` pin this
+//! equivalence against Dijkstra and Bellman–Ford oracles under random
+//! mutation sequences (weight increases/decreases, admin-down/up links,
+//! journal overflow).
+
+use std::collections::BinaryHeap;
+
+use crate::dijkstra::{HeapEntry, ShortestPaths};
+use crate::ids::{LinkId, NodeId};
+use crate::lvn::LinkWeights;
+use crate::topology::Topology;
+
+/// Outcome counters of one [`repair_tree`] call, for stats and tests.
+#[derive(Debug, Copy, Clone, Default, PartialEq, Eq)]
+pub(crate) struct RepairOutcome {
+    /// Nodes cut from the tree in the detach phase.
+    pub detached: usize,
+    /// Nodes (re-)settled by the boundary Dijkstra — detached nodes that
+    /// reconnected plus intact nodes pulled in by a strict improvement.
+    pub settled: usize,
+}
+
+/// Reusable working memory for [`repair_tree`]; owned by the engine and
+/// shared across all cached trees so steady-state repair allocates
+/// nothing. Masks are reset sparsely (only the bits set by the previous
+/// run), keeping a k-link repair at O(affected) even on large graphs.
+#[derive(Debug, Default)]
+pub(crate) struct RepairScratch {
+    heap: BinaryHeap<HeapEntry>,
+    /// Mask + list of nodes cut from the tree in phase 1.
+    detached: Vec<bool>,
+    detached_list: Vec<NodeId>,
+    /// Mask + list of nodes settled by the phase-2 boundary Dijkstra.
+    settled: Vec<bool>,
+    settled_list: Vec<NodeId>,
+    /// Mask + list of nodes whose canonical parent phase 3 recomputes.
+    reparent: Vec<bool>,
+    reparent_list: Vec<NodeId>,
+    /// DFS stack for subtree detachment.
+    stack: Vec<NodeId>,
+    /// Best offer pushed per node so far (lazy decrease-key): a push
+    /// that cannot beat an earlier offer to the same node is skipped,
+    /// keeping heap traffic at ~one entry per settled node.
+    offer: Vec<f64>,
+    offer_list: Vec<NodeId>,
+}
+
+/// Joins `weights` against the topology's adjacency CSR: `out[i]` is the
+/// weight of `adjacency_entries()[i].link`. One O(m) gather per weight
+/// epoch turns every per-node scan in [`repair_tree`] into a sequential
+/// read instead of a random link-indexed lookup — the repair loops touch
+/// each incidence many times per batch (once per cached tree).
+pub(crate) fn align_weights(topology: &Topology, weights: &LinkWeights, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(
+        topology
+            .adjacency_entries()
+            .iter()
+            .map(|inc| weights.weight(inc.link)),
+    );
+}
+
+impl RepairScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the previous run's marks (sparsely) and sizes masks for a
+    /// graph of `n` nodes.
+    fn reset(&mut self, n: usize) {
+        for &v in &self.detached_list {
+            self.detached[v.index()] = false;
+        }
+        for &v in &self.settled_list {
+            self.settled[v.index()] = false;
+        }
+        for &v in &self.reparent_list {
+            self.reparent[v.index()] = false;
+        }
+        for &v in &self.offer_list {
+            self.offer[v.index()] = f64::INFINITY;
+        }
+        self.detached_list.clear();
+        self.settled_list.clear();
+        self.reparent_list.clear();
+        self.offer_list.clear();
+        self.stack.clear();
+        self.heap.clear();
+        // The sparse unset above covered every set bit (all marking paths
+        // push to the lists), so resizing — up or down — keeps the masks
+        // all-false and the offers all-infinite.
+        self.detached.resize(n, false);
+        self.settled.resize(n, false);
+        self.reparent.resize(n, false);
+        self.offer.resize(n, f64::INFINITY);
+    }
+
+    fn mark_reparent(&mut self, v: NodeId) {
+        if !self.reparent[v.index()] {
+            self.reparent[v.index()] = true;
+            self.reparent_list.push(v);
+        }
+    }
+
+    /// Pushes `cost` for `node` unless an at-least-as-good offer is
+    /// already in the heap (offers are always finite, so an infinite
+    /// slot means "never offered").
+    fn push_offer(&mut self, cost: f64, node: NodeId) {
+        let i = node.index();
+        if cost < self.offer[i] {
+            if self.offer[i].is_infinite() {
+                self.offer_list.push(node);
+            }
+            self.offer[i] = cost;
+            self.heap.push(HeapEntry { cost, node });
+        }
+    }
+}
+
+/// Repairs `tree` in place so it equals a from-scratch Dijkstra run over
+/// `weights`, given that only the links in `changed` differ (by value)
+/// from the table the tree was last exact for.
+///
+/// Caller contract (enforced by the engine, asserted in debug builds):
+/// every finite weight in `weights` is strictly positive, and the tree
+/// was exact — built by from-scratch Dijkstra or a previous repair — for
+/// the previous table, which was also strictly positive.
+pub(crate) fn repair_tree(
+    topology: &Topology,
+    weights: &LinkWeights,
+    adj_weights: &[f64],
+    changed: &[LinkId],
+    tree: &mut ShortestPaths,
+    scratch: &mut RepairScratch,
+) -> RepairOutcome {
+    debug_assert_eq!(adj_weights.len(), topology.adjacency_entries().len());
+    let n = topology.node_count();
+    let source = tree.source();
+    scratch.reset(n);
+
+    // Phase 1: find changed tree edges and detach the subtrees below
+    // them. Roots are collected before any label is cleared — the root
+    // test reads `prev`, which the DFS below mutates.
+    for &link in changed {
+        let l = topology.link(link);
+        let (a, b) = (l.a(), l.b());
+        if tree.parent(b) == Some((a, link)) {
+            scratch.stack.push(b);
+        } else if tree.parent(a) == Some((b, link)) {
+            scratch.stack.push(a);
+        }
+    }
+    let (dist, prev) = tree.labels_mut();
+    // Tree children of v are exactly the neighbours x with
+    // `prev[x] == (v, link)`, so the DFS discovers each subtree through
+    // the adjacency lists in O(detached · degree) — no O(n) children
+    // index. A child's `prev` is still intact when its parent scans for
+    // it (labels are cleared only when the child itself pops).
+    while let Some(v) = scratch.stack.pop() {
+        let vi = v.index();
+        if scratch.detached[vi] {
+            continue;
+        }
+        scratch.detached[vi] = true;
+        scratch.detached_list.push(v);
+        dist[vi] = f64::INFINITY;
+        prev[vi] = None;
+        for inc in topology.adjacent(v) {
+            let xi = inc.neighbor.index();
+            if !scratch.detached[xi] && prev[xi] == Some((v, inc.link)) {
+                scratch.stack.push(inc.neighbor);
+            }
+        }
+    }
+
+    // Phase 2: boundary Dijkstra. Seed each detached node with its best
+    // intact-boundary offer (one heap entry per node — Dijkstra from a
+    // super-source over the boundary edges, with relaxation covering
+    // paths that run through other detached nodes), plus any *improving*
+    // offer across a changed link between intact nodes (a decrease can
+    // improve intact nodes far from any detached subtree; offers into
+    // detached nodes are already covered by the min-seeds, which read
+    // the same patched weights). Intact labels are valid upper bounds —
+    // their tree paths avoid the detached region and changed tree edges
+    // by construction — so only strict improvements (or any finite offer
+    // into a detached node) settle.
+    for i in 0..scratch.detached_list.len() {
+        let v = scratch.detached_list[i];
+        // Branchless min: detached neighbours carry the `INFINITY`
+        // sentinel (cleared above) and masked links have infinite
+        // weight, so both kinds of non-offer drop out of the fold.
+        let mut best = f64::INFINITY;
+        let r = topology.adjacency_range(v);
+        for (inc, &w) in topology.adjacency_entries()[r.clone()]
+            .iter()
+            .zip(&adj_weights[r])
+        {
+            best = best.min(dist[inc.neighbor.index()] + w);
+        }
+        if best.is_finite() {
+            scratch.push_offer(best, v);
+        }
+    }
+    for &link in changed {
+        let w = weights.weight(link);
+        if !w.is_finite() {
+            continue;
+        }
+        let l = topology.link(link);
+        for (from, to) in [(l.a(), l.b()), (l.b(), l.a())] {
+            if scratch.detached[from.index()] || scratch.detached[to.index()] {
+                continue; // covered by the min-seeds above
+            }
+            let cost = dist[from.index()] + w;
+            if cost < dist[to.index()] {
+                scratch.push_offer(cost, to);
+            }
+        }
+    }
+    while let Some(HeapEntry { cost, node: v }) = scratch.heap.pop() {
+        let vi = v.index();
+        if scratch.settled[vi] {
+            continue;
+        }
+        // Detached nodes carry the sentinel, so one comparison covers
+        // both "first offer into the detached region" and "strict
+        // improvement of an intact label".
+        if cost >= dist[vi] {
+            continue;
+        }
+        scratch.settled[vi] = true;
+        scratch.settled_list.push(v);
+        dist[vi] = cost;
+        // One scan does both the relaxation and the canonical re-parent:
+        // `cost` is v's final label (Dijkstra invariant), and every
+        // achieving neighbour u (du + w == cost, hence du < cost) has
+        // settled already — or was never touched — so its label is final
+        // too, and the argmin computed here equals a post-hoc recompute.
+        let mut best: Option<(f64, NodeId, LinkId)> = None;
+        let r = topology.adjacency_range(v);
+        for (inc, &w) in topology.adjacency_entries()[r.clone()]
+            .iter()
+            .zip(&adj_weights[r])
+        {
+            if !w.is_finite() {
+                continue;
+            }
+            let ui = inc.neighbor.index();
+            let du = dist[ui];
+            if (du + w).to_bits() == cost.to_bits() {
+                let better = match best {
+                    None => true,
+                    Some((bd, bn, _)) => match du.total_cmp(&bd) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => inc.neighbor < bn,
+                        std::cmp::Ordering::Greater => false,
+                    },
+                };
+                if better {
+                    best = Some((du, inc.neighbor, inc.link));
+                }
+            }
+            if scratch.settled[ui] {
+                continue;
+            }
+            let next = cost + w;
+            if next < du {
+                scratch.push_offer(next, inc.neighbor);
+            } else if next.to_bits() == du.to_bits() && !scratch.detached[ui] {
+                // v is now an exact-tie candidate parent for its intact
+                // neighbour — the tie-break may shift; recompute it.
+                scratch.mark_reparent(inc.neighbor);
+            }
+        }
+        debug_assert!(best.is_some(), "settled node {v:?} has no achieving parent");
+        prev[vi] = best.map(|(_, u, l)| (u, l));
+    }
+
+    // Phase 3: canonical re-parenting of the few *intact* nodes whose
+    // tie-break may have shifted — neighbours a settled node now exactly
+    // ties for (marked in the settle scan above) and intact endpoints a
+    // changed link now exactly ties for (marked below). Settled nodes
+    // were re-parented inline as they popped. Every other node x keeps
+    // its parent: its candidate list `(dist[u] + w, u)` changed only in
+    // entries that were and remain strict losers — a candidate dropping
+    // to `< dist[x]` would have settled x in phase 2, one landing
+    // exactly on `dist[x]` is marked, and a detached node that stayed
+    // unreachable cannot have been any intact node's parent (children
+    // of a detached node were detached with it).
+    for &link in changed {
+        let w = weights.weight(link);
+        if !w.is_finite() {
+            continue;
+        }
+        let l = topology.link(link);
+        for (x, u) in [(l.a(), l.b()), (l.b(), l.a())] {
+            let xi = x.index();
+            if scratch.reparent[xi] || scratch.settled[xi] || scratch.detached[xi] {
+                continue;
+            }
+            let dx = dist[xi];
+            if dx.is_finite() && (dist[u.index()] + w).to_bits() == dx.to_bits() {
+                scratch.mark_reparent(x);
+            }
+        }
+    }
+    for &v in &scratch.reparent_list {
+        let vi = v.index();
+        if v == source {
+            prev[vi] = None;
+            continue;
+        }
+        let dv = dist[vi];
+        if !dv.is_finite() {
+            prev[vi] = None;
+            continue;
+        }
+        let mut best: Option<(f64, NodeId, LinkId)> = None;
+        let r = topology.adjacency_range(v);
+        for (inc, &w) in topology.adjacency_entries()[r.clone()]
+            .iter()
+            .zip(&adj_weights[r])
+        {
+            let du = dist[inc.neighbor.index()];
+            // Bitwise achievement test: dv is itself the min over these
+            // very sums, so at least one candidate matches exactly (an
+            // infinite label or masked link yields an infinite sum,
+            // which never matches the finite dv).
+            if (du + w).to_bits() != dv.to_bits() {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bd, bn, _)) => match du.total_cmp(&bd) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => inc.neighbor < bn,
+                    std::cmp::Ordering::Greater => false,
+                },
+            };
+            if better {
+                best = Some((du, inc.neighbor, inc.link));
+            }
+        }
+        debug_assert!(
+            best.is_some(),
+            "reachable non-source node {v:?} has no achieving parent"
+        );
+        prev[vi] = best.map(|(_, u, l)| (u, l));
+    }
+
+    RepairOutcome {
+        detached: scratch.detached_list.len(),
+        settled: scratch.settled_list.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::topology::TopologyBuilder;
+    use crate::units::Mbps;
+
+    /// 6-node mesh with enough redundancy for detours.
+    fn mesh() -> (Topology, Vec<NodeId>, Vec<LinkId>) {
+        let mut b = TopologyBuilder::new();
+        let n: Vec<NodeId> = (0..6).map(|i| b.add_node(format!("n{i}"))).collect();
+        let mut links = Vec::new();
+        for i in 1..6 {
+            links.push(b.add_link(n[i - 1], n[i], Mbps::new(1.0)).unwrap());
+        }
+        links.push(b.add_link(n[0], n[2], Mbps::new(1.0)).unwrap());
+        links.push(b.add_link(n[1], n[4], Mbps::new(1.0)).unwrap());
+        links.push(b.add_link(n[0], n[5], Mbps::new(1.0)).unwrap());
+        (b.build(), n, links)
+    }
+
+    fn check_repair(weights_before: &[f64], weights_after: &[f64]) {
+        let (topo, nodes, links) = mesh();
+        let before = LinkWeights::from_vec(weights_before.to_vec());
+        let after = LinkWeights::from_vec(weights_after.to_vec());
+        let changed: Vec<LinkId> = links
+            .iter()
+            .copied()
+            .filter(|&l| before.weight(l).to_bits() != after.weight(l).to_bits())
+            .collect();
+        let mut scratch = RepairScratch::new();
+        let mut aw = Vec::new();
+        align_weights(&topo, &after, &mut aw);
+        for &src in &nodes {
+            let mut tree = dijkstra(&topo, &before, src).unwrap();
+            repair_tree(&topo, &after, &aw, &changed, &mut tree, &mut scratch);
+            let oracle = dijkstra(&topo, &after, src).unwrap();
+            assert_eq!(tree, oracle, "src={src:?} changed={changed:?}");
+        }
+    }
+
+    #[test]
+    fn weight_increase_reroutes_subtree() {
+        let before = [0.5, 0.5, 0.5, 0.5, 0.5, 0.7, 0.7, 0.7];
+        let mut after = before;
+        after[1] = 5.0;
+        check_repair(&before, &after);
+    }
+
+    #[test]
+    fn weight_decrease_pulls_in_intact_nodes() {
+        let before = [0.5, 0.5, 0.5, 0.5, 0.5, 0.7, 0.7, 0.7];
+        let mut after = before;
+        after[6] = 0.01; // n1–n4 shortcut far from most sources' subtrees
+        check_repair(&before, &after);
+    }
+
+    #[test]
+    fn admin_down_and_up_round_trip() {
+        let base = [0.5, 0.5, 0.5, 0.5, 0.5, 0.7, 0.7, 0.7];
+        let mut down = base;
+        down[2] = f64::INFINITY;
+        check_repair(&base, &down);
+        check_repair(&down, &base);
+    }
+
+    #[test]
+    fn disconnection_leaves_unreachable_labels_cleared() {
+        // Sever every way out of n5: links 4 (n4–n5) and 7 (n0–n5).
+        let base = [0.5, 0.5, 0.5, 0.5, 0.5, 0.7, 0.7, 0.7];
+        let mut cut = base;
+        cut[4] = f64::INFINITY;
+        cut[7] = f64::INFINITY;
+        check_repair(&base, &cut);
+        check_repair(&cut, &base);
+    }
+
+    #[test]
+    fn multi_link_batches_repair_exactly() {
+        let before = [0.5, 1.5, 0.25, 0.75, 0.5, 0.7, 1.1, 0.3];
+        let after = [2.5, 0.1, 0.25, 0.75, 3.0, 0.7, 0.05, 0.3];
+        check_repair(&before, &after);
+    }
+
+    #[test]
+    fn empty_change_set_is_a_no_op() {
+        let base = [0.5, 1.5, 0.25, 0.75, 0.5, 0.7, 1.1, 0.3];
+        check_repair(&base, &base);
+    }
+
+    #[test]
+    fn scratch_reuse_across_topology_sizes() {
+        let mut scratch = RepairScratch::new();
+        // Large graph first…
+        let (topo, nodes, links) = mesh();
+        let before = LinkWeights::uniform(links.len(), 1.0);
+        let mut after = before.clone();
+        after.set_weight(links[0], 3.0);
+        let mut tree = dijkstra(&topo, &before, nodes[0]).unwrap();
+        let mut aw = Vec::new();
+        align_weights(&topo, &after, &mut aw);
+        repair_tree(&topo, &after, &aw, &[links[0]], &mut tree, &mut scratch);
+        assert_eq!(tree, dijkstra(&topo, &after, nodes[0]).unwrap());
+        // …then a smaller one: masks must not leak stale marks.
+        let mut b = TopologyBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let l = b.add_link(x, y, Mbps::new(1.0)).unwrap();
+        let small = b.build();
+        let wb = LinkWeights::uniform(1, 2.0);
+        let mut wa = wb.clone();
+        wa.set_weight(l, 0.5);
+        let mut tree = dijkstra(&small, &wb, x).unwrap();
+        align_weights(&small, &wa, &mut aw);
+        repair_tree(&small, &wa, &aw, &[l], &mut tree, &mut scratch);
+        assert_eq!(tree, dijkstra(&small, &wa, x).unwrap());
+    }
+}

@@ -10,11 +10,11 @@ use rand::{Rng, SeedableRng};
 use vod_core::selection::{SelectionContext, ServerSelector};
 use vod_core::vra::Vra;
 use vod_net::dijkstra::{bellman_ford, dijkstra_with_trace};
-use vod_net::engine::RoutingEngine;
+use vod_net::engine::{BatchRequest, RoutingEngine};
 use vod_net::lvn::{LvnComputer, LvnParams};
 use vod_net::topologies::random::connected_gnp;
 use vod_net::units::Fraction;
-use vod_net::{NodeId, Topology, TrafficSnapshot};
+use vod_net::{LinkId, Mbps, NodeId, Topology, TrafficSnapshot};
 
 /// Randomized traffic: every link carries a random fraction of its
 /// capacity; a few links additionally get explicit (rounded) utilization
@@ -103,6 +103,126 @@ proptest! {
         let after = engine.paths_from(&topology, &snapshot, home).unwrap();
         let (trace_after, _) = dijkstra_with_trace(&topology, &recomputed, home).unwrap();
         prop_assert_eq!(&*after, &trace_after);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dynamic SSSP repair: every cached tree — one per home server —
+    /// survives a random *sequence* of snapshot epochs (weight increases
+    /// and decreases, admin-down/up flips, journal-overflow bursts) and
+    /// stays bit-identical (`==`, distances *and* parents) to a
+    /// from-scratch Dijkstra over the patched weights, with Bellman–Ford
+    /// co-signing the distances.
+    #[test]
+    fn repaired_trees_match_from_scratch_over_mutation_sequences(
+        n in 6usize..36,
+        seed in any::<u64>(),
+        epochs in 1usize..5,
+    ) {
+        let topology = connected_gnp(n, 0.25, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd_ef01_2345_6789);
+        let mut snapshot = random_snapshot(&topology, &mut rng);
+        let params = LvnParams::default();
+        let mut engine = RoutingEngine::new(params);
+
+        // Warm one tree per home so every epoch change repairs n trees.
+        for home in topology.node_ids() {
+            engine.paths_from(&topology, &snapshot, home).unwrap();
+        }
+
+        for epoch in 0..epochs {
+            let m = topology.link_count() as u32;
+            match rng.gen_range(0u8..10) {
+                // Journal-overflow burst: more mutations than the
+                // journal holds, forcing the full-rebuild fallback.
+                0 => {
+                    for _ in 0..600 {
+                        let link = LinkId::new(rng.gen_range(0..m));
+                        snapshot.add_used(link, Mbps::new(0.0001));
+                    }
+                }
+                // Admin flips: tree edges vanish (∞) and come back.
+                1 | 2 => {
+                    let link = LinkId::new(rng.gen_range(0..m));
+                    let down = !snapshot.is_admin_down(link);
+                    snapshot.set_admin_down(link, down);
+                }
+                // Plain traffic drift: 1–3 links re-read, weights move
+                // up or down.
+                _ => {
+                    for _ in 0..rng.gen_range(1..=3usize) {
+                        let link = LinkId::new(rng.gen_range(0..m));
+                        let capacity = topology.link(link).capacity();
+                        snapshot.set_used(link, capacity * rng.gen_range(0.0..0.95));
+                    }
+                }
+            }
+
+            let reference = LvnComputer::new(&topology, &snapshot, params).weights();
+            for home in topology.node_ids() {
+                let tree = engine.paths_from(&topology, &snapshot, home).unwrap();
+                let (oracle, _) = dijkstra_with_trace(&topology, &reference, home).unwrap();
+                prop_assert_eq!(&*tree, &oracle, "epoch {} home {:?}", epoch, home);
+                let bf = bellman_ford(&topology, &reference, home).unwrap();
+                for node in topology.node_ids() {
+                    match (tree.distance_to(node), bf[node.index()]) {
+                        (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                        (None, None) => {}
+                        other => prop_assert!(false, "reachability mismatch: {:?}", other),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The pooled batch path answers exactly like per-request sequential
+/// selects, across worker counts — the worker-count override bypasses
+/// the hardware clamp so the pool genuinely engages even on 1-CPU CI.
+#[test]
+fn pooled_batches_match_sequential_across_worker_counts() {
+    for case in 0u64..40 {
+        let n = 6 + (case as usize % 28);
+        let topology = connected_gnp(n, 0.25, case * 13 + 3);
+        let mut rng = StdRng::seed_from_u64(case.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        let snapshot = random_snapshot(&topology, &mut rng);
+
+        let candidate_sets: Vec<Vec<NodeId>> = (0..n)
+            .map(|_| {
+                (0..rng.gen_range(1..=3usize))
+                    .map(|_| NodeId::new(rng.gen_range(0..n as u32)))
+                    .collect()
+            })
+            .collect();
+        let requests: Vec<BatchRequest<'_>> = candidate_sets
+            .iter()
+            .enumerate()
+            .map(|(i, candidates)| BatchRequest {
+                home: NodeId::new(i as u32),
+                candidates,
+            })
+            .collect();
+
+        let mut reference = RoutingEngine::default();
+        let expected: Vec<_> = requests
+            .iter()
+            .map(|r| {
+                reference
+                    .select(&topology, &snapshot, r.home, r.candidates)
+                    .unwrap()
+            })
+            .collect();
+
+        for workers in [1usize, 2, 3, 8] {
+            let mut engine = RoutingEngine::default();
+            engine.set_batch_workers(Some(workers));
+            let got = engine
+                .select_batch(&topology, &snapshot, &requests)
+                .unwrap();
+            assert_eq!(got, expected, "case {case} workers {workers}");
+        }
     }
 }
 
