@@ -44,7 +44,8 @@ scale_trace="$(mktemp -t scale-XXXXXX.jsonl)"
 scale_json="$(mktemp -t scale-XXXXXX.json)"
 analyze_json="$(mktemp -t analyze-XXXXXX.json)"
 routing_json="$(mktemp -t routing-XXXXXX.json)"
-trap 'rm -f "$chaos_trace" "$chaos_series" "$scale_trace" "$scale_json" "$analyze_json" "$routing_json"' EXIT
+proxy_json="$(mktemp -t proxy-XXXXXX.json)"
+trap 'rm -f "$chaos_trace" "$chaos_series" "$scale_trace" "$scale_json" "$analyze_json" "$routing_json" "$proxy_json"' EXIT
 cargo run -q --release -p vod-bench --bin ext_chaos -- \
   --trace "$chaos_trace" --series "$chaos_series" > /dev/null
 cargo run -q --release -p vod-check -- audit --series "$chaos_series" "$chaos_trace"
@@ -61,6 +62,10 @@ echo "==> analyzer wall-time gate (full analyze pass under 2 s, no regression vs
 cargo run -q --release -p vod-bench --bin check_analyze -- \
   --json "$analyze_json" --gate 2
 cargo run -q --release -p vod-bench -- compare --only check/ BENCH_obs.json "$analyze_json"
+
+echo "==> E17 proxy-tier gate (flash-crowd offload + startup vs committed BENCH_proxy.json)"
+cargo run -q --release -p vod-bench --bin ext_proxy -- --json "$proxy_json" > /dev/null
+cargo run -q --release -p vod-bench -- compare --only proxy/ BENCH_proxy.json "$proxy_json"
 
 echo "==> routing-engine perf gate (fresh bench vs committed BENCH_routing.json)"
 # The warm gnp200 row is the headline dynamic-SSSP win: its tightened

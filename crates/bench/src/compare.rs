@@ -250,8 +250,10 @@ fn json_string(s: &str) -> String {
 
 /// Extracts comparable entries from a bench file's text, detecting the
 /// format: a criterion summary array (`[{id, mean_ns, ...}]`, timings,
-/// lower is better) or the `scale --json` kernel report (throughput
-/// and capacity pseudo-ids, higher is better).
+/// lower is better), a generic experiment-row object
+/// (`{"rows":[{id, value, direction}]}`, per-row direction), or the
+/// `scale --json` kernel report (throughput and capacity pseudo-ids,
+/// higher is better).
 pub fn extract_entries(text: &str) -> Result<Vec<Entry>, String> {
     let value: Value =
         serde_json::from_str(text.trim()).map_err(|e| format!("not valid JSON: {e}"))?;
@@ -270,6 +272,37 @@ pub fn extract_entries(text: &str) -> Result<Vec<Entry>, String> {
                 id: id.to_string(),
                 value: mean,
                 direction: Direction::LowerBetter,
+            });
+        }
+        return Ok(entries);
+    }
+    if let Some(rows) = value.get_field("rows").and_then(Value::as_array) {
+        // Generic experiment rows (`{"rows":[{id, value, direction}]}`),
+        // written by experiment binaries whose metrics mix directions —
+        // e.g. ext_proxy's offload (higher) vs startup delay (lower).
+        let mut entries = Vec::with_capacity(rows.len());
+        for row in rows {
+            let id = row
+                .get_field("id")
+                .and_then(Value::as_str)
+                .ok_or("rows entry without an \"id\" field")?;
+            let v = row
+                .get_field("value")
+                .and_then(Value::as_f64)
+                .ok_or("rows entry without a numeric \"value\" field")?;
+            let direction = match row.get_field("direction").and_then(Value::as_str) {
+                Some("higher") => Direction::HigherBetter,
+                Some("lower") => Direction::LowerBetter,
+                _ => {
+                    return Err(
+                        "rows entry needs \"direction\": \"higher\" or \"lower\"".to_string()
+                    )
+                }
+            };
+            entries.push(Entry {
+                id: id.to_string(),
+                value: v,
+                direction,
             });
         }
         return Ok(entries);
@@ -529,6 +562,39 @@ mod tests {
         let pair = compare_pair("base", SIM, "cur", &slow, &cfg).expect("compare");
         let regressed: Vec<_> = pair.regressions().map(|c| c.id.clone()).collect();
         assert_eq!(regressed, vec!["sim/lazy/events_per_sec".to_string()]);
+    }
+
+    const ROWS: &str = r#"{"rows":[
+  {"id": "proxy/hit_ratio", "value": 0.8, "direction": "higher"},
+  {"id": "proxy/startup_mean_s", "value": 40.0, "direction": "lower"}
+]}"#;
+
+    #[test]
+    fn rows_report_gates_both_directions() {
+        let cfg = CompareConfig {
+            floor_ns: 0.0,
+            ..CompareConfig::default()
+        };
+        let entries = extract_entries(ROWS).expect("parse rows");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].direction, Direction::HigherBetter);
+        assert_eq!(entries[1].direction, Direction::LowerBetter);
+        // Identical files pass.
+        let pair = compare_pair("base", ROWS, "cur", ROWS, &cfg).expect("compare");
+        assert_eq!(pair.regressions().count(), 0);
+        // A halved hit ratio regresses (higher is better)...
+        let worse = ROWS.replace("0.8", "0.4");
+        let pair = compare_pair("base", ROWS, "cur", &worse, &cfg).expect("compare");
+        let regressed: Vec<_> = pair.regressions().map(|c| c.id.clone()).collect();
+        assert_eq!(regressed, vec!["proxy/hit_ratio".to_string()]);
+        // ...and a doubled startup mean regresses (lower is better).
+        let worse = ROWS.replace("40.0", "80.0");
+        let pair = compare_pair("base", ROWS, "cur", &worse, &cfg).expect("compare");
+        let regressed: Vec<_> = pair.regressions().map(|c| c.id.clone()).collect();
+        assert_eq!(regressed, vec!["proxy/startup_mean_s".to_string()]);
+        // Malformed rows are format errors, not silent skips.
+        assert!(extract_entries(r#"{"rows":[{"id":"x","value":1}]}"#).is_err());
+        assert!(extract_entries(r#"{"rows":[{"value":1,"direction":"higher"}]}"#).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The trace invariant auditor: rules `A000`–`A013` over JSONL traces.
+//! The trace invariant auditor: rules `A000`–`A016` over JSONL traces.
 //!
 //! A trace written by `vod-obs`'s `JsonlWriter` is *self-auditing*: it
 //! opens with the topology, the run configuration, each server's DMA
@@ -23,6 +23,9 @@
 //! | A011 | retry budget: `session_retry` attempts are 1-based, step by one within an episode, and never exceed `retry_max_attempts` from the run config |
 //! | A012 | abort accounting: every `session_aborted.reason` is a known cause and consistent with the configured budget and the session's observed retries |
 //! | A013 | series reconciliation ([`crate::series`]): a `TimeSeriesSink` export's windows are contiguous and aligned, per-window counter sums equal the raw trace's event counts, and per-link utilization never exceeds capacity |
+//! | A014 | prefix-store occupancy/residency: replayed occupancy matches the traced `occupancy_mb`, never exceeds the proxy's capacity, and hits/serves/extensions only touch resident prefixes |
+//! | A015 | prefix admission sizing: admits only after points exceed the threshold, stored lengths never exceed the popularity target `min(base + (points−1)/growth, max)`, sizes fit the cluster geometry, and reject reasons respect the gate order |
+//! | A016 | prefix eviction discipline: victims are the least-popular residents (ties to the lowest id), strictly colder than the admitted newcomer, freed space matches the replayed resident size, and every eviction run is immediately followed by its admission |
 //!
 //! The replayed DMA popularity counter exploits that every `dma_*`
 //! decision event corresponds to exactly one `on_request` call, which
@@ -61,6 +64,9 @@ pub struct AuditSummary {
     pub admits_verified: usize,
     /// `dma_evict` events checked for victim optimality.
     pub evictions_verified: usize,
+    /// `prefix_*` decision events replayed against the reference
+    /// prefix store (hits, admits, evictions, rejections).
+    pub prefix_verified: usize,
     /// All violations, in trace order.
     pub violations: Vec<Violation>,
 }
@@ -108,6 +114,67 @@ impl ServerState {
     }
 }
 
+/// Replayed prefix-store state of one regional proxy (rules
+/// A014–A016), mirroring `vod-storage`'s `PrefixStore` the way
+/// [`ServerState`] mirrors the DMA.
+#[derive(Debug, Clone, Default)]
+struct PrefixState {
+    capacity_mb: f64,
+    cluster_mb: f64,
+    admit_threshold: u64,
+    base_clusters: u64,
+    max_clusters: u64,
+    growth_points: u64,
+    /// Resident prefixes: video → (clusters, exact MB occupied).
+    residents: BTreeMap<u64, (u64, f64)>,
+    /// Replayed popularity points (one per prefix decision event).
+    points: BTreeMap<u64, u64>,
+}
+
+impl PrefixState {
+    fn occupancy(&self) -> f64 {
+        self.residents.values().map(|&(_, mb)| mb).sum()
+    }
+
+    fn award(&mut self, video: u64) -> u64 {
+        let p = self.points.entry(video).or_insert(0);
+        *p += 1;
+        *p
+    }
+
+    fn least_popular(&self) -> Option<u64> {
+        self.residents
+            .keys()
+            .min_by_key(|&&v| (self.points.get(&v).copied().unwrap_or(0), v))
+            .copied()
+    }
+
+    /// The popularity target `min(base + (points−1)/growth, max)` —
+    /// the store additionally caps at the title's own length, which
+    /// only lowers it, so replayed lengths must stay ≤ this.
+    fn target_clusters(&self, points: u64) -> u64 {
+        let grown = points
+            .saturating_sub(1)
+            .checked_div(self.growth_points)
+            .unwrap_or(0);
+        self.base_clusters
+            .saturating_add(grown)
+            .min(self.max_clusters)
+    }
+}
+
+/// One prefix eviction awaiting its admission: the service evicts and
+/// admits inside a single `on_request`, so the events are adjacent.
+#[derive(Debug, Clone)]
+struct PendingPrefixEvict {
+    line: usize,
+    server: u64,
+    victim: u64,
+    /// The victim's replayed points at eviction time, for the
+    /// strictly-colder check against the admitted newcomer.
+    victim_points: u64,
+}
+
 /// A selection whose server change must be confirmed by the next event.
 #[derive(Debug, Clone)]
 struct PendingSwitch {
@@ -126,6 +193,8 @@ struct Auditor {
     lvn_normalization: Option<f64>,
     retry_max_attempts: Option<u64>,
     servers: BTreeMap<u64, ServerState>,
+    prefixes: BTreeMap<u64, PrefixState>,
+    prefix_pending_evicts: Vec<PendingPrefixEvict>,
     catalog: BTreeSet<(u64, u64)>,
     snapshot: Option<TrafficSnapshot>,
     /// session → (current server, last selected cluster, video).
@@ -193,6 +262,16 @@ pub fn audit_trace(text: &str) -> AuditSummary {
             format!(
                 "selection moved session {} to server {} but no switch event followed",
                 p.session, p.to
+            ),
+        );
+    }
+    for p in std::mem::take(&mut a.prefix_pending_evicts) {
+        a.violate(
+            "A016",
+            p.line,
+            format!(
+                "prefix eviction of v{} at proxy {} was never followed by an admission",
+                p.victim, p.server
             ),
         );
     }
@@ -273,6 +352,25 @@ impl Auditor {
             return;
         }
 
+        // A016: the prefix store evicts and admits inside one decision,
+        // so a run of prefix_evict events must lead straight into the
+        // prefix_admit that caused it.
+        if !self.prefix_pending_evicts.is_empty()
+            && kind != "prefix_evict"
+            && kind != "prefix_admit"
+        {
+            for p in std::mem::take(&mut self.prefix_pending_evicts) {
+                self.violate(
+                    "A016",
+                    p.line,
+                    format!(
+                        "prefix eviction of v{} at proxy {} is followed by `{kind}`, not its admission",
+                        p.victim, p.server
+                    ),
+                );
+            }
+        }
+
         let handled = match kind.as_str() {
             "topology" => self.on_topology(line, event),
             "run_config" => self.on_run_config(event),
@@ -285,6 +383,13 @@ impl Auditor {
             "dma_admit" => self.on_dma_admit(line, event),
             "dma_evict" => self.on_dma_evict(line, event),
             "dma_reject" => self.on_dma_reject(line, event),
+            "prefix_cache_config" => self.on_prefix_config(event),
+            "prefix_hit" => self.on_prefix_hit(line, event),
+            "prefix_extend" => self.on_prefix_extend(line, event),
+            "prefix_admit" => self.on_prefix_admit(line, event),
+            "prefix_evict" => self.on_prefix_evict(line, event),
+            "prefix_reject" => self.on_prefix_reject(line, event),
+            "prefix_serve" => self.on_prefix_serve(line, event),
             "vra_select" => self.on_vra_select(line, event),
             "link_down" => self.on_link_down(line, event),
             "link_up" => self.on_link_up(line, event),
@@ -302,6 +407,10 @@ impl Auditor {
                     // The cache is retired with the server; a recovering
                     // server starts cold (fresh points, empty disks).
                     if let Some(state) = self.servers.get_mut(&s) {
+                        state.residents.clear();
+                        state.points.clear();
+                    }
+                    if let Some(state) = self.prefixes.get_mut(&s) {
                         state.residents.clear();
                         state.points.clear();
                     }
@@ -848,6 +957,443 @@ impl Auditor {
                 ),
             );
         }
+        Some(())
+    }
+
+    fn on_prefix_config(&mut self, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let state = PrefixState {
+            capacity_mb: event.get_field("capacity_mb")?.as_f64()?,
+            cluster_mb: event.get_field("cluster_mb")?.as_f64()?,
+            admit_threshold: event.get_field("admit_threshold")?.as_u64()?,
+            base_clusters: event.get_field("base_clusters")?.as_u64()?,
+            max_clusters: event.get_field("max_clusters")?.as_u64()?,
+            growth_points: event.get_field("growth_points")?.as_u64()?,
+            residents: BTreeMap::new(),
+            points: BTreeMap::new(),
+        };
+        self.prefixes.insert(server, state);
+        Some(())
+    }
+
+    /// A014: a prefix hit names a resident prefix and serves its exact
+    /// replayed length. Awards the decision's popularity point.
+    fn on_prefix_hit(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let clusters = event.get_field("clusters")?.as_u64()?;
+        self.summary.prefix_verified += 1;
+        let Some(state) = self.prefixes.get_mut(&server) else {
+            self.violate(
+                "A014",
+                line,
+                format!("prefix_hit on unconfigured proxy {server}"),
+            );
+            return Some(());
+        };
+        state.award(video);
+        match state.residents.get(&video) {
+            Some(&(resident, _)) if resident != clusters => {
+                self.violate(
+                    "A014",
+                    line,
+                    format!(
+                        "prefix_hit serves {clusters} clusters of v{video} but the replayed prefix is {resident} clusters"
+                    ),
+                );
+            }
+            None => {
+                self.violate(
+                    "A014",
+                    line,
+                    format!("prefix_hit for v{video} which is not resident at proxy {server}"),
+                );
+            }
+            _ => {}
+        }
+        Some(())
+    }
+
+    /// A014/A015: an in-place extension grows a resident prefix toward
+    /// the popularity target without exceeding capacity. Rides the
+    /// point its accompanying `prefix_hit` already awarded.
+    fn on_prefix_extend(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let from = event.get_field("from_clusters")?.as_u64()?;
+        let to = event.get_field("to_clusters")?.as_u64()?;
+        let occupancy_mb = event.get_field("occupancy_mb")?.as_f64()?;
+        let mut pending = Vec::new();
+        let Some(state) = self.prefixes.get_mut(&server) else {
+            self.violate(
+                "A014",
+                line,
+                format!("prefix_extend on unconfigured proxy {server}"),
+            );
+            return Some(());
+        };
+        let points = state.points.get(&video).copied().unwrap_or(0);
+        if to <= from {
+            pending.push((
+                "A015",
+                format!("prefix_extend of v{video} does not grow the prefix ({from} → {to})"),
+            ));
+        }
+        if to > state.target_clusters(points) {
+            pending.push((
+                "A015",
+                format!(
+                    "v{video} extended to {to} clusters, beyond the popularity target {} at {points} points",
+                    state.target_clusters(points)
+                ),
+            ));
+        }
+        let before = state.occupancy();
+        match state.residents.get(&video).copied() {
+            Some((resident, mb)) => {
+                if resident != from {
+                    pending.push((
+                        "A014",
+                        format!(
+                            "prefix_extend starts from {from} clusters but the replayed prefix of v{video} is {resident}"
+                        ),
+                    ));
+                }
+                let delta = occupancy_mb - before;
+                let grown = to.saturating_sub(from) as f64 * state.cluster_mb;
+                if delta <= 0.0 || delta > grown + EPS {
+                    pending.push((
+                        "A015",
+                        format!(
+                            "extension of v{video} by {} clusters changed occupancy by {delta:.3} MB (cluster size {} MB)",
+                            to.saturating_sub(from),
+                            state.cluster_mb
+                        ),
+                    ));
+                }
+                state.residents.insert(video, (to, mb + delta));
+            }
+            None => {
+                pending.push((
+                    "A014",
+                    format!("prefix_extend of v{video} which is not resident at proxy {server}"),
+                ));
+            }
+        }
+        if occupancy_mb > state.capacity_mb + EPS {
+            pending.push((
+                "A014",
+                format!(
+                    "proxy {server} over capacity after extension: {occupancy_mb:.3} MB > {:.3} MB",
+                    state.capacity_mb
+                ),
+            ));
+        }
+        self.flush(line, pending);
+        Some(())
+    }
+
+    /// A014/A015/A016: an admission stores a popularity-sized prefix
+    /// within capacity, above the threshold, and settles any pending
+    /// evictions (whose victims must be strictly colder).
+    fn on_prefix_admit(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let after_eviction = event.get_field("after_eviction")?.as_bool()?;
+        let clusters = event.get_field("clusters")?.as_u64()?;
+        let size_mb = event.get_field("size_mb")?.as_f64()?;
+        let occupancy_mb = event.get_field("occupancy_mb")?.as_f64()?;
+        self.summary.prefix_verified += 1;
+        let mut pending = Vec::new();
+
+        let evicted = std::mem::take(&mut self.prefix_pending_evicts);
+        if after_eviction && evicted.is_empty() {
+            pending.push((
+                "A016",
+                format!("v{video} admitted `after_eviction` with no preceding prefix_evict"),
+            ));
+        }
+        if !after_eviction && !evicted.is_empty() {
+            pending.push((
+                "A016",
+                format!(
+                    "v{video} admitted without `after_eviction` despite {} pending eviction(s)",
+                    evicted.len()
+                ),
+            ));
+        }
+
+        let Some(state) = self.prefixes.get_mut(&server) else {
+            self.violate(
+                "A014",
+                line,
+                format!("prefix_admit on unconfigured proxy {server}"),
+            );
+            return Some(());
+        };
+        let points = state.award(video);
+        if points <= state.admit_threshold {
+            pending.push((
+                "A015",
+                format!(
+                    "v{video} admitted at proxy {server} with {points} points (threshold {})",
+                    state.admit_threshold
+                ),
+            ));
+        }
+        if clusters == 0 || clusters > state.target_clusters(points) {
+            pending.push((
+                "A015",
+                format!(
+                    "v{video} stored as {clusters} clusters, outside (0, target {}] at {points} points",
+                    state.target_clusters(points)
+                ),
+            ));
+        }
+        // `clusters` full clusters except possibly the title's own
+        // partial trailing one: (clusters−1)·c < size ≤ clusters·c.
+        let c = state.cluster_mb;
+        if size_mb <= clusters.saturating_sub(1) as f64 * c - EPS
+            || size_mb > clusters as f64 * c + EPS
+        {
+            pending.push((
+                "A015",
+                format!(
+                    "a {clusters}-cluster prefix of v{video} occupies {size_mb:.3} MB (cluster size {c} MB)"
+                ),
+            ));
+        }
+        for e in &evicted {
+            if e.server != server {
+                pending.push((
+                    "A016",
+                    format!(
+                        "pending eviction at proxy {} settled by an admission at proxy {server}",
+                        e.server
+                    ),
+                ));
+            } else if e.victim_points >= points {
+                pending.push((
+                    "A016",
+                    format!(
+                        "evicted v{} ({} points) was not strictly colder than admitted v{video} ({points} points)",
+                        e.victim, e.victim_points
+                    ),
+                ));
+            }
+        }
+        if state.residents.insert(video, (clusters, size_mb)).is_some() {
+            pending.push((
+                "A014",
+                format!("v{video} admitted while its prefix is already resident at proxy {server}"),
+            ));
+        }
+        let (occ, cap) = (state.occupancy(), state.capacity_mb);
+        if occ > cap + EPS {
+            pending.push((
+                "A014",
+                format!("proxy {server} over capacity after admit: {occ:.3} MB > {cap:.3} MB"),
+            ));
+        }
+        if (occ - occupancy_mb).abs() > EPS * occ.abs().max(1.0) {
+            pending.push((
+                "A014",
+                format!(
+                    "traced prefix occupancy {occupancy_mb:.3} MB disagrees with replayed {occ:.3} MB at proxy {server}"
+                ),
+            ));
+        }
+        self.flush(line, pending);
+        Some(())
+    }
+
+    /// A016: the victim is the least-popular resident (ties to the
+    /// lowest id) and frees exactly its replayed footprint.
+    fn on_prefix_evict(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let victim = event.get_field("victim")?.as_u64()?;
+        let freed_mb = event.get_field("freed_mb")?.as_f64()?;
+        self.summary.prefix_verified += 1;
+        let mut pending = Vec::new();
+        let Some(state) = self.prefixes.get_mut(&server) else {
+            self.violate(
+                "A014",
+                line,
+                format!("prefix_evict on unconfigured proxy {server}"),
+            );
+            return Some(());
+        };
+        match state.least_popular() {
+            Some(expected) if expected != victim => {
+                let vp = state.points.get(&victim).copied().unwrap_or(0);
+                let ep = state.points.get(&expected).copied().unwrap_or(0);
+                pending.push((
+                    "A016",
+                    format!(
+                        "evicted prefix of v{victim} ({vp} points) but v{expected} ({ep} points) is less popular at proxy {server}"
+                    ),
+                ));
+            }
+            None => {
+                pending.push((
+                    "A016",
+                    format!("prefix eviction at proxy {server} with no residents"),
+                ));
+            }
+            _ => {}
+        }
+        let victim_points = state.points.get(&victim).copied().unwrap_or(0);
+        match state.residents.remove(&victim) {
+            Some((_, mb)) => {
+                if (mb - freed_mb).abs() > EPS * mb.abs().max(1.0) {
+                    pending.push((
+                        "A016",
+                        format!(
+                            "eviction of v{victim} claims {freed_mb:.3} MB freed but the replayed prefix occupied {mb:.3} MB"
+                        ),
+                    ));
+                }
+            }
+            None => {
+                pending.push((
+                    "A014",
+                    format!("evicted prefix of v{victim} was not resident at proxy {server}"),
+                ));
+            }
+        }
+        self.prefix_pending_evicts.push(PendingPrefixEvict {
+            line,
+            server,
+            victim,
+            victim_points,
+        });
+        self.flush(line, pending);
+        Some(())
+    }
+
+    /// A014/A015: reject reasons respect the Figure-2-style gate order
+    /// and never name a resident prefix.
+    fn on_prefix_reject(&mut self, line: usize, event: &Value) -> Option<()> {
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let reason = event.get_field("reason")?.as_str()?.to_string();
+        self.summary.prefix_verified += 1;
+        let mut pending = Vec::new();
+        let Some(state) = self.prefixes.get_mut(&server) else {
+            self.violate(
+                "A014",
+                line,
+                format!("prefix_reject on unconfigured proxy {server}"),
+            );
+            return Some(());
+        };
+        let points = state.award(video);
+        let threshold = state.admit_threshold;
+        if state.residents.contains_key(&video) {
+            pending.push((
+                "A014",
+                format!("prefix_reject of v{video} whose prefix is resident at proxy {server}"),
+            ));
+        }
+        if reason == "below_threshold" && points > threshold {
+            pending.push((
+                "A015",
+                format!(
+                    "v{video} rejected below-threshold at {points} points (> threshold {threshold})"
+                ),
+            ));
+        }
+        if reason != "below_threshold" && points <= threshold {
+            pending.push((
+                "A015",
+                format!(
+                    "v{video} reached the `{reason}` gate with only {points} points (threshold {threshold})"
+                ),
+            ));
+        }
+        // The eviction scan only considers strictly-colder residents:
+        // `not_popular_enough` means there were none, `does_not_fit`
+        // means there were some but they were too small.
+        let colder = state
+            .residents
+            .keys()
+            .any(|v| state.points.get(v).copied().unwrap_or(0) < points);
+        if reason == "not_popular_enough" && colder {
+            pending.push((
+                "A016",
+                format!(
+                    "v{video} rejected `not_popular_enough` although a strictly colder prefix is resident at proxy {server}"
+                ),
+            ));
+        }
+        if reason == "does_not_fit" && !colder {
+            pending.push((
+                "A016",
+                format!(
+                    "v{video} rejected `does_not_fit` with no strictly colder resident to evict at proxy {server}"
+                ),
+            ));
+        }
+        self.flush(line, pending);
+        Some(())
+    }
+
+    /// A014 + session registration: a proxy serves at most the resident
+    /// prefix length, and the serve opens the session's cluster
+    /// bookkeeping so the suffix selection (A006/A007) continues from
+    /// the prefix boundary.
+    fn on_prefix_serve(&mut self, line: usize, event: &Value) -> Option<()> {
+        let session = event.get_field("session")?.as_u64()?;
+        let server = event.get_field("server")?.as_u64()?;
+        let video = event.get_field("video")?.as_u64()?;
+        let clusters = event.get_field("clusters")?.as_u64()?;
+        let mut pending = Vec::new();
+        if clusters == 0 {
+            pending.push((
+                "A014",
+                format!("prefix_serve of 0 clusters to session {session}"),
+            ));
+        }
+        match self.prefixes.get(&server) {
+            Some(state) => match state.residents.get(&video) {
+                Some(&(resident, _)) if clusters > resident => {
+                    pending.push((
+                        "A014",
+                        format!(
+                            "session {session} served {clusters} prefix clusters of v{video} but only {resident} are resident at proxy {server}"
+                        ),
+                    ));
+                }
+                None => {
+                    pending.push((
+                        "A014",
+                        format!("prefix_serve of v{video} which is not resident at proxy {server}"),
+                    ));
+                }
+                _ => {}
+            },
+            None => {
+                pending.push((
+                    "A014",
+                    format!("prefix_serve on unconfigured proxy {server}"),
+                ));
+            }
+        }
+        match self.sessions.entry(session) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                pending.push((
+                    "A007",
+                    format!("prefix_serve for session {session} which is already streaming"),
+                ));
+            }
+            std::collections::btree_map::Entry::Vacant(slot) if clusters > 0 => {
+                // The proxy delivers clusters 0..clusters; the session's
+                // next selection continues at the prefix boundary.
+                slot.insert((server, clusters - 1, video));
+            }
+            std::collections::btree_map::Entry::Vacant(_) => {}
+        }
+        self.flush(line, pending);
         Some(())
     }
 

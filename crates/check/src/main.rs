@@ -44,7 +44,7 @@ SUBCOMMANDS:
               Hash-without-Ord map keys), and Event-taxonomy drift
               across the series/span/audit consumers.
     audit     Replays a JSONL trace against reference implementations of
-              the paper's invariants (A000-A012); --series reconciles a
+              the paper's invariants (A000-A016); --series reconciles a
               time-series export against the same run's trace (A013).
 
 OPTIONS:
@@ -357,6 +357,7 @@ fn run_audit(args: &[String]) -> ExitCode {
                 ("selections_verified", stats.selections_verified),
                 ("admits_verified", stats.admits_verified),
                 ("evictions_verified", stats.evictions_verified),
+                ("prefix_verified", stats.prefix_verified),
                 ("windows", stats.windows),
                 ("totals_verified", stats.totals_verified),
             ],
@@ -372,6 +373,7 @@ struct AuditStats {
     selections_verified: usize,
     admits_verified: usize,
     evictions_verified: usize,
+    prefix_verified: usize,
     windows: usize,
     totals_verified: usize,
 }
@@ -390,6 +392,7 @@ fn collect_audit(
     stats.selections_verified += summary.selections_verified;
     stats.admits_verified += summary.admits_verified;
     stats.evictions_verified += summary.evictions_verified;
+    stats.prefix_verified += summary.prefix_verified;
     for v in &summary.violations {
         findings.push(UnifiedFinding {
             rule: v.rule.to_string(),
@@ -403,11 +406,12 @@ fn collect_audit(
             println!("{label}:{}: [{}] {}", v.line, v.rule, v.message);
         }
         println!(
-            "vod-check audit {label}: {} events, {} selections / {} admits / {} evictions verified, {} violations",
+            "vod-check audit {label}: {} events, {} selections / {} admits / {} evictions / {} prefix decisions verified, {} violations",
             summary.events,
             summary.selections_verified,
             summary.admits_verified,
             summary.evictions_verified,
+            summary.prefix_verified,
             summary.violations.len()
         );
     }

@@ -69,6 +69,10 @@ const RECONCILED: &[(&str, &str)] = &[
     ("dma_admits", "dma_admit"),
     ("dma_evicts", "dma_evict"),
     ("dma_rejects", "dma_reject"),
+    ("prefix_hits", "prefix_hit"),
+    ("prefix_admits", "prefix_admit"),
+    ("prefix_evicts", "prefix_evict"),
+    ("prefix_rejects", "prefix_reject"),
 ];
 
 /// Audits a `TimeSeriesSink` JSON export against the JSONL trace of

@@ -308,6 +308,159 @@ fn a012_unknown_abort_reason() {
     assert_only_rule(&audit(&t), "A012");
 }
 
+/// The fixture preamble plus a prefix store at proxy node 0: 300 MB of
+/// space, 100 MB clusters, admit on first request (threshold 0), base
+/// length 1 cluster growing by one per 2 further requests, capped at 3.
+fn preamble_with_prefix() -> Vec<String> {
+    let mut t = preamble();
+    t.push(
+        r#"{"at_us":0,"kind":"prefix_cache_config","server":0,"capacity_mb":300,"cluster_mb":100,"admit_threshold":0,"base_clusters":1,"max_clusters":3,"growth_points":2}"#
+            .to_string(),
+    );
+    t
+}
+
+#[test]
+fn clean_prefix_fixture_audits_green() {
+    let mut t = preamble_with_prefix();
+    // First request admits the base prefix, the second hits and serves.
+    t.push(
+        r#"{"at_us":10,"kind":"prefix_admit","server":0,"video":1,"after_eviction":false,"clusters":1,"size_mb":100,"occupancy_mb":100}"#
+            .to_string(),
+    );
+    t.push(r#"{"at_us":20,"kind":"prefix_hit","server":0,"video":1,"clusters":1}"#.to_string());
+    t.push(
+        r#"{"at_us":20,"kind":"prefix_serve","session":0,"server":0,"video":1,"clusters":1}"#
+            .to_string(),
+    );
+    // The third request's hit crosses the growth step and extends.
+    t.push(r#"{"at_us":30,"kind":"prefix_hit","server":0,"video":1,"clusters":1}"#.to_string());
+    t.push(
+        r#"{"at_us":30,"kind":"prefix_extend","server":0,"video":1,"from_clusters":1,"to_clusters":2,"occupancy_mb":200}"#
+            .to_string(),
+    );
+    // A newcomer's base prefix fits the remaining 100 MB.
+    t.push(
+        r#"{"at_us":40,"kind":"prefix_admit","server":0,"video":2,"after_eviction":false,"clusters":1,"size_mb":100,"occupancy_mb":300}"#
+            .to_string(),
+    );
+    let summary = audit(&t);
+    assert!(
+        summary.is_clean(),
+        "clean prefix fixture should audit green, got {:?}",
+        summary.violations
+    );
+    assert_eq!(summary.prefix_verified, 4);
+}
+
+#[test]
+fn clean_prefix_eviction_audits_green() {
+    // Growth disabled: every prefix is stored at the full 3-cluster
+    // base, so v1 fills the store on its first request.
+    let mut t = preamble();
+    t.push(
+        r#"{"at_us":0,"kind":"prefix_cache_config","server":0,"capacity_mb":300,"cluster_mb":100,"admit_threshold":0,"base_clusters":3,"max_clusters":3,"growth_points":0}"#
+            .to_string(),
+    );
+    // v1 resident with 1 point; v2's first request ties on points (no
+    // strictly colder resident), its second out-ranks and evicts v1.
+    t.push(
+        r#"{"at_us":10,"kind":"prefix_admit","server":0,"video":1,"after_eviction":false,"clusters":3,"size_mb":300,"occupancy_mb":300}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":20,"kind":"prefix_reject","server":0,"video":2,"reason":"not_popular_enough"}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":30,"kind":"prefix_evict","server":0,"victim":1,"freed_mb":300}"#.to_string(),
+    );
+    t.push(
+        r#"{"at_us":30,"kind":"prefix_admit","server":0,"video":2,"after_eviction":true,"clusters":3,"size_mb":300,"occupancy_mb":300}"#
+            .to_string(),
+    );
+    let summary = audit(&t);
+    assert!(
+        summary.is_clean(),
+        "clean prefix eviction fixture should audit green, got {:?}",
+        summary.violations
+    );
+}
+
+#[test]
+fn a014_serve_exceeds_resident_prefix() {
+    let mut t = preamble_with_prefix();
+    t.push(
+        r#"{"at_us":10,"kind":"prefix_admit","server":0,"video":1,"after_eviction":false,"clusters":1,"size_mb":100,"occupancy_mb":100}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":20,"kind":"prefix_serve","session":0,"server":0,"video":1,"clusters":2}"#
+            .to_string(),
+    );
+    assert_only_rule(&audit(&t), "A014");
+}
+
+#[test]
+fn a014_traced_occupancy_disagrees_with_replay() {
+    let mut t = preamble_with_prefix();
+    t.push(
+        r#"{"at_us":10,"kind":"prefix_admit","server":0,"video":1,"after_eviction":false,"clusters":1,"size_mb":100,"occupancy_mb":250}"#
+            .to_string(),
+    );
+    assert_only_rule(&audit(&t), "A014");
+}
+
+#[test]
+fn a015_prefix_longer_than_the_popularity_target() {
+    let mut t = preamble_with_prefix();
+    // One point allows only the base length (1 cluster), not 3.
+    t.push(
+        r#"{"at_us":10,"kind":"prefix_admit","server":0,"video":1,"after_eviction":false,"clusters":3,"size_mb":300,"occupancy_mb":300}"#
+            .to_string(),
+    );
+    assert_only_rule(&audit(&t), "A015");
+}
+
+#[test]
+fn a016_evicts_a_hotter_prefix() {
+    let mut t = preamble_with_prefix();
+    // v1 (2 points) is hotter than v2 (1 point): evicting v1 is wrong,
+    // and v1's 2 points also fail the strictly-colder check against
+    // the newcomer's 1 point.
+    t.push(
+        r#"{"at_us":10,"kind":"prefix_admit","server":0,"video":1,"after_eviction":false,"clusters":1,"size_mb":100,"occupancy_mb":100}"#
+            .to_string(),
+    );
+    t.push(r#"{"at_us":20,"kind":"prefix_hit","server":0,"video":1,"clusters":1}"#.to_string());
+    t.push(
+        r#"{"at_us":30,"kind":"prefix_admit","server":0,"video":2,"after_eviction":false,"clusters":1,"size_mb":100,"occupancy_mb":200}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":40,"kind":"prefix_evict","server":0,"victim":1,"freed_mb":100}"#.to_string(),
+    );
+    t.push(
+        r#"{"at_us":40,"kind":"prefix_admit","server":0,"video":3,"after_eviction":true,"clusters":1,"size_mb":100,"occupancy_mb":200}"#
+            .to_string(),
+    );
+    assert_only_rule(&audit(&t), "A016");
+}
+
+#[test]
+fn a016_eviction_with_no_admission() {
+    let mut t = preamble_with_prefix();
+    t.push(
+        r#"{"at_us":10,"kind":"prefix_admit","server":0,"video":1,"after_eviction":false,"clusters":1,"size_mb":100,"occupancy_mb":100}"#
+            .to_string(),
+    );
+    t.push(
+        r#"{"at_us":20,"kind":"prefix_evict","server":0,"victim":1,"freed_mb":100}"#.to_string(),
+    );
+    t.push(r#"{"at_us":30,"kind":"dma_hit","server":0,"video":0}"#.to_string());
+    assert_only_rule(&audit(&t), "A016");
+}
+
 #[test]
 fn clean_fault_fixture_audits_green() {
     let mut t = preamble_with_retry(2);
@@ -341,15 +494,15 @@ fn clean_fault_fixture_audits_green() {
     );
 }
 
-/// The fixtures above exercise thirteen distinct rule ids.
+/// The fixtures above exercise seventeen distinct rule ids.
 #[test]
 fn fixtures_cover_distinct_rules() {
     let rules = [
         "A000", "A001", "A002", "A003", "A004", "A005", "A006", "A007", "A008", "A009", "A010",
-        "A011", "A012", "A013",
+        "A011", "A012", "A013", "A014", "A015", "A016",
     ];
     let distinct: std::collections::BTreeSet<&str> = rules.iter().copied().collect();
-    assert_eq!(distinct.len(), 14);
+    assert_eq!(distinct.len(), 17);
 }
 
 /// Runs one full service simulation and returns its JSONL trace.
@@ -388,6 +541,39 @@ proptest! {
             summary.violations
         );
         prop_assert!(summary.events > 0);
+    }
+
+    /// With the regional prefix tier enabled, the whole prefix event
+    /// family (admit / hit / extend / evict / reject / serve) replays
+    /// against the auditor's independent store model: rules A014–A016
+    /// verify real decisions, the session handoff passes the switch
+    /// rules, and the trace stays byte-replayable.
+    #[test]
+    fn prefix_tier_traces_audit_green(seed in 0u64..10_000, family in 0u8..2) {
+        use vod_core::service::PrefixTierConfig;
+        let scenario = match family {
+            0 => Scenario::flash_crowd(seed),
+            _ => Scenario::grnet_case_study(seed),
+        };
+        let config = ServiceConfig {
+            prefix_tier: Some(PrefixTierConfig::default()),
+            ..ServiceConfig::default()
+        };
+        let first = service_trace_with(&scenario, config.clone());
+        let second = service_trace_with(&scenario, config);
+        prop_assert_eq!(&first, &second, "prefix traces must replay byte-for-byte");
+        let summary = audit_trace(&first);
+        prop_assert!(
+            summary.is_clean(),
+            "scenario {} seed {} produced violations: {:?}",
+            scenario.name(),
+            seed,
+            summary.violations
+        );
+        prop_assert!(
+            summary.prefix_verified > 0,
+            "a repeat-heavy workload must exercise the prefix rules"
+        );
     }
 
     /// Under an arbitrary seeded fault plan and retry budget, the trace

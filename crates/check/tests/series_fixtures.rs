@@ -55,8 +55,41 @@ fn real_run_series_reconciles_clean() {
         summary.violations
     );
     assert!(summary.windows > 0, "case study must span several windows");
-    // 12 one-to-one counters + the two-way VRA split.
-    assert_eq!(summary.totals_verified, 14);
+    // 16 one-to-one counters + the two-way VRA split.
+    assert_eq!(summary.totals_verified, 18);
+}
+
+#[test]
+fn prefix_tier_series_reconciles_clean() {
+    use vod_core::service::PrefixTierConfig;
+    // A repeat-heavy workload with the prefix tier on: the four
+    // prefix_* counters reconcile with nonzero trace counts.
+    let scenario = Scenario::flash_crowd(42);
+    let sink = TeeSink::new(JsonlWriter::new(Vec::new()), TimeSeriesSink::new());
+    let service = VodService::with_sink(
+        &scenario,
+        Box::new(Vra::default()),
+        ServiceConfig {
+            prefix_tier: Some(PrefixTierConfig::default()),
+            ..ServiceConfig::default()
+        },
+        sink,
+    );
+    let (_, _, sink) = service.run_full();
+    let (jsonl, series) = sink.into_parts();
+    let trace = String::from_utf8(jsonl.into_inner()).expect("JSONL traces are UTF-8");
+    let series = series.finish().to_json();
+    assert!(
+        trace.contains("\"kind\":\"prefix_hit\""),
+        "flash crowd must produce prefix hits"
+    );
+    let summary = audit_series(&series, &trace);
+    assert!(
+        summary.is_clean(),
+        "prefix series should reconcile: {:?}",
+        summary.violations
+    );
+    assert_eq!(summary.totals_verified, 18);
 }
 
 #[test]

@@ -13,6 +13,7 @@ use vod_net::{EngineStats, NodeId};
 use vod_sim::metrics::Summary;
 use vod_sim::{SimDuration, SimTime};
 use vod_storage::dma::DmaStats;
+use vod_storage::prefix::PrefixStats;
 use vod_storage::video::VideoId;
 
 use crate::session::SessionId;
@@ -72,6 +73,31 @@ impl QosRecord {
     }
 }
 
+/// Aggregated outcome of the regional prefix-caching tier over one run
+/// (present only when [`crate::service::ServiceConfig::prefix_tier`] is
+/// enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefixTierReport {
+    /// Store decisions aggregated over every proxy (including stores
+    /// retired by server failures).
+    pub stats: PrefixStats,
+    /// Clusters streamed to clients by the proxies.
+    pub served_clusters: u64,
+    /// Megabits streamed by the proxies — traffic the backbone never
+    /// carried (the origin-offload volume).
+    pub served_mbit: f64,
+    /// Sessions whose title was fully covered by a resident prefix, so
+    /// no origin fetch (and no origin dependency) existed at all.
+    pub full_prefix_sessions: u64,
+}
+
+impl PrefixTierReport {
+    /// Fraction of requests answered from a resident prefix.
+    pub fn hit_ratio(&self) -> f64 {
+        self.stats.hit_ratio()
+    }
+}
+
 /// Aggregated outcome of one service run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServiceReport {
@@ -106,6 +132,9 @@ pub struct ServiceReport {
     pub engine: Option<EngineStats>,
     /// SNMP polling rounds executed during the run.
     pub snmp_polls: u64,
+    /// Regional prefix-tier outcome (`None` when the tier is disabled —
+    /// the paper-exact configuration).
+    pub prefix: Option<PrefixTierReport>,
 }
 
 impl ServiceReport {
@@ -227,6 +256,7 @@ mod tests {
             per_server_dma: Vec::new(),
             engine: None,
             snmp_polls: 0,
+            prefix: None,
         }
     }
 

@@ -27,7 +27,7 @@
 //! [`vod_obs::Event`]. Traces inherit the determinism guarantee: same
 //! inputs → byte-identical JSONL.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use vod_db::{AdminCredential, Database, LimitedAccess};
 use vod_net::{LinkId, Mbps, NodeId, Route, Topology};
@@ -42,12 +42,13 @@ use vod_sim::{SimDuration, SimTime};
 use vod_snmp::SnmpSystem;
 use vod_storage::cluster::ClusterSize;
 use vod_storage::dma::{DmaCache, DmaConfig, DmaDecision, DmaStats, EvictionMode};
+use vod_storage::prefix::{PrefixConfig, PrefixDecision, PrefixStats, PrefixStore};
 use vod_storage::video::{Megabytes, VideoId, VideoMeta};
 use vod_workload::scenario::Scenario;
 use vod_workload::trace::RequestTrace;
 
 use crate::error::CoreError;
-use crate::qos::{QosRecord, ServiceReport};
+use crate::qos::{PrefixTierReport, QosRecord, ServiceReport};
 use crate::selection::{SelectionContext, ServerSelector};
 use crate::session::{Session, SessionId};
 
@@ -100,6 +101,62 @@ impl RetryPolicy {
         RetryPolicy {
             max_attempts,
             ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Tunables of the regional prefix-caching tier: every video-server
+/// node doubles as a regional proxy holding popularity-sized title
+/// *prefixes*. A request whose prefix is resident streams its leading
+/// clusters from the proxy at local rate while the VRA concurrently
+/// fetches the suffix from the selected origin — startup no longer
+/// waits on the backbone, and the prefix volume never crosses it.
+///
+/// Disabled (`ServiceConfig::prefix_tier = None`) the service is
+/// byte-identical to the paper-exact pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefixTierConfig {
+    /// Prefix space per proxy.
+    pub capacity: Megabytes,
+    /// Points a title must *exceed* before its prefix is admitted.
+    pub admit_threshold: u64,
+    /// Prefix length granted at admission, in clusters.
+    pub base_clusters: u32,
+    /// Popularity-driven ceiling on any prefix length, in clusters.
+    pub max_clusters: u32,
+    /// Additional points per additional cluster of prefix (0 = prefixes
+    /// never grow past `base_clusters`).
+    pub growth_points: u64,
+    /// Rate at which a proxy streams prefix clusters to its clients
+    /// (the regional access loop, not the backbone).
+    pub proxy_rate: Mbps,
+}
+
+impl Default for PrefixTierConfig {
+    fn default() -> Self {
+        let store = PrefixConfig::default();
+        PrefixTierConfig {
+            capacity: store.capacity,
+            admit_threshold: store.admit_threshold,
+            base_clusters: store.base_clusters,
+            max_clusters: store.max_clusters,
+            growth_points: store.growth_points,
+            proxy_rate: Mbps::new(100.0),
+        }
+    }
+}
+
+impl PrefixTierConfig {
+    /// The per-proxy store configuration (the service's cluster size is
+    /// also the prefix granularity).
+    fn store_config(&self, cluster: ClusterSize) -> PrefixConfig {
+        PrefixConfig {
+            capacity: self.capacity,
+            cluster_size: cluster,
+            admit_threshold: self.admit_threshold,
+            base_clusters: self.base_clusters,
+            max_clusters: self.max_clusters,
+            growth_points: self.growth_points,
         }
     }
 }
@@ -165,6 +222,9 @@ pub struct ServiceConfig {
     /// ([`FlowKernel::Lazy`] by default; [`FlowKernel::Reference`] keeps
     /// the naive `O(flows)`-per-event kernel for baselining).
     pub flow_kernel: FlowKernel,
+    /// Optional regional prefix-caching tier (`None` = paper-exact:
+    /// every cluster comes from the selected origin server).
+    pub prefix_tier: Option<PrefixTierConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -188,6 +248,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             drain_grace: SimDuration::from_secs(24 * 3600),
             flow_kernel: FlowKernel::Lazy,
+            prefix_tier: None,
         }
     }
 }
@@ -236,6 +297,19 @@ struct RetryState {
     first_failure: SimTime,
 }
 
+/// Progress of one session's proxy-streamed prefix phase. Lives in
+/// `ServiceModel::prefix_progress` exactly while prefix clusters are
+/// still in flight; its removal is what re-opens the suffix chain.
+#[derive(Debug, Clone, Copy)]
+struct PrefixProgress {
+    /// Clusters the proxy committed to stream (the session's home is
+    /// the proxy, so a home-server failure tears the phase down with
+    /// the session itself).
+    served: usize,
+    /// Prefix clusters fully delivered so far.
+    fetched: usize,
+}
+
 /// The simulation model (internal state of a [`VodService`] run).
 struct ServiceModel<S: EventSink> {
     topology: Topology,
@@ -252,6 +326,17 @@ struct ServiceModel<S: EventSink> {
     session_routes: BTreeMap<SessionId, Route>,
     flow_sessions: BTreeMap<FlowId, SessionId>,
     cache_on_complete: BTreeMap<SessionId, bool>,
+    /// Per-proxy prefix stores (empty when the tier is disabled; a
+    /// store vanishes with its server and rejoins cold, like the DMA).
+    prefix_stores: BTreeMap<NodeId, PrefixStore>,
+    /// Local flows carrying prefix clusters, keyed back to sessions.
+    prefix_flows: BTreeMap<FlowId, SessionId>,
+    /// Sessions whose prefix phase is still streaming.
+    prefix_progress: BTreeMap<SessionId, PrefixProgress>,
+    /// Sessions whose concurrent suffix cluster landed *before* the
+    /// prefix drained: accounting is deferred until the prefix
+    /// completes, because playout needs contiguous clusters.
+    suffix_deferred: BTreeSet<SessionId>,
     /// Outage depth per down server: overlapping windows nest, and a
     /// server only revives when its depth returns to zero.
     down: BTreeMap<NodeId, u32>,
@@ -277,6 +362,14 @@ struct ServiceModel<S: EventSink> {
     /// each SNMP poll (avoids one snapshot allocation per poll).
     live_snap: vod_net::TrafficSnapshot,
     retired_dma: DmaStats,
+    /// Stats of prefix stores retired by server failures.
+    retired_prefix: PrefixStats,
+    /// Clusters streamed by the proxies over the whole run.
+    prefix_served_clusters: u64,
+    /// Megabits the proxies streamed — volume the backbone never saw.
+    prefix_served_mbit: f64,
+    /// Sessions fully covered by a resident prefix (no origin fetch).
+    full_prefix_sessions: u64,
     records: Vec<QosRecord>,
     failed_requests: u64,
     rejected_requests: u64,
@@ -667,15 +760,43 @@ impl<S: EventSink> ServiceModel<S> {
 
     /// One cluster finished transferring.
     fn on_flow_complete(&mut self, now: SimTime, flow: FlowId, sched: &mut Scheduler<Event>) {
+        if let Some(sid) = self.prefix_flows.remove(&flow) {
+            self.on_prefix_cluster_done(now, sid, sched);
+            return;
+        }
         let sid = match self.flow_sessions.remove(&flow) {
             Some(s) => s,
             None => return,
         };
+        if self.prefix_progress.contains_key(&sid) {
+            // The concurrent suffix cluster landed while the prefix is
+            // still streaming. Playout needs contiguous clusters, so
+            // its accounting waits for the prefix to drain.
+            self.suffix_deferred.insert(sid);
+            return;
+        }
+        let Some(fetch_complete) = self.account_cluster_fetched(now, sid, sched) else {
+            return;
+        };
+        if fetch_complete {
+            self.advertise_assembled_title(now, sid);
+        } else {
+            self.start_cluster_fetch(now, sid, sched);
+        }
+    }
+
+    /// Books one delivered cluster on the session: playout start on the
+    /// first cluster, stall resume otherwise, plus their trace events.
+    /// Returns whether the session's fetch phase is now complete
+    /// (`None` when the session no longer exists).
+    fn account_cluster_fetched(
+        &mut self,
+        now: SimTime,
+        sid: SessionId,
+        sched: &mut Scheduler<Event>,
+    ) -> Option<bool> {
         let (first, stalled, played, fetch_complete) = {
-            let sess = match self.sessions.get_mut(&sid) {
-                Some(s) => s,
-                None => return,
-            };
+            let sess = self.sessions.get_mut(&sid)?;
             let first = sess.on_cluster_fetched(now);
             (
                 first,
@@ -720,34 +841,269 @@ impl<S: EventSink> ServiceModel<S> {
             }
         }
 
-        if fetch_complete {
-            // The home server finished assembling the title; if the DMA
-            // admitted it at request time, it is now advertised.
-            if self.cache_on_complete.remove(&sid).unwrap_or(false) {
-                let home_video = self.sessions.get(&sid).map(|s| (s.home(), s.video()));
-                if let Some((home, video)) = home_video {
-                    if self
-                        .caches
-                        .get(&home)
-                        .map(|c| c.contains(video))
-                        .unwrap_or(false)
-                    {
-                        let added = catalog(&mut self.db, &self.admin).add_title(home, video);
-                        if matches!(added, Ok(true)) && self.sink.enabled() {
-                            self.sink.record(
-                                now,
-                                &ObsEvent::CatalogAdd {
-                                    server: home,
-                                    video,
-                                },
-                            );
-                        }
+        Some(fetch_complete)
+    }
+
+    /// The home server finished assembling the title; if the DMA
+    /// admitted it at request time, it is now advertised.
+    fn advertise_assembled_title(&mut self, now: SimTime, sid: SessionId) {
+        if self.cache_on_complete.remove(&sid).unwrap_or(false) {
+            let home_video = self.sessions.get(&sid).map(|s| (s.home(), s.video()));
+            if let Some((home, video)) = home_video {
+                if self
+                    .caches
+                    .get(&home)
+                    .map(|c| c.contains(video))
+                    .unwrap_or(false)
+                {
+                    let added = catalog(&mut self.db, &self.admin).add_title(home, video);
+                    if matches!(added, Ok(true)) && self.sink.enabled() {
+                        self.sink.record(
+                            now,
+                            &ObsEvent::CatalogAdd {
+                                server: home,
+                                video,
+                            },
+                        );
                     }
                 }
             }
-        } else {
-            self.start_cluster_fetch(now, sid, sched);
         }
+    }
+
+    /// One proxy-streamed prefix cluster was delivered: account it,
+    /// stream the next reserved cluster, and when the prefix drains
+    /// release any suffix cluster whose accounting was deferred.
+    fn on_prefix_cluster_done(
+        &mut self,
+        now: SimTime,
+        sid: SessionId,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let Some(fetch_complete) = self.account_cluster_fetched(now, sid, sched) else {
+            self.prefix_progress.remove(&sid);
+            self.suffix_deferred.remove(&sid);
+            return;
+        };
+        let Some(prog) = self.prefix_progress.get_mut(&sid) else {
+            return;
+        };
+        prog.fetched += 1;
+        if prog.fetched < prog.served {
+            let next = prog.fetched;
+            self.launch_prefix_cluster(now, sid, next);
+            return;
+        }
+        // Prefix phase drained: the suffix chain owns the session again.
+        self.prefix_progress.remove(&sid);
+        if fetch_complete {
+            // The prefix covered the whole title; nothing left to fetch.
+            self.advertise_assembled_title(now, sid);
+        } else if self.suffix_deferred.remove(&sid) {
+            match self.account_cluster_fetched(now, sid, sched) {
+                Some(true) => self.advertise_assembled_title(now, sid),
+                Some(false) => self.start_cluster_fetch(now, sid, sched),
+                None => {}
+            }
+        }
+        // Otherwise the concurrent suffix cluster is still in flight;
+        // its completion resumes the normal sequential chain.
+    }
+
+    /// Starts the local flow streaming prefix cluster `index` from the
+    /// session's proxy. A launch failure is a dead proxy disk in
+    /// disguise and aborts the session like any unreachable source.
+    fn launch_prefix_cluster(&mut self, now: SimTime, sid: SessionId, index: usize) {
+        let volume = {
+            let Some(sess) = self.sessions.get_mut(&sid) else {
+                return;
+            };
+            if index > 0 {
+                // Cluster 0 was counted by the arrival-time proxy
+                // assignment; later prefix clusters are still local.
+                sess.count_local_cluster();
+            }
+            sess.cluster_volume_mbit(index)
+        };
+        let rate = self
+            .config
+            .prefix_tier
+            .map(|t| t.proxy_rate)
+            .unwrap_or(self.config.local_rate);
+        match self.flows.add_local_flow(volume, rate) {
+            Ok(flow) => {
+                self.prefix_flows.insert(flow, sid);
+                self.prefix_served_clusters += 1;
+                self.prefix_served_mbit += volume;
+            }
+            Err(_) => self.abort_session(now, sid, "no_source"),
+        }
+    }
+
+    /// Runs the prefix store at `server` for one request, emitting the
+    /// decision's trace events (mirroring `emit_dma_decision`), and
+    /// returns how many leading clusters the proxy will stream for this
+    /// session (0 = prefix miss or tier disabled).
+    fn prefix_decision(&mut self, now: SimTime, server: NodeId, meta: &VideoMeta) -> usize {
+        let Some(store) = self.prefix_stores.get_mut(&server) else {
+            return 0;
+        };
+        let traced = self.sink.enabled();
+        // Victim sizes must be read before the store mutates: the evict
+        // events report exactly the megabytes each deletion freed.
+        let pre_sizes: BTreeMap<VideoId, f64> = if traced {
+            store
+                .resident_ids()
+                .map(|id| (id, store.resident_mb(id)))
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
+        let decision = store.on_request(meta);
+        let occupancy_mb = store.occupied_mb();
+        let stored_mb = store.resident_mb(meta.id());
+        let serve = decision.serve_clusters() as usize;
+        if !traced {
+            return serve;
+        }
+        use vod_obs::DmaRejectKind;
+        use vod_storage::prefix::PrefixRejectReason;
+        let video = meta.id();
+        match &decision {
+            PrefixDecision::Hit { clusters } => {
+                self.sink.record(
+                    now,
+                    &ObsEvent::PrefixHit {
+                        server,
+                        video,
+                        clusters: *clusters as u64,
+                    },
+                );
+            }
+            PrefixDecision::HitExtended {
+                from_clusters,
+                to_clusters,
+            } => {
+                // The hit reports the served (pre-extension) length; the
+                // extension itself is a separate, auditable event.
+                self.sink.record(
+                    now,
+                    &ObsEvent::PrefixHit {
+                        server,
+                        video,
+                        clusters: *from_clusters as u64,
+                    },
+                );
+                self.sink.record(
+                    now,
+                    &ObsEvent::PrefixExtend {
+                        server,
+                        video,
+                        from_clusters: *from_clusters as u64,
+                        to_clusters: *to_clusters as u64,
+                        occupancy_mb,
+                    },
+                );
+            }
+            PrefixDecision::Admitted { clusters } => {
+                self.sink.record(
+                    now,
+                    &ObsEvent::PrefixAdmit {
+                        server,
+                        video,
+                        after_eviction: false,
+                        clusters: *clusters as u64,
+                        size_mb: stored_mb,
+                        occupancy_mb,
+                    },
+                );
+            }
+            PrefixDecision::AdmittedAfterEviction { evicted, clusters } => {
+                for &victim in evicted {
+                    let freed_mb = pre_sizes.get(&victim).copied().unwrap_or(0.0);
+                    self.sink.record(
+                        now,
+                        &ObsEvent::PrefixEvict {
+                            server,
+                            victim,
+                            freed_mb,
+                        },
+                    );
+                }
+                self.sink.record(
+                    now,
+                    &ObsEvent::PrefixAdmit {
+                        server,
+                        video,
+                        after_eviction: true,
+                        clusters: *clusters as u64,
+                        size_mb: stored_mb,
+                        occupancy_mb,
+                    },
+                );
+            }
+            PrefixDecision::NotAdmitted { reason } => {
+                let kind = match reason {
+                    PrefixRejectReason::BelowThreshold => DmaRejectKind::BelowThreshold,
+                    PrefixRejectReason::NotPopularEnough => DmaRejectKind::NotPopularEnough,
+                    PrefixRejectReason::DoesNotFit => DmaRejectKind::DoesNotFit,
+                    // PrefixRejectReason is #[non_exhaustive].
+                    _ => return serve,
+                };
+                self.sink.record(
+                    now,
+                    &ObsEvent::PrefixReject {
+                        server,
+                        video,
+                        reason: kind,
+                    },
+                );
+            }
+            // PrefixDecision is #[non_exhaustive].
+            _ => {}
+        }
+        serve
+    }
+
+    /// Opens a session whose title is fully covered by the proxy's
+    /// resident prefix: every cluster streams locally, the origin (and
+    /// the backbone) are never involved.
+    fn start_full_prefix_session(
+        &mut self,
+        now: SimTime,
+        home: NodeId,
+        meta: &VideoMeta,
+        cache_later: bool,
+        clusters: usize,
+    ) {
+        let sid = SessionId(self.next_session);
+        self.next_session += 1;
+        if self.sink.enabled() {
+            self.sink.record(
+                now,
+                &ObsEvent::PrefixServe {
+                    session: sid.0,
+                    server: home,
+                    video: meta.id(),
+                    clusters: clusters as u64,
+                },
+            );
+        }
+        let mut session = Session::new(sid, meta, home, self.config.cluster, now);
+        session.set_prefix_reserved(clusters);
+        session.assign_server(home, true);
+        self.sessions.insert(sid, session);
+        self.peak_sessions = self.peak_sessions.max(self.sessions.len());
+        self.cache_on_complete.insert(sid, cache_later);
+        self.full_prefix_sessions += 1;
+        self.prefix_progress.insert(
+            sid,
+            PrefixProgress {
+                served: clusters,
+                fetched: 0,
+            },
+        );
+        self.launch_prefix_cluster(now, sid, 0);
     }
 
     fn on_arrival(&mut self, now: SimTime, idx: usize, sched: &mut Scheduler<Event>) {
@@ -808,6 +1164,18 @@ impl<S: EventSink> ServiceModel<S> {
             }
         }
 
+        // The regional proxy's prefix store also sees every request
+        // (only when the tier is enabled — the map is empty otherwise).
+        let prefix_serve = self.prefix_decision(now, request.client, &meta);
+
+        // A prefix covering the whole title streams entirely from the
+        // proxy: no origin selection, no backbone dependency at all.
+        let total_clusters = self.config.cluster.parts(meta.size());
+        if prefix_serve >= total_clusters {
+            self.start_full_prefix_session(now, request.client, &meta, cache_later, total_clusters);
+            return;
+        }
+
         let Some((selection, cache_hit)) = self.select_source(now, request.client, meta.id())
         else {
             self.fail_request(now, idx, request.client);
@@ -845,6 +1213,80 @@ impl<S: EventSink> ServiceModel<S> {
 
         let sid = SessionId(self.next_session);
         self.next_session += 1;
+        if prefix_serve > 0 {
+            // Split start: the proxy streams the resident prefix at
+            // local rate while the suffix's first cluster fetches
+            // concurrently from the selected origin. The serve event
+            // precedes the suffix selection, and the proxy→origin
+            // handoff is an ordinary mid-stream switch.
+            let proxy = request.client;
+            if self.sink.enabled() {
+                self.sink.record(
+                    now,
+                    &ObsEvent::PrefixServe {
+                        session: sid.0,
+                        server: proxy,
+                        video: meta.id(),
+                        clusters: prefix_serve as u64,
+                    },
+                );
+                self.sink.record(
+                    now,
+                    &ObsEvent::VraSelect {
+                        session: sid.0,
+                        cluster: prefix_serve as u64,
+                        video: meta.id(),
+                        home: proxy,
+                        server: selection.server,
+                        cost: selection.route.cost(),
+                        cache_hit,
+                        local: selection.is_local(),
+                    },
+                );
+            }
+            self.registry.record_fetch_cost(selection.route.cost());
+            let route = selection.route;
+            let mut session = Session::new(sid, &meta, proxy, self.config.cluster, now);
+            session.set_prefix_reserved(prefix_serve);
+            // The prefix's first cluster streams locally from the proxy;
+            // assigning the origin next reports the handoff switch.
+            session.assign_server(proxy, true);
+            let switched = session.assign_server(route.target(), route.hops() == 0);
+            if switched {
+                self.registry.record_switch();
+                if self.sink.enabled() {
+                    self.sink.record(
+                        now,
+                        &ObsEvent::Switch {
+                            session: sid.0,
+                            cluster: prefix_serve as u64,
+                            from: proxy,
+                            to: route.target(),
+                        },
+                    );
+                }
+            }
+            let suffix_volume = session.cluster_volume_mbit(prefix_serve);
+            self.sessions.insert(sid, session);
+            self.peak_sessions = self.peak_sessions.max(self.sessions.len());
+            self.cache_on_complete.insert(sid, cache_later);
+            self.session_routes.insert(sid, route.clone());
+            self.prefix_progress.insert(
+                sid,
+                PrefixProgress {
+                    served: prefix_serve,
+                    fetched: 0,
+                },
+            );
+            self.launch_prefix_cluster(now, sid, 0);
+            match self.launch_flow(proxy, meta.id(), &route, suffix_volume) {
+                Some(flow) => {
+                    self.flow_sessions.insert(flow, sid);
+                }
+                None => self.handle_fetch_failure(now, sid, sched),
+            }
+            return;
+        }
         if self.sink.enabled() {
             self.sink.record(
                 now,
@@ -1039,6 +1481,17 @@ impl<S: EventSink> ServiceModel<S> {
             self.retired_dma.rejections += s.rejections;
             self.withdraw_titles(now, node, &cache.resident_ids());
         }
+        // The co-located prefix store dies with the server; its stats
+        // fold into the retired bucket and it rejoins cold.
+        if let Some(store) = self.prefix_stores.remove(&node) {
+            let s = store.stats();
+            self.retired_prefix.requests += s.requests;
+            self.retired_prefix.hits += s.hits;
+            self.retired_prefix.admissions += s.admissions;
+            self.retired_prefix.evictions += s.evictions;
+            self.retired_prefix.rejections += s.rejections;
+            self.retired_prefix.extensions += s.extensions;
+        }
         // Also withdraw titles listed in the DB but not in the cache
         // (initial seeding differences).
         let listed = self.db.full_access().titles_at(node).unwrap_or_default();
@@ -1103,6 +1556,11 @@ impl<S: EventSink> ServiceModel<S> {
             eviction: self.config.dma_eviction,
         }) {
             self.caches.insert(node, cache);
+        }
+        if let Some(tier) = self.config.prefix_tier {
+            if let Ok(store) = PrefixStore::new(tier.store_config(self.config.cluster)) {
+                self.prefix_stores.insert(node, store);
+            }
         }
     }
 
@@ -1218,15 +1676,24 @@ impl<S: EventSink> ServiceModel<S> {
         self.sessions.remove(&sid);
         self.session_routes.remove(&sid);
         self.cache_on_complete.remove(&sid);
+        self.prefix_progress.remove(&sid);
+        self.suffix_deferred.remove(&sid);
         let flows: Vec<FlowId> = self
             .flow_sessions
             .iter()
             .filter(|(_, s)| **s == sid)
             .map(|(&f, _)| f)
+            .chain(
+                self.prefix_flows
+                    .iter()
+                    .filter(|(_, s)| **s == sid)
+                    .map(|(&f, _)| f),
+            )
             .collect();
         for f in flows {
             let _ = self.flows.remove_flow(f);
             self.flow_sessions.remove(&f);
+            self.prefix_flows.remove(&f);
         }
     }
 
@@ -1303,6 +1770,24 @@ impl<S: EventSink> ServiceModel<S> {
             dma.evictions += s.evictions;
             dma.rejections += s.rejections;
         }
+        let prefix = self.config.prefix_tier.map(|_| {
+            let mut stats = self.retired_prefix;
+            for store in self.prefix_stores.values() {
+                let s = store.stats();
+                stats.requests += s.requests;
+                stats.hits += s.hits;
+                stats.admissions += s.admissions;
+                stats.evictions += s.evictions;
+                stats.rejections += s.rejections;
+                stats.extensions += s.extensions;
+            }
+            PrefixTierReport {
+                stats,
+                served_clusters: self.prefix_served_clusters,
+                served_mbit: self.prefix_served_mbit,
+                full_prefix_sessions: self.full_prefix_sessions,
+            }
+        });
         let report = ServiceReport {
             selector: self.selector.name().to_string(),
             seed: self.seed,
@@ -1321,6 +1806,7 @@ impl<S: EventSink> ServiceModel<S> {
             per_server_dma,
             engine: self.selector.engine_stats(),
             snmp_polls: self.snmp.polls(),
+            prefix,
         };
         (report, self.registry, self.sink)
     }
@@ -1533,6 +2019,22 @@ impl<S: EventSink> VodService<S> {
                     },
                 );
             }
+            if let Some(tier) = &config.prefix_tier {
+                for &server in &servers {
+                    sink.record(
+                        start,
+                        &ObsEvent::PrefixCacheConfig {
+                            server,
+                            capacity_mb: tier.capacity.as_f64(),
+                            cluster_mb: config.cluster.megabytes().as_f64(),
+                            admit_threshold: tier.admit_threshold,
+                            base_clusters: tier.base_clusters as u64,
+                            max_clusters: tier.max_clusters as u64,
+                            growth_points: tier.growth_points,
+                        },
+                    );
+                }
+            }
         }
 
         let mut db = Database::from_topology(&topology, scenario.library().clone());
@@ -1550,6 +2052,18 @@ impl<S: EventSink> VodService<S> {
             })
             .map_err(|e| CoreError::InvalidConfig(format!("unusable DMA configuration: {e}")))?;
             caches.insert(n, cache);
+        }
+
+        // Per-proxy prefix stores (tier enabled only; starts cold —
+        // prefixes are earned by demand, never seeded).
+        let mut prefix_stores: BTreeMap<NodeId, PrefixStore> = BTreeMap::new();
+        if let Some(tier) = &config.prefix_tier {
+            for &n in &servers {
+                let store = PrefixStore::new(tier.store_config(config.cluster)).map_err(|e| {
+                    CoreError::InvalidConfig(format!("unusable prefix tier configuration: {e}"))
+                })?;
+                prefix_stores.insert(n, store);
+            }
         }
 
         // Service initialization: seed titles round-robin.
@@ -1626,6 +2140,10 @@ impl<S: EventSink> VodService<S> {
             session_routes: BTreeMap::new(),
             flow_sessions: BTreeMap::new(),
             cache_on_complete: BTreeMap::new(),
+            prefix_stores,
+            prefix_flows: BTreeMap::new(),
+            prefix_progress: BTreeMap::new(),
+            suffix_deferred: BTreeSet::new(),
             down: BTreeMap::new(),
             link_down: BTreeMap::new(),
             degrade: BTreeMap::new(),
@@ -1633,6 +2151,10 @@ impl<S: EventSink> VodService<S> {
             link_admin_epoch: 0,
             retry: BTreeMap::new(),
             retired_dma: DmaStats::default(),
+            retired_prefix: PrefixStats::default(),
+            prefix_served_clusters: 0,
+            prefix_served_mbit: 0.0,
+            full_prefix_sessions: 0,
             records: Vec::new(),
             failed_requests: 0,
             rejected_requests: 0,
@@ -2287,6 +2809,95 @@ mod tests {
             ..quick_config()
         };
         let _ = VodService::new(&scenario, Box::new(Vra::default()), config);
+    }
+
+    #[test]
+    fn prefix_tier_disabled_changes_nothing() {
+        // The tier knob defaults to off; the report must say so and the
+        // run must match a config that never mentions the tier.
+        let scenario = quick_scenario(7);
+        let plain = VodService::new(&scenario, Box::new(Vra::default()), quick_config()).run();
+        assert!(plain.prefix.is_none());
+        let explicit = VodService::new(
+            &scenario,
+            Box::new(Vra::default()),
+            ServiceConfig {
+                prefix_tier: None,
+                ..quick_config()
+            },
+        )
+        .run();
+        assert_eq!(plain, explicit);
+    }
+
+    #[test]
+    fn prefix_tier_serves_hot_titles_and_offloads_the_origin() {
+        let scenario = chaos_scenario(31);
+        let n = scenario.trace().len();
+        let config = ServiceConfig {
+            prefix_tier: Some(PrefixTierConfig::default()),
+            ..quick_config()
+        };
+        let report = VodService::new(&scenario, Box::new(Vra::default()), config).run();
+        let prefix = report.prefix.expect("tier enabled");
+        // Every serviceable request consulted its regional store.
+        assert_eq!(prefix.stats.requests, n as u64);
+        assert!(prefix.stats.admissions > 0, "hot prefixes must be stored");
+        assert!(prefix.stats.hits > 0, "repeat requests must hit");
+        assert!(prefix.served_clusters > 0, "hits must stream clusters");
+        assert!(prefix.served_mbit > 0.0);
+        // Proxy-streamed clusters show up as locally served ones.
+        assert!(
+            report.completed.iter().any(|r| r.local_clusters > 0),
+            "prefix clusters count as local service"
+        );
+        assert_eq!(
+            report.completed.len()
+                + report.unfinished_sessions
+                + report.failed_requests as usize
+                + report.aborted_sessions as usize
+                + report.rejected_requests as usize,
+            n
+        );
+    }
+
+    #[test]
+    fn prefix_runs_are_deterministic() {
+        let config = || ServiceConfig {
+            prefix_tier: Some(PrefixTierConfig::default()),
+            ..quick_config()
+        };
+        let a = VodService::new(&chaos_scenario(33), Box::new(Vra::default()), config()).run();
+        let b = VodService::new(&chaos_scenario(33), Box::new(Vra::default()), config()).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_prefix_sessions_never_touch_the_backbone() {
+        // A base grant larger than any title (5 clusters max at 25 MB
+        // against 120 MB titles) makes the second request of each title
+        // store it whole; later requests stream everything locally.
+        let scenario = chaos_scenario(37);
+        let config = ServiceConfig {
+            prefix_tier: Some(PrefixTierConfig {
+                base_clusters: 8,
+                max_clusters: 8,
+                ..PrefixTierConfig::default()
+            }),
+            ..quick_config()
+        };
+        let report = VodService::new(&scenario, Box::new(Vra::default()), config).run();
+        let prefix = report.prefix.expect("tier enabled");
+        assert!(
+            prefix.full_prefix_sessions > 0,
+            "whole-title prefixes must produce origin-free sessions"
+        );
+        // An origin-free session fetches every cluster locally and
+        // never switches servers.
+        assert!(report
+            .completed
+            .iter()
+            .any(|r| { r.local_clusters == r.clusters && r.switches == 0 }));
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub struct Session {
     current_server: Option<NodeId>,
     switches: u32,
     local_clusters: usize,
+    /// Leading clusters streamed by the regional proxy's prefix store
+    /// (0 for ordinary sessions). While the prefix phase is in flight
+    /// the suffix fetch chain starts *after* the reservation, so
+    /// [`Session::next_cluster`] never re-fetches a proxy-covered
+    /// cluster from the origin.
+    prefix_reserved: usize,
     first_cluster_at: Option<SimTime>,
     stall_started_at: Option<SimTime>,
     stall_total: SimDuration,
@@ -76,6 +82,7 @@ impl Session {
             current_server: None,
             switches: 0,
             local_clusters: 0,
+            prefix_reserved: 0,
             first_cluster_at: None,
             stall_started_at: None,
             stall_total: SimDuration::ZERO,
@@ -109,9 +116,31 @@ impl Session {
         self.clusters_total
     }
 
-    /// Index of the next cluster to fetch, or `None` when fully fetched.
+    /// Index of the next cluster to fetch *from the origin*, or `None`
+    /// when fully fetched. While a prefix reservation is outstanding the
+    /// suffix cursor sits past it — the proxy streams the reserved
+    /// leading clusters on its own flow chain.
     pub fn next_cluster(&self) -> Option<usize> {
-        (self.clusters_fetched < self.clusters_total).then_some(self.clusters_fetched)
+        let next = self.clusters_fetched.max(self.prefix_reserved);
+        (next < self.clusters_total).then_some(next)
+    }
+
+    /// Reserves the leading `clusters` for the regional proxy's prefix
+    /// phase (clamped to the title length).
+    pub fn set_prefix_reserved(&mut self, clusters: usize) {
+        self.prefix_reserved = clusters.min(self.clusters_total);
+    }
+
+    /// Clusters reserved for the proxy's prefix phase.
+    pub fn prefix_reserved(&self) -> usize {
+        self.prefix_reserved
+    }
+
+    /// Counts one proxy-streamed prefix cluster as locally served
+    /// without touching the current-server assignment (the suffix may
+    /// already be assigned to the origin while the prefix streams).
+    pub fn count_local_cluster(&mut self) {
+        self.local_clusters += 1;
     }
 
     /// Clusters fetched so far.
@@ -357,6 +386,28 @@ mod tests {
         s.assign_server(NodeId::new(1), false);
         assert_eq!(s.switches(), 1);
         // finish() carries local_clusters; check via record below.
+    }
+
+    #[test]
+    fn prefix_reservation_moves_the_suffix_cursor() {
+        let mut s = session();
+        assert_eq!(s.prefix_reserved(), 0);
+        s.set_prefix_reserved(2);
+        assert_eq!(s.prefix_reserved(), 2);
+        // The origin-facing cursor starts past the reservation while the
+        // proxy streams clusters 0 and 1.
+        assert_eq!(s.next_cluster(), Some(2));
+        s.on_cluster_fetched(SimTime::from_secs(11)); // prefix cluster 0
+        s.on_cluster_fetched(SimTime::from_secs(12)); // prefix cluster 1
+        assert_eq!(s.next_cluster(), Some(2));
+        s.on_cluster_fetched(SimTime::from_secs(13)); // suffix cluster 2
+        assert!(s.fetch_complete());
+        assert_eq!(s.next_cluster(), None);
+        // Reservations clamp to the title length.
+        let mut t = session();
+        t.set_prefix_reserved(99);
+        assert_eq!(t.prefix_reserved(), 3);
+        assert_eq!(t.next_cluster(), None);
     }
 
     #[test]

@@ -104,6 +104,24 @@ pub enum Event {
         /// Points a newcomer must exceed before admission.
         admit_threshold: u64,
     },
+    /// One server's regional prefix-store sizing (emitted per server at
+    /// start when the proxy tier is enabled; absent otherwise).
+    PrefixCacheConfig {
+        /// The proxy (co-located with the video server).
+        server: NodeId,
+        /// Total space dedicated to prefixes.
+        capacity_mb: f64,
+        /// The common cluster size `c`.
+        cluster_mb: f64,
+        /// Points a title must exceed before prefix admission.
+        admit_threshold: u64,
+        /// Prefix length granted at admission, in clusters.
+        base_clusters: u64,
+        /// Popularity-driven ceiling on any prefix length, in clusters.
+        max_clusters: u64,
+        /// Further requests per additional cluster (0 = no growth).
+        growth_points: u64,
+    },
     /// Service initialization placed a title on a server (round-robin
     /// seeding, outside the request path).
     DmaSeed {
@@ -212,6 +230,76 @@ pub enum Event {
         video: VideoId,
         /// Why it was not cached.
         reason: DmaRejectKind,
+    },
+    /// The proxy's prefix store served a request from a resident prefix.
+    PrefixHit {
+        /// The proxy holding the prefix.
+        server: NodeId,
+        /// The requested title.
+        video: VideoId,
+        /// Resident (and served) prefix length, in clusters.
+        clusters: u64,
+    },
+    /// Popularity growth extended a resident prefix in place. The
+    /// triggering session is still served the pre-extension length.
+    PrefixExtend {
+        /// The proxy holding the prefix.
+        server: NodeId,
+        /// The extended title.
+        video: VideoId,
+        /// Prefix length before the extension (the served length).
+        from_clusters: u64,
+        /// Prefix length after the extension.
+        to_clusters: u64,
+        /// Megabytes resident in the store after the extension.
+        occupancy_mb: f64,
+    },
+    /// The prefix store admitted a title's prefix.
+    PrefixAdmit {
+        /// The proxy running the store.
+        server: NodeId,
+        /// The admitted title.
+        video: VideoId,
+        /// True when colder prefixes had to be evicted first.
+        after_eviction: bool,
+        /// Stored prefix length, in clusters.
+        clusters: u64,
+        /// Exact megabytes the prefix occupies.
+        size_mb: f64,
+        /// Megabytes resident in the store after the write.
+        occupancy_mb: f64,
+    },
+    /// The prefix store deleted a resident prefix to make room.
+    PrefixEvict {
+        /// The proxy running the store.
+        server: NodeId,
+        /// The deleted title's prefix.
+        victim: VideoId,
+        /// Megabytes the eviction freed.
+        freed_mb: f64,
+    },
+    /// The prefix store declined to store the requested title's prefix.
+    PrefixReject {
+        /// The proxy running the store.
+        server: NodeId,
+        /// The requested title.
+        video: VideoId,
+        /// Why it was not stored (shares the DMA's label set).
+        reason: DmaRejectKind,
+    },
+    /// Session startup is streaming a resident prefix from the regional
+    /// proxy at local rate while the VRA fetches the suffix from the
+    /// origin. Registers the session at `(server, cluster
+    /// clusters - 1)` for switch auditing.
+    PrefixServe {
+        /// The session being served.
+        session: u64,
+        /// The proxy streaming the prefix (the client's home).
+        server: NodeId,
+        /// The requested title.
+        video: VideoId,
+        /// Clusters covered by the prefix phase.
+        clusters: u64,
     },
     /// The VRA (or baseline selector) picked a source server for one
     /// cluster fetch.
@@ -363,6 +451,7 @@ impl Event {
             Event::TopologySnapshot { .. } => "topology",
             Event::RunConfig { .. } => "run_config",
             Event::CacheConfig { .. } => "cache_config",
+            Event::PrefixCacheConfig { .. } => "prefix_cache_config",
             Event::DmaSeed { .. } => "dma_seed",
             Event::CatalogAdd { .. } => "catalog_add",
             Event::CatalogRemove { .. } => "catalog_remove",
@@ -374,6 +463,12 @@ impl Event {
             Event::DmaAdmit { .. } => "dma_admit",
             Event::DmaEvict { .. } => "dma_evict",
             Event::DmaReject { .. } => "dma_reject",
+            Event::PrefixHit { .. } => "prefix_hit",
+            Event::PrefixExtend { .. } => "prefix_extend",
+            Event::PrefixAdmit { .. } => "prefix_admit",
+            Event::PrefixEvict { .. } => "prefix_evict",
+            Event::PrefixReject { .. } => "prefix_reject",
+            Event::PrefixServe { .. } => "prefix_serve",
             Event::VraSelect { .. } => "vra_select",
             Event::Switch { .. } => "switch",
             Event::SessionStart { .. } => "session_start",
@@ -467,6 +562,21 @@ impl Event {
                 let _ = write!(
                     out,
                     ",\"server\":{},\"disks\":{disks},\"capacity_mb\":{capacity_mb},\"cluster_mb\":{cluster_mb},\"admit_threshold\":{admit_threshold}",
+                    server.index()
+                );
+            }
+            Event::PrefixCacheConfig {
+                server,
+                capacity_mb,
+                cluster_mb,
+                admit_threshold,
+                base_clusters,
+                max_clusters,
+                growth_points,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"capacity_mb\":{capacity_mb},\"cluster_mb\":{cluster_mb},\"admit_threshold\":{admit_threshold},\"base_clusters\":{base_clusters},\"max_clusters\":{max_clusters},\"growth_points\":{growth_points}",
                     server.index()
                 );
             }
@@ -596,6 +706,85 @@ impl Event {
                     server.index(),
                     video.index(),
                     reason.label()
+                );
+            }
+            Event::PrefixHit {
+                server,
+                video,
+                clusters,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"video\":{},\"clusters\":{clusters}",
+                    server.index(),
+                    video.index()
+                );
+            }
+            Event::PrefixExtend {
+                server,
+                video,
+                from_clusters,
+                to_clusters,
+                occupancy_mb,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"video\":{},\"from_clusters\":{from_clusters},\"to_clusters\":{to_clusters},\"occupancy_mb\":{occupancy_mb}",
+                    server.index(),
+                    video.index()
+                );
+            }
+            Event::PrefixAdmit {
+                server,
+                video,
+                after_eviction,
+                clusters,
+                size_mb,
+                occupancy_mb,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"video\":{},\"after_eviction\":{after_eviction},\"clusters\":{clusters},\"size_mb\":{size_mb},\"occupancy_mb\":{occupancy_mb}",
+                    server.index(),
+                    video.index()
+                );
+            }
+            Event::PrefixEvict {
+                server,
+                victim,
+                freed_mb,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"victim\":{},\"freed_mb\":{freed_mb}",
+                    server.index(),
+                    victim.index()
+                );
+            }
+            Event::PrefixReject {
+                server,
+                video,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"server\":{},\"video\":{},\"reason\":\"{}\"",
+                    server.index(),
+                    video.index(),
+                    reason.label()
+                );
+            }
+            Event::PrefixServe {
+                session,
+                server,
+                video,
+                clusters,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"server\":{},\"video\":{},\"clusters\":{clusters}",
+                    server.index(),
+                    video.index()
                 );
             }
             Event::VraSelect {
@@ -819,6 +1008,95 @@ mod tests {
             link.to_json(SimTime::ZERO),
             "{\"at_us\":0,\"kind\":\"link_state\",\"used\":[1.5,0],\
              \"utilization\":[0.25,0],\"down\":[1]}"
+        );
+    }
+
+    #[test]
+    fn prefix_events_render() {
+        let cfg = Event::PrefixCacheConfig {
+            server: NodeId::new(1),
+            capacity_mb: 2000.0,
+            cluster_mb: 120.0,
+            admit_threshold: 1,
+            base_clusters: 1,
+            max_clusters: 4,
+            growth_points: 8,
+        };
+        assert_eq!(
+            cfg.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"prefix_cache_config\",\"server\":1,\
+             \"capacity_mb\":2000,\"cluster_mb\":120,\"admit_threshold\":1,\
+             \"base_clusters\":1,\"max_clusters\":4,\"growth_points\":8}"
+        );
+
+        let hit = Event::PrefixHit {
+            server: NodeId::new(1),
+            video: VideoId::new(3),
+            clusters: 2,
+        };
+        assert_eq!(
+            hit.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"prefix_hit\",\"server\":1,\"video\":3,\"clusters\":2}"
+        );
+
+        let extend = Event::PrefixExtend {
+            server: NodeId::new(1),
+            video: VideoId::new(3),
+            from_clusters: 1,
+            to_clusters: 2,
+            occupancy_mb: 240.0,
+        };
+        assert_eq!(
+            extend.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"prefix_extend\",\"server\":1,\"video\":3,\
+             \"from_clusters\":1,\"to_clusters\":2,\"occupancy_mb\":240}"
+        );
+
+        let admit = Event::PrefixAdmit {
+            server: NodeId::new(1),
+            video: VideoId::new(3),
+            after_eviction: true,
+            clusters: 1,
+            size_mb: 120.0,
+            occupancy_mb: 120.0,
+        };
+        assert_eq!(
+            admit.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"prefix_admit\",\"server\":1,\"video\":3,\
+             \"after_eviction\":true,\"clusters\":1,\"size_mb\":120,\"occupancy_mb\":120}"
+        );
+
+        let evict = Event::PrefixEvict {
+            server: NodeId::new(1),
+            victim: VideoId::new(2),
+            freed_mb: 120.0,
+        };
+        assert_eq!(
+            evict.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"prefix_evict\",\"server\":1,\"victim\":2,\"freed_mb\":120}"
+        );
+
+        let reject = Event::PrefixReject {
+            server: NodeId::new(1),
+            video: VideoId::new(3),
+            reason: DmaRejectKind::BelowThreshold,
+        };
+        assert_eq!(
+            reject.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"prefix_reject\",\"server\":1,\"video\":3,\
+             \"reason\":\"below_threshold\"}"
+        );
+
+        let serve = Event::PrefixServe {
+            session: 7,
+            server: NodeId::new(1),
+            video: VideoId::new(3),
+            clusters: 2,
+        };
+        assert_eq!(
+            serve.to_json(SimTime::ZERO),
+            "{\"at_us\":0,\"kind\":\"prefix_serve\",\"session\":7,\"server\":1,\
+             \"video\":3,\"clusters\":2}"
         );
     }
 

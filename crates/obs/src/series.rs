@@ -64,6 +64,15 @@ pub struct SeriesWindow {
     pub dma_evicts: u64,
     /// DMA rejections.
     pub dma_rejects: u64,
+    /// Prefix-store hits at regional proxies (includes hits that
+    /// extended the resident prefix).
+    pub prefix_hits: u64,
+    /// Prefix admissions at regional proxies.
+    pub prefix_admits: u64,
+    /// Prefix evictions at regional proxies.
+    pub prefix_evicts: u64,
+    /// Prefix rejections at regional proxies.
+    pub prefix_rejects: u64,
     /// VRA selections that chose the client's local server.
     pub vra_local: u64,
     /// VRA selections that chose a remote server.
@@ -102,6 +111,10 @@ impl SeriesWindow {
             dma_admits: 0,
             dma_evicts: 0,
             dma_rejects: 0,
+            prefix_hits: 0,
+            prefix_admits: 0,
+            prefix_evicts: 0,
+            prefix_rejects: 0,
             vra_local: 0,
             vra_remote: 0,
             snmp_polls: 0,
@@ -153,6 +166,12 @@ impl SeriesWindow {
             }
             None => out.push_str(",\"dma_hit_ratio\":null"),
         }
+        let _ = write!(
+            out,
+            ",\"prefix_hits\":{},\"prefix_admits\":{},\"prefix_evicts\":{},\
+             \"prefix_rejects\":{}",
+            self.prefix_hits, self.prefix_admits, self.prefix_evicts, self.prefix_rejects,
+        );
         let _ = write!(
             out,
             ",\"vra_local\":{},\"vra_remote\":{},\"snmp_polls\":{},\
@@ -224,7 +243,8 @@ impl SeriesReport {
         let mut out = String::from(
             "start_us,end_us,arrivals,starts,completes,aborts,failures,\
              rejections,retries,switches,dma_hits,dma_admits,dma_evicts,\
-             dma_rejects,dma_hit_ratio,vra_local,vra_remote,snmp_polls,\
+             dma_rejects,dma_hit_ratio,prefix_hits,prefix_admits,\
+             prefix_evicts,prefix_rejects,vra_local,vra_remote,snmp_polls,\
              max_staleness_us,sessions,peak_sessions",
         );
         for i in 0..self.links {
@@ -253,6 +273,11 @@ impl SeriesReport {
             if let Some(r) = w.dma_hit_ratio() {
                 let _ = write!(out, "{r}");
             }
+            let _ = write!(
+                out,
+                ",{},{},{},{}",
+                w.prefix_hits, w.prefix_admits, w.prefix_evicts, w.prefix_rejects,
+            );
             let _ = write!(
                 out,
                 ",{},{},{},{},{},{}",
@@ -393,6 +418,10 @@ impl TimeSeriesSink {
             Event::DmaAdmit { .. } => self.acc.dma_admits += 1,
             Event::DmaEvict { .. } => self.acc.dma_evicts += 1,
             Event::DmaReject { .. } => self.acc.dma_rejects += 1,
+            Event::PrefixHit { .. } => self.acc.prefix_hits += 1,
+            Event::PrefixAdmit { .. } => self.acc.prefix_admits += 1,
+            Event::PrefixEvict { .. } => self.acc.prefix_evicts += 1,
+            Event::PrefixReject { .. } => self.acc.prefix_rejects += 1,
             Event::VraSelect { local, .. } => {
                 if *local {
                     self.acc.vra_local += 1;
@@ -440,6 +469,9 @@ impl TimeSeriesSink {
             // Event variant is a compile error here, not silent drift.
             Event::RunConfig { .. }
             | Event::CacheConfig { .. }
+            | Event::PrefixCacheConfig { .. }
+            | Event::PrefixExtend { .. }
+            | Event::PrefixServe { .. }
             | Event::DmaSeed { .. }
             | Event::CatalogAdd { .. }
             | Event::CatalogRemove { .. }

@@ -220,7 +220,7 @@ impl SpanBuilder {
             return;
         };
         match kind {
-            "vra_select" => self.on_select(at, session),
+            "vra_select" | "prefix_serve" => self.on_select(at, session),
             "switch" => self.on_switch(at, session),
             "session_start" => self.on_start(
                 at,
@@ -349,6 +349,10 @@ impl EventSink for SpanBuilder {
     fn record(&mut self, at: SimTime, event: &Event) {
         match event {
             Event::VraSelect { session, .. } => self.on_select(at, *session),
+            // A proxy serving a cached prefix admits the session just
+            // like a VRA source selection does — for full-prefix
+            // sessions it is the only admission event in the trace.
+            Event::PrefixServe { session, .. } => self.on_select(at, *session),
             Event::Switch { session, .. } => self.on_switch(at, *session),
             Event::SessionStart { session, startup } => self.on_start(at, *session, *startup),
             Event::SessionResume { session, stalled } => self.on_resume(at, *session, *stalled),
@@ -370,6 +374,12 @@ impl EventSink for SpanBuilder {
             Event::TopologySnapshot { .. }
             | Event::RunConfig { .. }
             | Event::CacheConfig { .. }
+            | Event::PrefixCacheConfig { .. }
+            | Event::PrefixHit { .. }
+            | Event::PrefixExtend { .. }
+            | Event::PrefixAdmit { .. }
+            | Event::PrefixEvict { .. }
+            | Event::PrefixReject { .. }
             | Event::DmaSeed { .. }
             | Event::CatalogAdd { .. }
             | Event::CatalogRemove { .. }

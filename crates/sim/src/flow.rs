@@ -226,6 +226,11 @@ pub struct FlowNetwork {
     active_links: Vec<u32>,
     /// Reusable buffer for heap verify-and-requeue passes.
     requeue_scratch: Vec<HeapEntry>,
+    /// Reusable per-link residual-capacity buffer for the allocation
+    /// kernels — without it every `reallocate` would allocate (and
+    /// drop) a fresh `Vec<f64>`, the same churn `requeue_scratch`
+    /// eliminates on the heap side.
+    residual_scratch: Vec<f64>,
 }
 
 impl FlowNetwork {
@@ -255,6 +260,7 @@ impl FlowNetwork {
             link_cumulative_mbit: vec![0.0; links],
             active_links: Vec::new(),
             requeue_scratch: Vec::new(),
+            residual_scratch: Vec::new(),
         }
     }
 
@@ -531,6 +537,15 @@ impl FlowNetwork {
     /// Ids of all active flows, in creation order.
     pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
         self.flows.keys().copied()
+    }
+
+    /// Live entries in the lazy completion heap (the reference kernel
+    /// keeps none). Test-only: proves that frozen zero-rate flows never
+    /// enqueue predictions, so a saturated network cannot spin the
+    /// verify-and-requeue passes.
+    #[cfg(test)]
+    fn completion_heap_len(&self) -> usize {
+        self.completions.len()
     }
 
     /// Time until the next flow completes at current rates, with its id.
@@ -850,17 +865,23 @@ impl FlowNetwork {
 
     /// Residual capacity per link after degradation, outages and
     /// background traffic.
-    fn residual_capacities(&self) -> Vec<f64> {
-        (0..self.topology.link_count())
-            .map(|i| {
-                if self.admin_down[i] {
-                    return 0.0;
-                }
-                let link = self.topology.link(LinkId::new(i as u32));
-                let deliverable = link.capacity().as_f64() * self.capacity_scale[i];
-                (deliverable - self.background[i].as_f64()).max(0.0)
-            })
-            .collect()
+    ///
+    /// The buffer is taken from (and handed back to) `residual_scratch`
+    /// by the allocation kernels, so steady-state reallocation never
+    /// allocates — mirroring the `requeue_scratch` idiom on the heap
+    /// side.
+    fn residual_capacities(&mut self) -> Vec<f64> {
+        let mut cap = std::mem::take(&mut self.residual_scratch);
+        cap.clear();
+        cap.extend((0..self.topology.link_count()).map(|i| {
+            if self.admin_down[i] {
+                return 0.0;
+            }
+            let link = self.topology.link(LinkId::new(i as u32));
+            let deliverable = link.capacity().as_f64() * self.capacity_scale[i];
+            (deliverable - self.background[i].as_f64()).max(0.0)
+        }));
+        cap
     }
 
     /// The original lockstep allocation: resets every flow's rate and
@@ -904,7 +925,19 @@ impl FlowNetwork {
                     inc = inc.min(cap[i] / count[i] as f64);
                 }
             }
+            // Freeze invariant: `remaining > 0` means some unfrozen flow
+            // still counts on every link of its route, and capacities,
+            // scales and background loads are all finite — so the
+            // minimum can only be non-finite if every unfrozen flow lost
+            // its last counted link, a state the freeze step below makes
+            // unreachable. Coerce defensively so a violated invariant
+            // freezes the filling level instead of poisoning every
+            // remaining rate with `inf`/`NaN`.
             if !inc.is_finite() {
+                debug_assert!(
+                    count.iter().all(|&c| c == 0),
+                    "non-finite fill increment with live counted links"
+                );
                 inc = 0.0;
             }
             level += inc;
@@ -956,6 +989,7 @@ impl FlowNetwork {
                 self.link_loads[l.index()] += f.rate.as_f64();
             }
         }
+        self.residual_scratch = cap;
     }
 
     /// The lazy allocation: identical progressive-filling arithmetic over
@@ -994,7 +1028,13 @@ impl FlowNetwork {
                     inc = inc.min(cap[i] / count[i] as f64);
                 }
             }
+            // Same freeze invariant (and defensive coercion) as the
+            // reference kernel — see `reallocate_reference`.
             if !inc.is_finite() {
+                debug_assert!(
+                    count.iter().all(|&c| c == 0),
+                    "non-finite fill increment with live counted links"
+                );
                 inc = 0.0;
             }
             level += inc;
@@ -1051,6 +1091,7 @@ impl FlowNetwork {
                 self.link_loads[l.index()] += rate;
             }
         }
+        self.residual_scratch = cap;
     }
 
     /// Sets the background traffic on several links at once, recomputing
@@ -1489,6 +1530,56 @@ mod tests {
         }
     }
 
+    /// Fully saturated regime: one route link is scaled to zero and the
+    /// other is drowned in background traffic above its deliverable
+    /// capacity, so the progressive filling's first increment is zero
+    /// and every flow freezes at rate zero immediately. Both kernels
+    /// agree bitwise, frozen flows make no progress across an arbitrary
+    /// advance, and the lazy kernel never enqueues a completion
+    /// prediction for them — the heap stays empty instead of spinning
+    /// zero-rate entries through the verify-and-requeue pass. Lifting
+    /// the saturation thaws the flow identically in both kernels.
+    #[test]
+    fn saturated_network_freezes_flows_without_heap_spin() {
+        let (t, l0, l1) = two_hop();
+        let mut lazy = FlowNetwork::with_kernel(t.clone(), FlowKernel::Lazy);
+        let mut reference = FlowNetwork::with_kernel(t, FlowKernel::Reference);
+        for net in [&mut lazy, &mut reference] {
+            net.set_link_capacity_scale(l0, 0.0);
+            net.set_background(l1, Mbps::new(1e6)); // ≫ the 18 Mbps deliverable
+        }
+        let a = lazy.add_flow(vec![l0, l1], 10.0).unwrap();
+        let b = reference.add_flow(vec![l0, l1], 10.0).unwrap();
+        assert_eq!(a, b);
+
+        for net in [&mut lazy, &mut reference] {
+            assert_eq!(net.rate(a).unwrap(), Mbps::ZERO);
+            assert_eq!(net.next_completion(), None);
+            // A frozen flow neither completes nor progresses.
+            assert!(net.advance(SimDuration::from_secs(3_600)).is_empty());
+            assert!((net.remaining_mbit(a).unwrap() - 10.0).abs() < 1e-12);
+        }
+        // The frozen flow never entered the completion heap, so the
+        // hour-long advance had nothing to verify-and-requeue.
+        assert_eq!(lazy.completion_heap_len(), 0);
+
+        // Lifting the saturation thaws the flow identically: both
+        // kernels settle on the 2 Mbps bottleneck and predict the same
+        // completion.
+        for net in [&mut lazy, &mut reference] {
+            net.set_link_capacity_scale(l0, 1.0);
+            net.set_background(l1, Mbps::ZERO);
+        }
+        assert_eq!(lazy.rate(a).unwrap(), reference.rate(a).unwrap());
+        assert_eq!(lazy.rate(a).unwrap(), Mbps::new(2.0));
+        assert_eq!(lazy.completion_heap_len(), 1);
+        let (fa, dta) = lazy.next_completion().unwrap();
+        let (fb, dtb) = reference.next_completion().unwrap();
+        assert_eq!((fa, dta), (fb, dtb));
+        assert_eq!(lazy.advance(dta), vec![a]);
+        assert_eq!(reference.advance(dtb), vec![a]);
+    }
+
     mod max_min_properties {
         use super::*;
         use proptest::prelude::*;
@@ -1578,7 +1669,8 @@ mod tests {
         use vod_net::topologies::patterns::line;
 
         /// Drives a Lazy and a Reference network through the same random
-        /// schedule of adds, removes, background changes and advances,
+        /// schedule of adds, removes, background changes, capacity
+        /// degradations, administrative outages and advances,
         /// asserting after every operation that rates and link loads are
         /// *bitwise* equal, SNMP volume integrals are bitwise equal, and
         /// completions happen in the same order at the same events.
@@ -1625,6 +1717,24 @@ mod tests {
                             prop_assert_eq!(&da, &db, "advance-to-completion disagrees");
                             live.retain(|id| !da.contains(id));
                         }
+                    }
+                    6 => {
+                        // Soft degradation; every fourth draw is a full
+                        // outage (zero deliverable capacity).
+                        let l = links[sel % links.len()];
+                        let scale = if sel % 4 == 0 {
+                            0.0
+                        } else {
+                            (val / 40.0).min(1.0)
+                        };
+                        lazy.set_link_capacity_scale(l, scale);
+                        reference.set_link_capacity_scale(l, scale);
+                    }
+                    7 => {
+                        let l = links[sel % links.len()];
+                        let down = sel % 2 == 0;
+                        lazy.set_link_admin_down(l, down);
+                        reference.set_link_admin_down(l, down);
                     }
                     _ => {
                         let dt = SimDuration::from_millis((sel as u64 % 900) + 100);
@@ -1674,7 +1784,7 @@ mod tests {
         proptest! {
             #[test]
             fn lazy_and_reference_kernels_agree(
-                ops in proptest::collection::vec((0u8..6, 0usize..100, 0.5f64..40.0), 1..60),
+                ops in proptest::collection::vec((0u8..8, 0usize..100, 0.5f64..40.0), 1..60),
             ) {
                 drive(&ops)?;
             }

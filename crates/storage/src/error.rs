@@ -24,6 +24,8 @@ pub enum StorageError {
     NoDisks,
     /// A disk index was out of range for the array.
     UnknownDisk(usize),
+    /// A prefix store was configured with inconsistent parameters.
+    InvalidPrefixConfig(&'static str),
 }
 
 impl fmt::Display for StorageError {
@@ -40,6 +42,9 @@ impl fmt::Display for StorageError {
             StorageError::AlreadyStored(id) => write!(f, "video {id} is already stored here"),
             StorageError::NoDisks => write!(f, "a disk array needs at least one disk"),
             StorageError::UnknownDisk(i) => write!(f, "disk index {i} out of range"),
+            StorageError::InvalidPrefixConfig(reason) => {
+                write!(f, "invalid prefix-store config: {reason}")
+            }
         }
     }
 }

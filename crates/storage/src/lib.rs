@@ -13,6 +13,9 @@
 //!   lasts and then replaces the least-popular resident title;
 //! * [`popularity`] — the request-point bookkeeping behind the
 //!   "most popular" concept;
+//! * [`prefix`] — popularity-sized title *prefixes* for regional proxy
+//!   servers: serve session startup locally, fetch the rest from the
+//!   origin;
 //! * [`io_model`] — a simple seek+transfer disk timing model;
 //! * [`distributed`] — the paper's *future work* extension: striping
 //!   across servers instead of disks, by strip popularity.
@@ -52,6 +55,7 @@ pub mod dma;
 pub mod error;
 pub mod io_model;
 pub mod popularity;
+pub mod prefix;
 pub mod striping;
 pub mod video;
 
@@ -59,5 +63,6 @@ pub use cluster::ClusterSize;
 pub use disk_array::DiskArray;
 pub use dma::{DmaCache, DmaConfig, DmaDecision};
 pub use error::StorageError;
+pub use prefix::{PrefixConfig, PrefixDecision, PrefixStore};
 pub use striping::StripeLayout;
 pub use video::{Megabytes, VideoId, VideoMeta};
